@@ -1,0 +1,66 @@
+//! Sequential reference: BFS labelling with min-id canonical labels.
+
+use std::collections::VecDeque;
+
+use asyncmr_graph::{CsrGraph, NodeId};
+
+/// Labels every vertex with the smallest vertex id in its (weakly)
+/// connected component. `g` must already be symmetrized
+/// ([`CsrGraph::to_undirected`]) for weak connectivity.
+pub fn components(undirected: &CsrGraph) -> Vec<NodeId> {
+    let n = undirected.num_nodes();
+    let mut labels: Vec<NodeId> = vec![NodeId::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != NodeId::MAX {
+            continue;
+        }
+        // `start` is the smallest unvisited id, hence the component min.
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in undirected.out_neighbors(v) {
+                if labels[w as usize] == NodeId::MAX {
+                    labels[w as usize] = start;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmr_graph::generators;
+
+    #[test]
+    fn single_component_cycle() {
+        let g = generators::cycle(6).to_undirected();
+        let labels = components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn disjoint_cliques_get_distinct_labels() {
+        let g = generators::disjoint_cliques(3, 4).to_undirected();
+        let labels = components(&g);
+        assert_eq!(labels[0..4], [0, 0, 0, 0]);
+        assert_eq!(labels[4..8], [4, 4, 4, 4]);
+        assert_eq!(labels[8..12], [8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn isolated_vertices_label_themselves() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(components(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weak_connectivity_via_symmetrization() {
+        // 0 -> 1 only; weakly connected once symmetrized.
+        let g = CsrGraph::from_edges(2, &[(0, 1)]).to_undirected();
+        assert_eq!(components(&g), vec![0, 0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Sequential point-Jacobi reference for the graph-induced system.
+
+use asyncmr_graph::CsrGraph;
+
+use super::diagonal;
+
+/// Runs point Jacobi `x' = D⁻¹(b + Adj·x)` until the ∞-norm of the
+/// update drops below `tolerance`. Returns `(x, iterations)`.
+pub fn jacobi_sequential(
+    undirected: &CsrGraph,
+    b: &[f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> (Vec<f64>, usize) {
+    let n = undirected.num_nodes();
+    assert_eq!(b.len(), n);
+    let diag = diagonal(undirected);
+    let mut x = vec![0.0f64; n];
+    for iter in 1..=max_iterations {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            let mut acc = b[v];
+            for &w in undirected.out_neighbors(v as u32) {
+                acc += x[w as usize];
+            }
+            next[v] = acc / diag[v];
+        }
+        let diff = x
+            .iter()
+            .zip(&next)
+            .fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        x = next;
+        if diff < tolerance {
+            return (x, iter);
+        }
+    }
+    (x, max_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{residual_inf, seeded_rhs};
+    use asyncmr_graph::generators;
+
+    #[test]
+    fn solves_single_vertex() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let (x, _) = jacobi_sequential(&g, &[7.0], 1e-12, 100);
+        assert!((x[0] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn converges_with_small_residual() {
+        let g = generators::grid(8, 8).to_undirected();
+        let b = seeded_rhs(64, 1);
+        let (x, iters) = jacobi_sequential(&g, &b, 1e-10, 10_000);
+        assert!(iters < 10_000, "did not converge");
+        assert!(residual_inf(&g, &x, &b) < 1e-8, "residual too large");
+    }
+
+    #[test]
+    fn tighter_tolerance_more_iterations() {
+        let g = generators::cycle(30).to_undirected();
+        let b = seeded_rhs(30, 2);
+        let (_, loose) = jacobi_sequential(&g, &b, 1e-4, 10_000);
+        let (_, tight) = jacobi_sequential(&g, &b, 1e-10, 10_000);
+        assert!(tight > loose);
+    }
+}

@@ -1,0 +1,200 @@
+//! Census-like synthetic clustering data.
+//!
+//! The paper clusters "Sampled US Census data of 1990 from the UCI
+//! Machine Learning repository … around 200K points each with 68
+//! dimensions" (§V-D). The raw UCI file is not redistributable here, so
+//! this generator produces a dataset with the same *shape*: 68
+//! attributes that are small non-negative integers (the UCI version is
+//! discretized categorical codes, most with < 10 levels), organized
+//! around planted cluster structure with heavy-tailed cluster sizes
+//! plus background noise — the properties that drive K-Means iteration
+//! behaviour (assignment changes near quantized boundaries, oscillation
+//! at tight thresholds). See DESIGN.md §3 for the substitution note.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::Point;
+
+/// The UCI US Census (1990) sample dimensionality.
+pub const CENSUS_DIMS: usize = 68;
+/// The paper's sample size.
+pub const CENSUS_POINTS: usize = 200_000;
+
+/// A generated dataset with ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct LabeledData {
+    /// The points.
+    pub points: Vec<Point>,
+    /// Planted cluster id per point (background noise = usize::MAX).
+    pub labels: Vec<usize>,
+}
+
+/// Generates `n` census-like points with `dims` integer attributes and
+/// `clusters` planted clusters. ~5% of points are background noise.
+pub fn census_like(n: usize, dims: usize, clusters: usize, seed: u64) -> LabeledData {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(dims >= 1, "need at least one dimension");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Attribute cardinalities: mostly small categorical (2–10 levels),
+    // like the discretized census file.
+    let levels: Vec<u32> = (0..dims).map(|_| rng.random_range(2..=10)).collect();
+
+    // Cluster centers share a common demographic base and differ only
+    // in a minority of attributes — real census clusters overlap
+    // heavily, which is what makes Lloyd's movement per step small and
+    // its convergence slow at tight thresholds.
+    let base: Vec<u32> = levels.iter().map(|&l| rng.random_range(0..l)).collect();
+    let centers: Vec<Vec<u32>> = (0..clusters)
+        .map(|_| {
+            base.iter()
+                .zip(&levels)
+                .map(|(&b, &l)| {
+                    if rng.random_range(0.0..1.0) < 0.35 {
+                        rng.random_range(0..l)
+                    } else {
+                        b
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Heavy-tailed cluster weights (Zipf-ish), like real demographics.
+    let weights: Vec<f64> = (1..=clusters).map(|i| 1.0 / i as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.random_range(0.0..1.0) < 0.10 {
+            // Background noise: uniform over the grid.
+            let p: Point = levels.iter().map(|&l| rng.random_range(0..l) as f64).collect();
+            points.push(p);
+            labels.push(usize::MAX);
+            continue;
+        }
+        // Pick a cluster by weight.
+        let mut pick = rng.random_range(0.0..total_w);
+        let mut cluster = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                cluster = i;
+                break;
+            }
+            pick -= w;
+        }
+        let center = &centers[cluster];
+        let p: Point = center
+            .iter()
+            .zip(&levels)
+            .map(|(&c, &l)| {
+                // Mostly exact; often ±1 (ordinal smear); sometimes a
+                // uniformly random level (coding error / rare category).
+                let r: f64 = rng.random_range(0.0..1.0);
+                let v = if r < 0.55 {
+                    c as i64
+                } else if r < 0.90 {
+                    let delta: i64 = if rng.random_range(0..2u32) == 0 { -1 } else { 1 };
+                    c as i64 + delta
+                } else {
+                    rng.random_range(0..l) as i64
+                };
+                v.clamp(0, l as i64 - 1) as f64
+            })
+            .collect();
+        points.push(p);
+        labels.push(cluster);
+    }
+    LabeledData { points, labels }
+}
+
+/// The paper-scale dataset (200 K × 68), scaled by `scale` ∈ (0, 1].
+pub fn census_sample(scale: f64, seed: u64) -> LabeledData {
+    let n = ((CENSUS_POINTS as f64 * scale).round() as usize).max(100);
+    census_like(n, CENSUS_DIMS, 25, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{nearest, Point};
+
+    #[test]
+    fn shape_matches_request() {
+        let data = census_like(500, 12, 4, 7);
+        assert_eq!(data.points.len(), 500);
+        assert_eq!(data.labels.len(), 500);
+        assert!(data.points.iter().all(|p| p.len() == 12));
+    }
+
+    #[test]
+    fn values_are_small_nonnegative_integers() {
+        let data = census_like(300, 20, 3, 1);
+        for p in &data.points {
+            for &v in p {
+                assert!(v >= 0.0 && v < 10.0, "value {v} out of census range");
+                assert_eq!(v, v.round(), "census attributes are integer codes");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = census_like(200, 10, 3, 9);
+        let b = census_like(200, 10, 3, 9);
+        assert_eq!(a.points, b.points);
+        let c = census_like(200, 10, 3, 10);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn planted_structure_is_recoverable() {
+        // Points should mostly sit nearest their own cluster's center
+        // representative: check cluster cohesion via label majority.
+        let data = census_like(2000, 30, 4, 3);
+        // Build empirical centers from labels.
+        let mut sums: Vec<Point> = vec![vec![0.0; 30]; 4];
+        let mut counts = vec![0usize; 4];
+        for (p, &l) in data.points.iter().zip(&data.labels) {
+            if l == usize::MAX {
+                continue;
+            }
+            counts[l] += 1;
+            for (s, v) in sums[l].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (s, &c) in sums.iter_mut().zip(&counts) {
+            if c > 0 {
+                s.iter_mut().for_each(|x| *x /= c as f64);
+            }
+        }
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (p, &l) in data.points.iter().zip(&data.labels) {
+            if l == usize::MAX {
+                continue;
+            }
+            total += 1;
+            if nearest(p, &sums) == l {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.8, "cluster structure too weak: {accuracy:.2}");
+    }
+
+    #[test]
+    fn heavy_tail_cluster_sizes() {
+        let data = census_like(5000, 10, 5, 4);
+        let mut counts = vec![0usize; 5];
+        for &l in &data.labels {
+            if l != usize::MAX {
+                counts[l] += 1;
+            }
+        }
+        assert!(counts[0] > counts[4] * 2, "sizes {counts:?} not heavy-tailed");
+    }
+}

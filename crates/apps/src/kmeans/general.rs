@@ -1,0 +1,257 @@
+//! General (fully synchronous) MapReduce K-Means — the baseline.
+//!
+//! "In the map phase, every point chooses its closest cluster centroid
+//! and in the reduce phase, every centroid is updated to be the mean of
+//! all the points that chose the particular centroid" (§V-D, after
+//! Chu et al. [2] / Mahout). One Lloyd step per global iteration, with
+//! the classic sum/count combiner to keep the shuffle small.
+
+use std::sync::Arc;
+
+use asyncmr_core::prelude::*;
+
+use super::{max_movement, nearest, sse, ConvergenceTracker, KMeansConfig, KMeansOutcome, Point};
+
+/// A partial cluster update: element-wise sum of member points plus
+/// their count. The reducer divides at the end.
+pub type ClusterUpdate = (Vec<f64>, u64);
+
+/// Map-task input: a contiguous chunk of the point set plus the
+/// iteration's shared centroids.
+#[derive(Debug, Clone)]
+pub struct KmGeneralInput {
+    /// The full (shared) point set.
+    pub points: Arc<Vec<Point>>,
+    /// This task's chunk: `points[start..end]`.
+    pub start: usize,
+    /// Chunk end (exclusive).
+    pub end: usize,
+    /// The common input centroids for this iteration.
+    pub centroids: Arc<Vec<Point>>,
+}
+
+/// The general mapper: nearest-centroid assignment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KmGeneralMapper;
+
+impl Mapper for KmGeneralMapper {
+    type Input = KmGeneralInput;
+    type Key = u32;
+    type Value = ClusterUpdate;
+
+    fn map(&self, _task: usize, input: &KmGeneralInput, ctx: &mut MapContext<u32, ClusterUpdate>) {
+        let centroids = &input.centroids;
+        let dims = centroids.first().map_or(0, Vec::len);
+        for p in &input.points[input.start..input.end] {
+            let c = nearest(p, centroids);
+            ctx.add_ops((centroids.len() * dims) as u64);
+            ctx.emit_intermediate(c as u32, (p.clone(), 1));
+        }
+    }
+
+    fn input_size_hint(&self, input: &KmGeneralInput) -> u64 {
+        let dims = input.centroids.first().map_or(0, Vec::len) as u64;
+        (input.end - input.start) as u64 * dims * 8
+    }
+}
+
+/// Sum/count combiner — the aggregation Mahout applies map-side.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KmCombiner;
+
+impl Combiner for KmCombiner {
+    type Key = u32;
+    type Value = ClusterUpdate;
+
+    fn combine(&self, _key: &u32, values: &[ClusterUpdate]) -> ClusterUpdate {
+        let dims = values[0].0.len();
+        let mut sum = vec![0.0f64; dims];
+        let mut count = 0u64;
+        for (vec, c) in values {
+            for (s, v) in sum.iter_mut().zip(vec) {
+                *s += v;
+            }
+            count += c;
+        }
+        (sum, count)
+    }
+}
+
+/// The general reducer: mean of all member points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KmMeanReducer;
+
+impl Reducer for KmMeanReducer {
+    type Key = u32;
+    type ValueIn = ClusterUpdate;
+    type Out = Vec<f64>;
+
+    fn reduce(&self, key: &u32, values: &[ClusterUpdate], ctx: &mut ReduceContext<u32, Vec<f64>>) {
+        let dims = values[0].0.len();
+        let mut sum = vec![0.0f64; dims];
+        let mut count = 0u64;
+        for (vec, c) in values {
+            for (s, v) in sum.iter_mut().zip(vec) {
+                *s += v;
+            }
+            count += c;
+        }
+        ctx.add_ops((values.len() * dims) as u64);
+        if count > 0 {
+            sum.iter_mut().for_each(|s| *s /= count as f64);
+            ctx.emit(*key, sum);
+        }
+        // count == 0 cannot happen (keys exist only when emitted), but
+        // the guard documents the "empty cluster keeps position" rule
+        // enforced by the driver.
+    }
+}
+
+/// Runs General K-Means from seeded random initial centroids.
+pub fn run_general(
+    engine: &mut Engine<'_>,
+    points: &Arc<Vec<Point>>,
+    num_partitions: usize,
+    cfg: &KMeansConfig,
+) -> KMeansOutcome {
+    run_general_from(engine, points, num_partitions, cfg, None)
+}
+
+/// Like [`run_general`] but from explicit initial centroids (used by
+/// tests and the figure harness so both variants start identically).
+pub fn run_general_from(
+    engine: &mut Engine<'_>,
+    points: &Arc<Vec<Point>>,
+    num_partitions: usize,
+    cfg: &KMeansConfig,
+    initial: Option<Vec<Point>>,
+) -> KMeansOutcome {
+    let n = points.len();
+    assert!(num_partitions >= 1 && n > 0, "need points and at least one partition");
+    let mut centroids =
+        initial.unwrap_or_else(|| super::initial_centroids(points, cfg.k, cfg.seed));
+    // Fixed contiguous chunks (the general variant never repartitions).
+    // Both bounds are clamped: with more partitions than chunks the
+    // trailing tasks legitimately receive empty ranges.
+    let chunk = n.div_ceil(num_partitions);
+    let ranges: Vec<(usize, usize)> = (0..num_partitions)
+        .map(|p| ((p * chunk).min(n), ((p + 1) * chunk).min(n)))
+        .collect();
+    let opts = JobOptions::with_reducers(cfg.num_reducers).with_combiner(&KmCombiner);
+    // General convergence: Euclidean threshold only (no oscillation
+    // detection — that refinement belongs to the eager variant).
+    let mut tracker = ConvergenceTracker::new(cfg.threshold, 0);
+
+    let driver = FixedPointDriver::new(cfg.max_iterations);
+    let report = driver.run(engine, |engine, iter| {
+        let shared = Arc::new(centroids.clone());
+        let inputs: Vec<KmGeneralInput> = ranges
+            .iter()
+            .map(|&(start, end)| KmGeneralInput {
+                points: Arc::clone(points),
+                start,
+                end,
+                centroids: Arc::clone(&shared),
+            })
+            .collect();
+        let out = engine.run(
+            &format!("kmeans-general-iter{iter}"),
+            &inputs,
+            &KmGeneralMapper,
+            &KmMeanReducer,
+            &opts,
+        );
+        let mut new_centroids = centroids.clone(); // empty clusters stay
+        for (cid, mean) in out.pairs {
+            new_centroids[cid as usize] = mean;
+        }
+        let done = tracker.converged(&centroids, &new_centroids);
+        let _ = max_movement(&centroids, &new_centroids);
+        centroids = new_centroids;
+        if done {
+            StepStatus::Converged
+        } else {
+            StepStatus::Continue
+        }
+    });
+    let sse_value = sse(points, &centroids);
+    KMeansOutcome { centroids, sse: sse_value, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::data::census_like;
+    use crate::kmeans::reference::lloyd;
+    use asyncmr_runtime::ThreadPool;
+
+    #[test]
+    fn matches_sequential_lloyd_exactly() {
+        let data = census_like(1200, 16, 5, 3);
+        let points = Arc::new(data.points);
+        let initial = crate::kmeans::initial_centroids(&points, 5, 7);
+        let cfg = KMeansConfig { k: 5, threshold: 0.001, ..Default::default() };
+        let pool = ThreadPool::new(4);
+        let mut engine = Engine::in_process(&pool);
+        let out = run_general_from(&mut engine, &points, 6, &cfg, Some(initial.clone()));
+        let (expected, seq_iters) = lloyd(&points, &initial, 0.001, 300);
+        // One MapReduce job = one Lloyd step, identical arithmetic.
+        assert_eq!(out.report.global_iterations, seq_iters);
+        assert!(
+            max_movement(&out.centroids, &expected) < 1e-9,
+            "centroids deviate from Lloyd"
+        );
+    }
+
+    #[test]
+    fn iteration_count_is_partition_independent() {
+        let data = census_like(800, 12, 4, 5);
+        let points = Arc::new(data.points);
+        let initial = crate::kmeans::initial_centroids(&points, 4, 2);
+        let cfg = KMeansConfig { k: 4, threshold: 0.01, ..Default::default() };
+        let pool = ThreadPool::new(4);
+        let mut iters = Vec::new();
+        for parts in [1, 4, 13] {
+            let mut engine = Engine::in_process(&pool);
+            let out =
+                run_general_from(&mut engine, &points, parts, &cfg, Some(initial.clone()));
+            iters.push(out.report.global_iterations);
+        }
+        assert_eq!(iters[0], iters[1]);
+        assert_eq!(iters[1], iters[2]);
+    }
+
+    #[test]
+    fn more_partitions_than_chunk_coverage_is_safe() {
+        // Regression: 52 partitions of 1,000 points once produced an
+        // out-of-range chunk start (1020..1000). Trailing partitions
+        // must simply be empty.
+        let data = census_like(1000, 8, 3, 1);
+        let points = Arc::new(data.points);
+        let cfg = KMeansConfig { k: 3, threshold: 0.01, ..Default::default() };
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        let out = run_general(&mut engine, &points, 52, &cfg);
+        assert!(out.report.converged);
+    }
+
+    #[test]
+    fn tighter_threshold_takes_more_iterations() {
+        let data = census_like(1000, 16, 5, 9);
+        let points = Arc::new(data.points);
+        let initial = crate::kmeans::initial_centroids(&points, 5, 4);
+        let pool = ThreadPool::new(4);
+        let mut last = 0usize;
+        for threshold in [0.1, 0.01, 0.001] {
+            let cfg = KMeansConfig { k: 5, threshold, ..Default::default() };
+            let mut engine = Engine::in_process(&pool);
+            let out =
+                run_general_from(&mut engine, &points, 5, &cfg, Some(initial.clone()));
+            assert!(
+                out.report.global_iterations >= last,
+                "iterations should not decrease as δ tightens"
+            );
+            last = out.report.global_iterations;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Sequential reference: Lloyd's algorithm.
+
+use super::{max_movement, nearest, Point};
+
+/// Runs Lloyd's algorithm from the given initial centroids until the
+/// maximum centroid movement drops below `threshold`. Returns
+/// `(centroids, iterations)`. Empty clusters keep their position.
+pub fn lloyd(
+    points: &[Point],
+    initial: &[Point],
+    threshold: f64,
+    max_iterations: usize,
+) -> (Vec<Point>, usize) {
+    assert!(!initial.is_empty());
+    let k = initial.len();
+    let dims = initial[0].len();
+    let mut centroids = initial.to_vec();
+    for iter in 1..=max_iterations {
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0u64; k];
+        for p in points {
+            let c = nearest(p, &centroids);
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let new: Vec<Point> = (0..k)
+            .map(|c| {
+                if counts[c] == 0 {
+                    centroids[c].clone()
+                } else {
+                    sums[c].iter().map(|s| s / counts[c] as f64).collect()
+                }
+            })
+            .collect();
+        let moved = max_movement(&centroids, &new);
+        centroids = new;
+        if moved < threshold {
+            return (centroids, iter);
+        }
+    }
+    (centroids, max_iterations)
+}
+
+/// One Lloyd assignment + update step (exposed for property tests: the
+/// SSE must never increase across a step).
+pub fn lloyd_step(points: &[Point], centroids: &[Point]) -> Vec<Point> {
+    let (c, _) = lloyd(points, centroids, f64::INFINITY, 1);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::sse;
+
+    fn two_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 3) as f64 * 0.1, 0.0]);
+            pts.push(vec![10.0 + (i % 3) as f64 * 0.1, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let initial = vec![vec![1.0, 0.0], vec![9.0, 0.0]];
+        let (cs, iters) = lloyd(&pts, &initial, 1e-9, 100);
+        assert!(iters < 100);
+        let mut xs: Vec<f64> = cs.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.1).abs() < 0.01, "blob at ~0.1, got {}", xs[0]);
+        assert!((xs[1] - 10.1).abs() < 0.01, "blob at ~10.1, got {}", xs[1]);
+    }
+
+    #[test]
+    fn sse_non_increasing_over_steps() {
+        let pts = two_blobs();
+        let mut cs = vec![vec![3.0, 0.0], vec![4.0, 0.0]];
+        let mut prev = sse(&pts, &cs);
+        for _ in 0..10 {
+            cs = lloyd_step(&pts, &cs);
+            let cur = sse(&pts, &cs);
+            assert!(cur <= prev + 1e-9, "SSE rose from {prev} to {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn empty_cluster_keeps_position() {
+        let pts = vec![vec![0.0], vec![0.1]];
+        let initial = vec![vec![0.05], vec![100.0]];
+        let (cs, _) = lloyd(&pts, &initial, 1e-9, 10);
+        assert_eq!(cs[1], vec![100.0], "empty cluster must not move");
+    }
+
+    #[test]
+    fn single_cluster_finds_mean() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let (cs, _) = lloyd(&pts, &[vec![0.0]], 1e-12, 50);
+        assert!((cs[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_threshold_needs_more_iterations() {
+        let data = crate::kmeans::data::census_like(1500, 20, 5, 2);
+        let initial = crate::kmeans::initial_centroids(&data.points, 5, 1);
+        let (_, loose) = lloyd(&data.points, &initial, 0.1, 500);
+        let (_, tight) = lloyd(&data.points, &initial, 0.0001, 500);
+        assert!(
+            tight >= loose,
+            "tight threshold took {tight} iters, loose took {loose}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # asyncmr-apps — the paper's benchmark applications
+//!
+//! General (fully synchronous) and Eager (partial-sync + eager
+//! scheduling) implementations of the three applications evaluated in
+//! *"Asynchronous Algorithms in MapReduce"* (CLUSTER 2010), built on
+//! the `asyncmr-core` API, plus sequential reference implementations
+//! used for correctness checks:
+//!
+//! | Application | General | Eager | Reference |
+//! |---|---|---|---|
+//! | PageRank (§V-B) | [`pagerank::run_general`] | [`pagerank::run_eager`] | [`pagerank::reference::pagerank_sequential`] |
+//! | Single-Source Shortest Path (§V-C) | [`sssp::run_general`] | [`sssp::run_eager`] | [`sssp::reference::dijkstra`] |
+//! | K-Means (§V-D) | [`kmeans::run_general`] | [`kmeans::run_eager`] | [`kmeans::reference::lloyd`] |
+//!
+//! Two further applications from the paper's broader-applicability
+//! discussion (§V-E, §VI) are implemented as extensions:
+//!
+//! | Application | General | Eager | Reference |
+//! |---|---|---|---|
+//! | Connected Components (§V-E) | [`cc::run_general`] | [`cc::run_eager`] | [`cc::reference::components`] |
+//! | Jacobi linear solver (§VI) | [`jacobi::run_general`] | [`jacobi::run_eager`] | [`jacobi::reference::jacobi_sequential`] |
+//!
+//! All drivers run on an [`asyncmr_core::Engine`], so each returns both
+//! the algorithmic result and an
+//! [`asyncmr_core::IterationReport`] (global iterations = global
+//! synchronizations, partial-sync counts, simulated and real time).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cc;
+pub mod common;
+pub mod jacobi;
+pub mod kmeans;
+pub mod pagerank;
+pub mod sssp;
+
+pub use common::GraphPartition;

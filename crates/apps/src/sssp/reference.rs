@@ -1,0 +1,99 @@
+//! Sequential reference: Dijkstra with a binary heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use asyncmr_graph::{NodeId, WeightedGraph};
+
+/// Heap entry ordered by smallest distance first.
+struct Entry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance for a min-heap; node id tiebreak keeps
+        // the order total (dists are finite non-NaN by construction).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Computes exact shortest distances from `source`.
+pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((source as usize) < n, "source out of range");
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry { dist: 0.0, node: source });
+    while let Some(Entry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (t, w) in g.out_edges(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Entry { dist: nd, node: t });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmr_graph::{generators, CsrGraph};
+
+    #[test]
+    fn line_graph_distances() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let wg = WeightedGraph::new(g, vec![1.0, 2.0, 3.0]);
+        assert_eq!(dijkstra(&wg, 0), vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let wg = WeightedGraph::unit_weights(g);
+        let d = dijkstra(&wg, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn picks_cheaper_indirect_path() {
+        // 0→2 direct costs 10; 0→1→2 costs 3.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1), (1, 2)]);
+        let wg = WeightedGraph::new(g, vec![10.0, 1.0, 2.0]);
+        assert_eq!(dijkstra(&wg, 0)[2], 3.0);
+    }
+
+    #[test]
+    fn cycle_wraps_correctly() {
+        let g = generators::cycle(5);
+        let wg = WeightedGraph::unit_weights(g);
+        assert_eq!(dijkstra(&wg, 0), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

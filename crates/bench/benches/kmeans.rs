@@ -1,0 +1,75 @@
+//! Criterion benches for the K-Means experiments (paper Figs. 8–9).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asyncmr_apps::kmeans::{self, KMeansConfig};
+use asyncmr_core::Engine;
+use asyncmr_runtime::ThreadPool;
+
+fn bench_kmeans_to_convergence(c: &mut Criterion) {
+    // 2,000 census-like records at the paper's 68 dimensions.
+    let data = kmeans::data::census_like(1_000, 68, 25, 77);
+    let points = Arc::new(data.points);
+    let initial = kmeans::initial_centroids(&points, 10, 7);
+    let pool = ThreadPool::with_default_parallelism();
+
+    let mut group = c.benchmark_group("fig8_9_kmeans_convergence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for threshold in [0.01f64] {
+        let cfg = KMeansConfig { k: 10, threshold, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("eager", format!("{threshold}")),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = Engine::in_process(&pool);
+                    black_box(kmeans::eager::run_eager_from(
+                        &mut engine,
+                        &points,
+                        52,
+                        &cfg,
+                        Some(initial.clone()),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general", format!("{threshold}")),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = Engine::in_process(&pool);
+                    black_box(kmeans::general::run_general_from(
+                        &mut engine,
+                        &points,
+                        52,
+                        &cfg,
+                        Some(initial.clone()),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lloyd_reference(c: &mut Criterion) {
+    let data = kmeans::data::census_like(2_000, 68, 25, 77);
+    let initial = kmeans::initial_centroids(&data.points, 10, 7);
+    let mut group = c.benchmark_group("kmeans_reference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("lloyd_sequential", |b| {
+        b.iter(|| black_box(kmeans::reference::lloyd(&data.points, &initial, 0.001, 300)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans_to_convergence, bench_lloyd_reference);
+criterion_main!(benches);

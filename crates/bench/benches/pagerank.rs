@@ -1,0 +1,82 @@
+//! Criterion benches for the PageRank experiments (paper Figs. 2–5).
+//!
+//! These measure *real in-process* execution cost of the two
+//! formulations at benchmark-friendly scale; the `repro` binary
+//! produces the paper-shaped figures (iterations + simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asyncmr_apps::pagerank::{self, PageRankConfig};
+use asyncmr_core::Engine;
+use asyncmr_graph::presets;
+use asyncmr_partition::{MultilevelKWay, Partitioner};
+use asyncmr_runtime::ThreadPool;
+
+fn bench_pagerank_to_convergence(c: &mut Criterion) {
+    // Graph A at 1% scale: 2,800 nodes, ~31 K edges.
+    let graph = presets::graph_a(0.005);
+    let pool = ThreadPool::with_default_parallelism();
+    let cfg = PageRankConfig::default();
+
+    let mut group = c.benchmark_group("fig2_4_pagerank_convergence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for k in [2usize, 8] {
+        let parts = MultilevelKWay::default().partition(&graph, k);
+        group.bench_with_input(BenchmarkId::new("eager", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::in_process(&pool);
+                black_box(pagerank::run_eager(&mut engine, &graph, &parts, &cfg))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("general", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::in_process(&pool);
+                black_box(pagerank::run_general(&mut engine, &graph, &parts, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_iteration(c: &mut Criterion) {
+    let graph = presets::graph_a(0.02);
+    let pool = ThreadPool::with_default_parallelism();
+    let parts = MultilevelKWay::default().partition(&graph, 8);
+    let cfg = PageRankConfig { max_iterations: 1, ..Default::default() };
+
+    let mut group = c.benchmark_group("pagerank_single_global_iteration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("general_one_job", |b| {
+        b.iter(|| {
+            let mut engine = Engine::in_process(&pool);
+            black_box(pagerank::run_general(&mut engine, &graph, &parts, &cfg))
+        })
+    });
+    group.bench_function("eager_one_gmap_round", |b| {
+        b.iter(|| {
+            let mut engine = Engine::in_process(&pool);
+            black_box(pagerank::run_eager(&mut engine, &graph, &parts, &cfg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let graph = presets::graph_a(0.02);
+    let mut group = c.benchmark_group("pagerank_reference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("sequential_power_iteration", |b| {
+        b.iter(|| black_box(pagerank::reference::pagerank_sequential(&graph, 0.85, 1e-5, 500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank_to_convergence, bench_single_iteration, bench_reference);
+criterion_main!(benches);

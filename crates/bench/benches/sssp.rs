@@ -1,0 +1,54 @@
+//! Criterion benches for the Shortest-Path experiments (paper Figs. 6–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asyncmr_apps::sssp::{self, SsspConfig};
+use asyncmr_core::Engine;
+use asyncmr_graph::{presets, WeightedGraph};
+use asyncmr_partition::{MultilevelKWay, Partitioner};
+use asyncmr_runtime::ThreadPool;
+
+fn bench_sssp_to_convergence(c: &mut Criterion) {
+    let graph = presets::graph_a(0.005);
+    let network = WeightedGraph::random_weights(graph, 1.0, 10.0, 55);
+    let pool = ThreadPool::with_default_parallelism();
+    let cfg = SsspConfig::default();
+
+    let mut group = c.benchmark_group("fig6_7_sssp_convergence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for k in [2usize, 8] {
+        let parts = MultilevelKWay::default().partition(network.graph(), k);
+        group.bench_with_input(BenchmarkId::new("eager", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::in_process(&pool);
+                black_box(sssp::run_eager(&mut engine, &network, &parts, &cfg))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("general", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::in_process(&pool);
+                black_box(sssp::run_general(&mut engine, &network, &parts, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dijkstra_reference(c: &mut Criterion) {
+    let graph = presets::graph_a(0.02);
+    let network = WeightedGraph::random_weights(graph, 1.0, 10.0, 55);
+    let mut group = c.benchmark_group("sssp_reference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| black_box(sssp::reference::dijkstra(&network, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp_to_convergence, bench_dijkstra_reference);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion micro-benches for the substrates the reproduction is
+//! built on: thread pool, event queue/simulator, partitioner, graph
+//! generator, and the shuffle path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use asyncmr_core::hash::reducer_for;
+use asyncmr_core::shuffle;
+use asyncmr_graph::generators;
+use asyncmr_partition::{HashPartitioner, MultilevelKWay, Partitioner};
+use asyncmr_runtime::ThreadPool;
+use asyncmr_simcluster::events::EventQueue;
+use asyncmr_simcluster::{ClusterSpec, JobSpec, MapTaskSpec, ReduceTaskSpec, SimTime, Simulation};
+
+fn bench_thread_pool(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_parallelism();
+    let data: Vec<u64> = (0..100_000).collect();
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("par_map_100k", |b| {
+        b.iter(|| black_box(pool.par_map(&data, |x| x * 2 + 1)))
+    });
+    group.bench_function("scope_spawn_1k_tasks", |b| {
+        b.iter(|| {
+            pool.scope(|s| {
+                for _ in 0..1_000 {
+                    s.spawn(|| {
+                        black_box(0u64);
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcluster");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("simulate_100map_16reduce_job", |b| {
+        let job = JobSpec::named("bench")
+            .with_maps(vec![MapTaskSpec::new(32 << 20, 10_000_000, 4 << 20); 100])
+            .with_reduces(vec![ReduceTaskSpec::new(1_000_000, 4 << 20); 16]);
+        b.iter(|| {
+            let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 3);
+            black_box(sim.run_job(&job))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let g = generators::preferential_attachment_crawled(20_000, 3, 2, 1, 0.98, 50, 9);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("multilevel_kway_20k_nodes_k16", |b| {
+        b.iter(|| black_box(MultilevelKWay::default().partition(&g, 16)))
+    });
+    group.bench_function("hash_20k_nodes_k16", |b| {
+        b.iter(|| black_box(HashPartitioner.partition(&g, 16)))
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("preferential_attachment_10k", |b| {
+        b.iter(|| {
+            black_box(generators::preferential_attachment_crawled(
+                10_000, 3, 2, 1, 0.98, 50, 1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let pairs: Vec<(u32, f64)> = (0..100_000u32).map(|i| (i % 5_000, i as f64)).collect();
+    let mut group = c.benchmark_group("core_shuffle");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("route_100k_pairs_16_reducers", |b| {
+        b.iter(|| black_box(shuffle::route(pairs.clone(), 16)))
+    });
+    group.bench_function("group_100k_pairs", |b| {
+        b.iter(|| black_box(shuffle::group(pairs.clone())))
+    });
+    group.bench_function("stable_hash_100k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0..100_000u32 {
+                acc += reducer_for(&k, 16);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_pool,
+    bench_event_queue,
+    bench_partitioner,
+    bench_generator,
+    bench_shuffle
+);
+criterion_main!(benches);

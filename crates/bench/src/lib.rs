@@ -1,0 +1,33 @@
+//! # asyncmr-bench — reproduction harness for every table and figure
+//!
+//! The `repro` binary (this crate's `src/bin/repro.rs`) regenerates the
+//! paper's complete evaluation section:
+//!
+//! | Command | Paper artifact |
+//! |---|---|
+//! | `repro table1` | Table I — measurement testbed (simulated) |
+//! | `repro table2` | Table II — input graph properties |
+//! | `repro fig2` / `fig3` | PageRank iterations vs partitions (Graphs A, B) |
+//! | `repro fig4` / `fig5` | PageRank time vs partitions (Graphs A, B) |
+//! | `repro fig6` / `fig7` | SSSP iterations / time vs partitions (Graph A) |
+//! | `repro fig8` / `fig9` | K-Means iterations / time vs threshold δ |
+//! | `repro faults` | §VI fault-tolerance discussion |
+//! | `repro all` | everything above |
+//!
+//! Runs are deterministic given `--seed`; `--scale` shrinks the inputs
+//! proportionally (partition counts scale along, preserving partition
+//! *sizes* — the quantity the algorithms actually respond to). Every
+//! figure is printed as an aligned table and saved as JSON under
+//! `results/` for `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{
+    fault_tolerance, kmeans_figures, pagerank_figures, partitioner_ablation, scalability,
+    sssp_figures, table1, table2, GraphChoice,
+};
+pub use report::{Figure, ReproConfig};

@@ -1,0 +1,221 @@
+//! Emitters and task contexts — the paper's data-flow functions.
+//!
+//! `EmitIntermediate` / `Emit` become methods on the map/reduce task
+//! contexts. Every emission is metered (records + approximate bytes) so
+//! the engine can hand the simulator an exact profile of what the task
+//! actually produced.
+
+use crate::kv::{Key, Value};
+
+/// A metered sink of `(key, value)` pairs.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+    bytes: u64,
+}
+
+impl<K: Key, V: Value> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Emitter { pairs: Vec::new(), bytes: 0 }
+    }
+}
+
+impl<K: Key, V: Value> Emitter<K, V> {
+    /// Emits one pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.bytes += key.approx_bytes() + value.approx_bytes();
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted.
+    #[inline]
+    pub fn records(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    /// Approximate serialized bytes emitted.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Consumes the emitter, yielding the pairs.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+
+    /// Borrowed view of the pairs.
+    pub fn pairs(&self) -> &[(K, V)] {
+        &self.pairs
+    }
+}
+
+/// Abstract-operation + volume counters for one task attempt.
+///
+/// Applications call [`TaskMeter::add_ops`] with their natural work
+/// unit (edges relaxed, point-dimension products, …); the simulator's
+/// [`asyncmr_simcluster::CostModel`] turns ops into seconds. Tasks that
+/// forget to meter still get record-count-based framework cost.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMeter {
+    ops: u64,
+    input_bytes: u64,
+    local_syncs: u64,
+}
+
+impl TaskMeter {
+    /// Adds `n` abstract operations to this task's bill.
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Counts one partial (local) synchronization — an `lreduce`
+    /// barrier inside a `gmap` (paper: partial + global syncs trade
+    /// off; eager runs many cheap partial syncs per global one).
+    #[inline]
+    pub fn add_local_sync(&mut self) {
+        self.local_syncs += 1;
+    }
+
+    /// Partial synchronizations performed by this task.
+    #[inline]
+    pub fn local_syncs(&self) -> u64 {
+        self.local_syncs
+    }
+
+    /// Records the size of the task's input split.
+    #[inline]
+    pub fn set_input_bytes(&mut self, bytes: u64) {
+        self.input_bytes = bytes;
+    }
+
+    /// Total abstract operations metered.
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Input split size.
+    #[inline]
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+}
+
+/// Context handed to [`crate::Mapper::map`] — wraps the paper's
+/// `EmitIntermediate` plus metering.
+#[derive(Debug)]
+pub struct MapContext<K, V> {
+    emitter: Emitter<K, V>,
+    /// Work/volume counters for this map task.
+    pub meter: TaskMeter,
+}
+
+impl<K: Key, V: Value> Default for MapContext<K, V> {
+    fn default() -> Self {
+        MapContext { emitter: Emitter::default(), meter: TaskMeter::default() }
+    }
+}
+
+impl<K: Key, V: Value> MapContext<K, V> {
+    /// The paper's `EmitIntermediate(key, value)`.
+    #[inline]
+    pub fn emit_intermediate(&mut self, key: K, value: V) {
+        self.emitter.emit(key, value);
+    }
+
+    /// Shorthand for `self.meter.add_ops(n)`.
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        self.meter.add_ops(n);
+    }
+
+    /// Records emitted so far.
+    pub fn records(&self) -> u64 {
+        self.emitter.records()
+    }
+
+    pub(crate) fn finish(self) -> (Vec<(K, V)>, TaskMeter, u64, u64) {
+        let records = self.emitter.records();
+        let bytes = self.emitter.bytes();
+        (self.emitter.into_pairs(), self.meter, records, bytes)
+    }
+}
+
+/// Context handed to [`crate::Reducer::reduce`] — wraps the paper's
+/// `Emit` plus metering.
+#[derive(Debug)]
+pub struct ReduceContext<K, O> {
+    emitter: Emitter<K, O>,
+    /// Work/volume counters for this reduce task.
+    pub meter: TaskMeter,
+}
+
+impl<K: Key, O: Value> Default for ReduceContext<K, O> {
+    fn default() -> Self {
+        ReduceContext { emitter: Emitter::default(), meter: TaskMeter::default() }
+    }
+}
+
+impl<K: Key, O: Value> ReduceContext<K, O> {
+    /// The paper's `Emit(key, value)` — final job output.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: O) {
+        self.emitter.emit(key, value);
+    }
+
+    /// Shorthand for `self.meter.add_ops(n)`.
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        self.meter.add_ops(n);
+    }
+
+    pub(crate) fn finish(self) -> (Vec<(K, O)>, TaskMeter, u64, u64) {
+        let records = self.emitter.records();
+        let bytes = self.emitter.bytes();
+        (self.emitter.into_pairs(), self.meter, records, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_meters_bytes_and_records() {
+        let mut e: Emitter<u32, f64> = Emitter::default();
+        e.emit(1, 0.5);
+        e.emit(2, 1.5);
+        assert_eq!(e.records(), 2);
+        assert_eq!(e.bytes(), 2 * (4 + 8));
+        assert_eq!(e.into_pairs(), vec![(1, 0.5), (2, 1.5)]);
+    }
+
+    #[test]
+    fn map_context_finish_reports_meter() {
+        let mut ctx: MapContext<u32, u64> = MapContext::default();
+        ctx.emit_intermediate(7, 70);
+        ctx.add_ops(123);
+        ctx.meter.set_input_bytes(456);
+        let (pairs, meter, records, bytes) = ctx.finish();
+        assert_eq!(pairs, vec![(7, 70)]);
+        assert_eq!(meter.ops(), 123);
+        assert_eq!(meter.input_bytes(), 456);
+        assert_eq!(records, 1);
+        assert_eq!(bytes, 12);
+    }
+
+    #[test]
+    fn reduce_context_emits() {
+        let mut ctx: ReduceContext<u32, u32> = ReduceContext::default();
+        ctx.emit(1, 2);
+        ctx.add_ops(9);
+        let (pairs, meter, records, bytes) = ctx.finish();
+        assert_eq!(pairs, vec![(1, 2)]);
+        assert_eq!(meter.ops(), 9);
+        assert_eq!(records, 1);
+        assert_eq!(bytes, 8);
+    }
+}

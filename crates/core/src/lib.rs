@@ -1,0 +1,105 @@
+//! # asyncmr-core — iterative MapReduce with partial synchronization
+//!
+//! This crate implements the primary contribution of *"Asynchronous
+//! Algorithms in MapReduce"* (Kambatla, Rapolu, Jagannathan, Grama —
+//! IEEE CLUSTER 2010): a MapReduce programming model extended with
+//! **partial synchronizations** and **eager scheduling** for iterative,
+//! asynchrony-tolerant algorithms.
+//!
+//! ## The paper's API (§IV)
+//!
+//! | Paper construct | Here |
+//! |---|---|
+//! | `map` / `reduce` (global) | [`Mapper::map`] / [`Reducer::reduce`] |
+//! | `EmitIntermediate(k, v)` | [`MapContext::emit_intermediate`] |
+//! | `Emit(k, v)` | [`ReduceContext::emit`] |
+//! | `lmap` / `lreduce` (local) | [`LocalAlgorithm::lmap`] / [`LocalAlgorithm::lreduce`] |
+//! | `EmitLocalIntermediate(k, v)` | [`LocalMapContext::emit_local_intermediate`] |
+//! | `EmitLocal(k, v)` | [`LocalReduceContext::emit_local`] |
+//! | `gmap` built from `lmap`+`lreduce` (Fig. 1) | [`EagerMapper`] |
+//! | combiner | [`Combiner`] |
+//!
+//! A *general* (fully synchronous) iterative algorithm implements
+//! [`Mapper`] + [`Reducer`] and runs one global MapReduce per
+//! iteration. An *eager* (partial-sync) algorithm implements
+//! [`LocalAlgorithm`]; wrapping it in [`EagerMapper`] produces a `gmap`
+//! that iterates `lmap`/`lreduce` on its partition **to local
+//! convergence** — with no cross-partition barrier (that is the eager
+//! scheduling) — before the single global reduce.
+//!
+//! ## Execution backends
+//!
+//! [`Engine`] always executes the real computation in-process on the
+//! work-stealing [`asyncmr_runtime::ThreadPool`] (map tasks and reduce
+//! tasks in parallel). Optionally it *also* meters every task (bytes,
+//! records, abstract ops) and replays the job on the
+//! [`asyncmr_simcluster::Simulation`] of the paper's 8-node EC2/Hadoop
+//! testbed, yielding the simulated wall-clock each figure reports.
+//! Algorithmic results are identical under both backends by
+//! construction — the simulator never touches the data.
+//!
+//! ```
+//! use asyncmr_core::prelude::*;
+//! use asyncmr_runtime::ThreadPool;
+//!
+//! // Word count: the "hello world" of MapReduce.
+//! struct Tokenize;
+//! impl Mapper for Tokenize {
+//!     type Input = String;
+//!     type Key = String;
+//!     type Value = u64;
+//!     fn map(&self, _task: usize, doc: &String, ctx: &mut MapContext<String, u64>) {
+//!         for word in doc.split_whitespace() {
+//!             ctx.emit_intermediate(word.to_string(), 1);
+//!         }
+//!     }
+//! }
+//! struct Count;
+//! impl Reducer for Count {
+//!     type Key = String;
+//!     type ValueIn = u64;
+//!     type Out = u64;
+//!     fn reduce(&self, key: &String, values: &[u64], ctx: &mut ReduceContext<String, u64>) {
+//!         ctx.emit(key.clone(), values.iter().sum());
+//!     }
+//! }
+//!
+//! let pool = ThreadPool::new(2);
+//! let mut engine = Engine::in_process(&pool);
+//! let docs = vec!["a b a".to_string(), "b c".to_string()];
+//! let out = engine.run("wordcount", &docs, &Tokenize, &Count, &JobOptions::with_reducers(2));
+//! let mut pairs = out.pairs;
+//! pairs.sort();
+//! assert_eq!(pairs, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod emitter;
+pub mod engine;
+pub mod hash;
+pub mod kv;
+pub mod local;
+pub mod shuffle;
+pub mod traits;
+
+pub use driver::{FixedPointDriver, IterationReport, StepStatus};
+pub use emitter::{Emitter, MapContext, ReduceContext, TaskMeter};
+pub use engine::{Engine, JobMeter, JobOptions, JobResult};
+pub use kv::{Key, Meterable, Value};
+pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
+pub use traits::{Combiner, Mapper, Reducer};
+
+/// Glob import for application code.
+pub mod prelude {
+    pub use crate::driver::{FixedPointDriver, IterationReport, StepStatus};
+    pub use crate::emitter::{MapContext, ReduceContext};
+    pub use crate::engine::{Engine, JobOptions, JobResult};
+    pub use crate::kv::{Key, Meterable, Value};
+    pub use crate::local::{
+        EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState,
+    };
+    pub use crate::traits::{Combiner, Mapper, Reducer};
+}

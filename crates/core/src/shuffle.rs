@@ -1,0 +1,98 @@
+//! The shuffle: routing, grouping, and deterministic ordering.
+//!
+//! Hadoop's shuffle hashes keys to reducers, then sorts each reducer's
+//! input by key so `reduce` sees contiguous groups. We reproduce the
+//! same contract: [`route`] splits each map task's output by stable
+//! key hash, and [`group`] produces key groups in ascending key order
+//! with values ordered by (map task, emission index) — fully
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::hash::reducer_for;
+use crate::kv::{Key, Value};
+
+/// Splits one map task's output into per-reducer buckets.
+pub fn route<K: Key, V: Value>(pairs: Vec<(K, V)>, reducers: usize) -> Vec<Vec<(K, V)>> {
+    assert!(reducers > 0, "need at least one reducer");
+    let mut buckets: Vec<Vec<(K, V)>> = (0..reducers).map(|_| Vec::new()).collect();
+    for (k, v) in pairs {
+        let r = reducer_for(&k, reducers);
+        buckets[r].push((k, v));
+    }
+    buckets
+}
+
+/// Groups one reducer's input (concatenated map buckets, in map-task
+/// order) into `(key, values)` with keys ascending.
+pub fn group<K: Key, V: Value>(input: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in input {
+        grouped.entry(k).or_default().push(v);
+    }
+    grouped.into_iter().collect()
+}
+
+/// Map-side combining: groups a single task's output by key and folds
+/// each group with the combiner function. Returns the combined pairs
+/// (keys ascending) — this runs *before* [`route`].
+pub fn combine_local<K: Key, V: Value>(
+    pairs: Vec<(K, V)>,
+    combine: impl Fn(&K, &[V]) -> V,
+) -> Vec<(K, V)> {
+    group(pairs)
+        .into_iter()
+        .map(|(k, vs)| {
+            let combined = combine(&k, &vs);
+            (k, combined)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_covers_all_pairs() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i, i * 2)).collect();
+        let buckets = route(pairs.clone(), 4);
+        assert_eq!(buckets.len(), 4);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        // Same key always lands in the same bucket.
+        let again = route(pairs, 4);
+        for (a, b) in buckets.iter().zip(again.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn group_sorts_keys_and_preserves_value_order() {
+        let input = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
+        let grouped = group(input);
+        assert_eq!(
+            grouped,
+            vec![(1, vec!['b', 'e']), (2, vec!['d']), (3, vec!['a', 'c'])]
+        );
+    }
+
+    #[test]
+    fn group_empty() {
+        let grouped: Vec<(u32, Vec<u32>)> = group(Vec::new());
+        assert!(grouped.is_empty());
+    }
+
+    #[test]
+    fn combine_local_folds_groups() {
+        let pairs = vec![(1u32, 2u64), (2, 5), (1, 3)];
+        let combined = combine_local(pairs, |_, vs| vs.iter().sum());
+        assert_eq!(combined, vec![(1, 5), (2, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reducer")]
+    fn zero_reducers_panics() {
+        let _ = route(vec![(1u32, 1u32)], 0);
+    }
+}

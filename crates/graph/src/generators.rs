@@ -1,0 +1,347 @@
+//! Synthetic graph generators.
+//!
+//! [`preferential_attachment`] implements the paper's own description
+//! (§V-B3) of how Graphs A and B were produced: vertices join one at a
+//! time, connect to `num_conn` uniformly random existing vertices, and
+//! additionally exchange edges with randomly chosen in/out-neighbors of
+//! those vertices. Reputed (high-degree) nodes therefore accumulate
+//! links — the cumulative-advantage process of Price [3 in the paper] —
+//! yielding the hubs-and-spokes power-law structure whose sparse
+//! inter-community edges make partial synchronization effective.
+//!
+//! The remaining generators provide known structures for unit and
+//! property tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Paper §V-B3 preferential-attachment process.
+///
+/// For each joining vertex `v`:
+/// 1. pick `num_conn` distinct existing vertices uniformly at random;
+///    add `v -> u` for each pick (`u` gains reputation);
+/// 2. for each pick `u`, pick up to `num_in` of `u`'s current
+///    in-neighbors `w` and add `w -> v` ("its inlinks ... connected to
+///    the joining vertex");
+/// 3. likewise pick up to `num_out` of `u`'s out-neighbors `x` and add
+///    `v -> x`.
+///
+/// Expected edges per vertex ≈ `num_conn * (1 + num_in + num_out)`,
+/// before deduplication. The process starts from a small seed cycle of
+/// `num_conn + 1` vertices.
+///
+/// Deterministic for a given `seed`.
+pub fn preferential_attachment(
+    n: usize,
+    num_conn: usize,
+    num_in: usize,
+    num_out: usize,
+    seed: u64,
+) -> CsrGraph {
+    preferential_attachment_crawled(n, num_conn, num_in, num_out, 0.0, 0, seed)
+}
+
+/// [`preferential_attachment`] with crawl-induced locality.
+///
+/// The paper's input graphs carry the locality of their collection
+/// process: "Crawlers inherently induce locality in the graphs as they
+/// crawl neighborhoods before crawling remote sites" (§V-B3), producing
+/// the hubs-and-spokes communities with "relatively fewer"
+/// inter-component edges that partial synchronization exploits (§V-B2).
+/// Here each of the `num_conn` base picks is, with probability
+/// `locality`, drawn uniformly from the most recent `window` vertices
+/// (the crawl frontier) instead of from all existing vertices. The
+/// triadic-closure steps (2) and (3) are unchanged, so hubs still
+/// emerge inside each neighborhood; `locality = 0` recovers the pure
+/// process.
+pub fn preferential_attachment_crawled(
+    n: usize,
+    num_conn: usize,
+    num_in: usize,
+    num_out: usize,
+    locality: f64,
+    window: usize,
+    seed: u64,
+) -> CsrGraph {
+    assert!(num_conn >= 1, "num_conn must be at least 1");
+    assert!((0.0..=1.0).contains(&locality), "locality must be a probability");
+    let seed_size = (num_conn + 1).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Adjacency grown incrementally; in-lists kept too so step 2 is O(1).
+    let mut outs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut ins: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut edge_count = 0usize;
+    let add_edge = |outs: &mut Vec<Vec<NodeId>>,
+                        ins: &mut Vec<Vec<NodeId>>,
+                        count: &mut usize,
+                        s: NodeId,
+                        t: NodeId| {
+        if s == t || outs[s as usize].contains(&t) {
+            return;
+        }
+        outs[s as usize].push(t);
+        ins[t as usize].push(s);
+        *count += 1;
+    };
+
+    // Seed cycle so early picks have neighbors to share.
+    for i in 0..seed_size {
+        let j = (i + 1) % seed_size;
+        if seed_size > 1 {
+            add_edge(&mut outs, &mut ins, &mut edge_count, i as NodeId, j as NodeId);
+        }
+    }
+
+    let mut picks: Vec<NodeId> = Vec::with_capacity(num_conn);
+    for v in seed_size..n {
+        let v = v as NodeId;
+        picks.clear();
+        // num_conn distinct picks among the existing vertices; with
+        // probability `locality`, restricted to the crawl frontier.
+        let lo = if window > 0 && (v as usize) > window { v as usize - window } else { 0 };
+        while picks.len() < num_conn.min(v as usize) {
+            let u: NodeId = if locality > 0.0 && rng.random_range(0.0..1.0) < locality {
+                rng.random_range(lo as u32..v)
+            } else {
+                rng.random_range(0..v)
+            };
+            if !picks.contains(&u) {
+                picks.push(u);
+            }
+        }
+        // Copy picks: `add_edge` needs &mut to the adjacency.
+        let picked: Vec<NodeId> = picks.clone();
+        for &u in &picked {
+            add_edge(&mut outs, &mut ins, &mut edge_count, v, u);
+            for _ in 0..num_in {
+                if ins[u as usize].is_empty() {
+                    break;
+                }
+                let idx = rng.random_range(0..ins[u as usize].len());
+                let w = ins[u as usize][idx];
+                if w != v {
+                    add_edge(&mut outs, &mut ins, &mut edge_count, w, v);
+                }
+            }
+            for _ in 0..num_out {
+                if outs[u as usize].is_empty() {
+                    break;
+                }
+                let idx = rng.random_range(0..outs[u as usize].len());
+                let x = outs[u as usize][idx];
+                if x != v {
+                    add_edge(&mut outs, &mut ins, &mut edge_count, v, x);
+                }
+            }
+        }
+    }
+
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(edge_count);
+    for (s, ts) in outs.iter().enumerate() {
+        for &t in ts {
+            edges.push((s as NodeId, t));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// G(n, m) uniform random digraph: exactly `m` distinct directed
+/// non-loop edges chosen uniformly.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two nodes to place edges");
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "too many edges requested: {m} > {max_edges}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let s: NodeId = rng.random_range(0..n as u32);
+        let t: NodeId = rng.random_range(0..n as u32);
+        if s != t && chosen.insert((s, t)) {
+            edges.push((s, t));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A directed cycle 0 → 1 → … → n-1 → 0.
+pub fn cycle(n: usize) -> CsrGraph {
+    let edges: Vec<(NodeId, NodeId)> =
+        (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A 4-connected `rows × cols` grid with edges in both directions —
+/// the classic partitioner test case (optimal cuts are known shapes).
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(rows * cols * 4);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+                edges.push((id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+                edges.push((id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(rows * cols, &edges)
+}
+
+/// A star: hub 0 with spokes 1..n, edges in both directions (the
+/// paper's hubs-and-spokes intuition in its purest form).
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut edges = Vec::with_capacity((n - 1) * 2);
+    for i in 1..n {
+        edges.push((0, i as NodeId));
+        edges.push((i as NodeId, 0));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `k` disconnected cliques of size `size` — ideal partitions exist, so
+/// a decent partitioner must find a zero cut.
+pub fn disjoint_cliques(k: usize, size: usize) -> CsrGraph {
+    let n = k * size;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            for j in 0..size {
+                if i != j {
+                    edges.push(((base + i) as NodeId, (base + j) as NodeId));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_produces_requested_nodes_and_plausible_edges() {
+        let g = preferential_attachment(2000, 3, 1, 1, 1);
+        assert_eq!(g.num_nodes(), 2000);
+        // ~ num_conn * (1 + num_in + num_out) = 9 edges/vertex, minus
+        // dedup losses; must land well above the bare num_conn floor.
+        let per_node = g.num_edges() as f64 / 2000.0;
+        assert!(per_node > 3.0, "unexpectedly sparse: {per_node} edges/node");
+        assert!(per_node < 9.5, "unexpectedly dense: {per_node} edges/node");
+    }
+
+    #[test]
+    fn pa_is_deterministic_per_seed() {
+        let a = preferential_attachment(500, 2, 1, 1, 9);
+        let b = preferential_attachment(500, 2, 1, 1, 9);
+        assert_eq!(a, b);
+        let c = preferential_attachment(500, 2, 1, 1, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pa_grows_hubs() {
+        let g = preferential_attachment(3000, 3, 2, 1, 5);
+        let indeg = g.in_degrees();
+        let max = *indeg.iter().max().unwrap();
+        let mean = indeg.iter().map(|&d| d as f64).sum::<f64>() / indeg.len() as f64;
+        // Power-law-ish: the biggest hub towers over the mean.
+        assert!(
+            (max as f64) > 8.0 * mean,
+            "expected hubs: max in-degree {max}, mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn pa_has_no_self_loops_or_duplicates() {
+        let g = preferential_attachment(800, 3, 1, 1, 3);
+        for v in 0..g.num_nodes() as NodeId {
+            let mut seen = std::collections::HashSet::new();
+            for &t in g.out_neighbors(v) {
+                assert_ne!(t, v, "self loop at {v}");
+                assert!(seen.insert(t), "duplicate edge {v} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_locality_reduces_cut_like_structure() {
+        // With a local window, most edges connect id-near vertices, so
+        // a contiguous range split cuts few edges; the pure process
+        // has no such structure.
+        let crawled = preferential_attachment_crawled(2000, 3, 1, 1, 0.95, 40, 3);
+        let pure = preferential_attachment(2000, 3, 1, 1, 3);
+        let span = |g: &CsrGraph| {
+            g.edges().map(|(s, t)| (s as i64 - t as i64).unsigned_abs()).sum::<u64>() as f64
+                / g.num_edges() as f64
+        };
+        assert!(
+            span(&crawled) < span(&pure) / 4.0,
+            "crawled mean edge span {} vs pure {}",
+            span(&crawled),
+            span(&pure)
+        );
+        // Still a hubs-and-spokes graph — hubs are now *community*
+        // hubs, so their reach is window-bounded, but the skew remains.
+        let indeg = crawled.in_degrees();
+        let max = *indeg.iter().max().unwrap() as f64;
+        let mean = indeg.iter().map(|&d| d as f64).sum::<f64>() / indeg.len() as f64;
+        assert!(max > 3.0 * mean, "locality destroyed the hubs: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn locality_zero_is_identity() {
+        let a = preferential_attachment(500, 2, 1, 1, 9);
+        let b = preferential_attachment_crawled(500, 2, 1, 1, 0.0, 0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let g = erdos_renyi(100, 500, 7);
+        assert_eq!(g.num_edges(), 500);
+        assert_eq!(g.num_nodes(), 100);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(4), &[0]);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // Internal edge count: horizontal 3*3, vertical 2*4, both dirs.
+        assert_eq!(g.num_edges(), (3 * 3 + 2 * 4) * 2);
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(10);
+        assert_eq!(g.out_degree(0), 9);
+        assert_eq!(g.in_degrees()[0], 9);
+    }
+
+    #[test]
+    fn cliques_are_disconnected() {
+        let g = disjoint_cliques(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 4 * 3);
+        // No edge crosses a clique boundary.
+        for (s, t) in g.edges() {
+            assert_eq!(s / 4, t / 4);
+        }
+    }
+}

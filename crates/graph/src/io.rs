@@ -1,0 +1,229 @@
+//! Adjacency-list text I/O — the paper's input format.
+//!
+//! "For regular as well as eager implementations, we use a graph
+//! represented as adjacency lists as input" (§V-B). The format is the
+//! classic Hadoop text layout, one vertex per line:
+//!
+//! ```text
+//! <vertex-id>\t<neighbor> <neighbor> ...
+//! ```
+//!
+//! Weighted graphs append `:<weight>` to each neighbor. Lines starting
+//! with `#` are comments; vertices with no out-edges may appear with an
+//! empty neighbor list (or be omitted when the vertex count is given by
+//! the highest id seen).
+
+use std::io::{BufRead, Write};
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::weighted::WeightedGraph;
+
+/// Errors from adjacency-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number, description).
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses an unweighted adjacency-list document.
+pub fn read_adjacency(reader: impl BufRead) -> Result<CsrGraph, ParseError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: Option<NodeId> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src: NodeId = parts
+            .next()
+            .expect("non-empty line has a token")
+            .parse()
+            .map_err(|e| ParseError::Malformed(lineno, format!("bad vertex id: {e}")))?;
+        max_id = Some(max_id.map_or(src, |m: NodeId| m.max(src)));
+        for token in parts {
+            let dst: NodeId = token
+                .parse()
+                .map_err(|e| ParseError::Malformed(lineno, format!("bad neighbor: {e}")))?;
+            max_id = Some(max_id.map_or(dst, |m: NodeId| m.max(dst)));
+            edges.push((src, dst));
+        }
+    }
+    let n = max_id.map_or(0, |m| m as usize + 1);
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Parses a weighted adjacency-list document (`neighbor:weight`).
+pub fn read_weighted_adjacency(reader: impl BufRead) -> Result<WeightedGraph, ParseError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut max_id: Option<NodeId> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src: NodeId = parts
+            .next()
+            .expect("non-empty line has a token")
+            .parse()
+            .map_err(|e| ParseError::Malformed(lineno, format!("bad vertex id: {e}")))?;
+        max_id = Some(max_id.map_or(src, |m: NodeId| m.max(src)));
+        for token in parts {
+            let (dst_str, w_str) = token.split_once(':').ok_or_else(|| {
+                ParseError::Malformed(lineno, format!("expected neighbor:weight, got {token}"))
+            })?;
+            let dst: NodeId = dst_str
+                .parse()
+                .map_err(|e| ParseError::Malformed(lineno, format!("bad neighbor: {e}")))?;
+            let w: f64 = w_str
+                .parse()
+                .map_err(|e| ParseError::Malformed(lineno, format!("bad weight: {e}")))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParseError::Malformed(
+                    lineno,
+                    format!("weight must be finite and non-negative, got {w}"),
+                ));
+            }
+            max_id = Some(max_id.map_or(dst, |m: NodeId| m.max(dst)));
+            edges.push((src, dst));
+            weights.push(w);
+        }
+    }
+    let n = max_id.map_or(0, |m| m as usize + 1);
+    // CSR construction is a stable counting sort by source, so weight
+    // order must be permuted identically: rebuild via indexed sort.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| edges[i].0);
+    let sorted_edges: Vec<(NodeId, NodeId)> = order.iter().map(|&i| edges[i]).collect();
+    let sorted_weights: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+    Ok(WeightedGraph::new(CsrGraph::from_edges(n, &sorted_edges), sorted_weights))
+}
+
+/// Writes a graph as an unweighted adjacency-list document (every
+/// vertex gets a line, including sinks).
+pub fn write_adjacency(g: &CsrGraph, mut writer: impl Write) -> std::io::Result<()> {
+    for v in 0..g.num_nodes() as NodeId {
+        write!(writer, "{v}")?;
+        for (i, t) in g.out_neighbors(v).iter().enumerate() {
+            write!(writer, "{}{t}", if i == 0 { '\t' } else { ' ' })?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes a weighted graph (`neighbor:weight` tokens).
+pub fn write_weighted_adjacency(
+    g: &WeightedGraph,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for v in 0..g.num_nodes() as NodeId {
+        write!(writer, "{v}")?;
+        for (i, (t, w)) in g.out_edges(v).enumerate() {
+            write!(writer, "{}{t}:{w}", if i == 0 { '\t' } else { ' ' })?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn unweighted_round_trip() {
+        let g = generators::preferential_attachment(120, 3, 1, 1, 5);
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let parsed = read_adjacency(&buf[..]).unwrap();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = parsed.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(parsed.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn weighted_round_trip_preserves_weights() {
+        let g = generators::cycle(6);
+        let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 2);
+        let mut buf = Vec::new();
+        write_weighted_adjacency(&wg, &mut buf).unwrap();
+        let parsed = read_weighted_adjacency(&buf[..]).unwrap();
+        for v in 0..6u32 {
+            let a: Vec<_> = wg.out_edges(v).collect();
+            let b: Vec<_> = parsed.out_edges(v).collect();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let doc = "# a web crawl\n\n0\t1 2\n1\t2\n2\n";
+        let g = read_adjacency(doc.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let doc = "0\t1\nxyz\t2\n";
+        let err = read_adjacency(doc.as_bytes()).unwrap_err();
+        match err {
+            ParseError::Malformed(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_negative_weights() {
+        let doc = "0\t1:-2.5\n";
+        assert!(read_weighted_adjacency(doc.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_document_is_empty_graph() {
+        let g = read_adjacency("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn sink_vertices_round_trip() {
+        let g = CsrGraph::from_edges(3, &[(0, 2)]); // 1 and 2 are sinks
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let parsed = read_adjacency(&buf[..]).unwrap();
+        assert_eq!(parsed.num_nodes(), 3);
+        assert_eq!(parsed.out_degree(1), 0);
+    }
+}

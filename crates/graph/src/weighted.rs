@@ -1,0 +1,122 @@
+//! Edge-weighted directed graphs for shortest-path workloads.
+//!
+//! The paper assigns "random weights to the edges" of Graph A for the
+//! Single-Source Shortest Path evaluation (§V-C2). Weights are stored
+//! in an array parallel to the CSR target array, so a vertex's
+//! `(neighbor, weight)` pairs stream from two contiguous slices.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// A directed graph with one `f64` weight per edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    graph: CsrGraph,
+    /// `weights[i]` belongs to the edge at CSR position `i`.
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Pairs a graph with an explicit weight array (CSR edge order).
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or any weight is negative/non-finite
+    /// (Dijkstra's correctness requires non-negative weights).
+    pub fn new(graph: CsrGraph, weights: Vec<f64>) -> Self {
+        assert_eq!(graph.num_edges(), weights.len(), "one weight per edge required");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        WeightedGraph { graph, weights }
+    }
+
+    /// Assigns uniform random weights in `[lo, hi)` (paper §V-C2).
+    pub fn random_weights(graph: CsrGraph, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(lo >= 0.0 && hi > lo, "need 0 <= lo < hi");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = (0..graph.num_edges()).map(|_| rng.random_range(lo..hi)).collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// Unit weights (shortest path = fewest hops).
+    pub fn unit_weights(graph: CsrGraph) -> Self {
+        let weights = vec![1.0; graph.num_edges()];
+        WeightedGraph { graph, weights }
+    }
+
+    /// The underlying structure.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// `(target, weight)` pairs of `v`'s out-edges.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let range = self.graph.edge_range(v);
+        self.graph.out_neighbors(v).iter().copied().zip(self.weights[range].iter().copied())
+    }
+
+    /// All weights in CSR order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn explicit_weights_align_with_edges() {
+        let g = WeightedGraph::new(triangle(), vec![1.0, 2.0, 3.0]);
+        let e: Vec<_> = g.out_edges(1).collect();
+        assert_eq!(e, vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn random_weights_within_range_and_deterministic() {
+        let a = WeightedGraph::random_weights(triangle(), 1.0, 10.0, 4);
+        let b = WeightedGraph::random_weights(triangle(), 1.0, 10.0, 4);
+        assert_eq!(a, b);
+        assert!(a.weights().iter().all(|w| (1.0..10.0).contains(w)));
+    }
+
+    #[test]
+    fn unit_weights_are_ones() {
+        let g = WeightedGraph::unit_weights(triangle());
+        assert!(g.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn mismatched_weights_panic() {
+        let _ = WeightedGraph::new(triangle(), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let _ = WeightedGraph::new(triangle(), vec![1.0, -2.0, 3.0]);
+    }
+}

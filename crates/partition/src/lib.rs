@@ -1,0 +1,51 @@
+//! # asyncmr-partition — locality-enhancing graph partitioning
+//!
+//! The paper's partial synchronizations only pay off when "a locality-
+//! enhancing partition" keeps most edges inside partitions: internal
+//! nodes converge through cheap local iterations, and only boundary
+//! nodes need the expensive global reduction (§II). The authors use
+//! Metis offline ("takes about 5 seconds ... not included in the
+//! reported numbers", §V-B3).
+//!
+//! This crate is the from-scratch Metis stand-in:
+//!
+//! * [`MultilevelKWay`] — the same algorithm family as Metis:
+//!   heavy-edge-matching coarsening, region-growing initial partition
+//!   on the coarsest graph, then greedy boundary (Fiduccia–Mattheyses
+//!   style) refinement during uncoarsening;
+//! * [`HashPartitioner`] / [`RangePartitioner`] — the locality-free
+//!   baselines (what a MapReduce job gets by default from hash/range
+//!   splits);
+//! * [`BfsPartitioner`] — cheap region growing directly on the full
+//!   graph (a crawler-order-like locality heuristic);
+//! * [`Partitioning`] — assignment vector plus the quality metrics the
+//!   evaluation tracks (edge cut, balance, boundary fraction).
+//!
+//! ```
+//! use asyncmr_graph::generators;
+//! use asyncmr_partition::{MultilevelKWay, Partitioner};
+//!
+//! let g = generators::disjoint_cliques(4, 8);
+//! let parts = MultilevelKWay::default().partition(&g, 4);
+//! assert_eq!(parts.edge_cut(&g), 0); // perfect split exists and is found
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod multilevel;
+pub mod partitioning;
+pub mod simple;
+
+pub use multilevel::MultilevelKWay;
+pub use partitioning::{PartId, Partitioning};
+pub use simple::{BfsPartitioner, HashPartitioner, RangePartitioner};
+
+use asyncmr_graph::CsrGraph;
+
+/// Something that can split a graph into `k` parts.
+pub trait Partitioner {
+    /// Partitions `g` into `k` parts (some may be empty when `k`
+    /// exceeds the vertex count).
+    fn partition(&self, g: &CsrGraph, k: usize) -> Partitioning;
+}

@@ -1,0 +1,207 @@
+//! Baseline partitioners.
+//!
+//! [`HashPartitioner`] and [`RangePartitioner`] mirror what a vanilla
+//! MapReduce deployment gives you (hash-sharded or contiguous input
+//! splits) — no locality enhancement. [`BfsPartitioner`] grows regions
+//! breadth-first, approximating the locality "crawlers inherently
+//! induce ... as they crawl neighborhoods before crawling remote sites"
+//! (paper §V-B3).
+
+use std::collections::VecDeque;
+
+use asyncmr_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::partitioning::{PartId, Partitioning};
+use crate::Partitioner;
+
+/// Assigns vertex `v` to part `v % k` — the default MapReduce shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize) -> Partitioning {
+        assert!(k >= 1);
+        let assignment = (0..g.num_nodes() as NodeId).map(|v| v % k as PartId).collect();
+        Partitioning::new(assignment, k)
+    }
+}
+
+/// Splits the vertex-id range into `k` contiguous blocks. On graphs
+/// whose ids follow insertion (crawl) order this already captures some
+/// locality, which is why the paper's *baseline* maps operate on such
+/// partitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize) -> Partitioning {
+        assert!(k >= 1);
+        let n = g.num_nodes();
+        // Even block sizes: first `n % k` parts get one extra vertex.
+        let base = n / k;
+        let extra = n % k;
+        let mut assignment = Vec::with_capacity(n);
+        for p in 0..k {
+            let size = base + usize::from(p < extra);
+            assignment.extend(std::iter::repeat_n(p as PartId, size));
+        }
+        Partitioning::new(assignment, k)
+    }
+}
+
+/// Region growing by breadth-first search from seeded start vertices.
+///
+/// Grows one part at a time to the ideal size, always expanding the
+/// current frontier; unreachable remnants start new regions. Cheap
+/// (O(V + E)) and respects topology, but no refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsPartitioner {
+    /// RNG seed for start-vertex selection.
+    pub seed: u64,
+}
+
+impl Default for BfsPartitioner {
+    fn default() -> Self {
+        BfsPartitioner { seed: 0x5EED }
+    }
+}
+
+impl Partitioner for BfsPartitioner {
+    fn partition(&self, g: &CsrGraph, k: usize) -> Partitioning {
+        assert!(k >= 1);
+        let n = g.num_nodes();
+        if n == 0 {
+            return Partitioning::new(Vec::new(), k);
+        }
+        let undirected = g.to_undirected();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut assignment: Vec<PartId> = vec![PartId::MAX; n];
+        let mut assigned = 0usize;
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+
+        for part in 0..k {
+            // Remaining vertices spread over remaining parts, so late
+            // parts stay balanced even after odd region shapes.
+            let remaining_parts = k - part;
+            let target = (n - assigned).div_ceil(remaining_parts);
+            if target == 0 {
+                continue;
+            }
+            let mut size = 0usize;
+            queue.clear();
+            while size < target && assigned < n {
+                let v = match queue.pop_front() {
+                    Some(v) => v,
+                    None => {
+                        // New BFS seed: random unassigned vertex.
+                        let mut v = rng.random_range(0..n as u32);
+                        while assignment[v as usize] != PartId::MAX {
+                            v = (v + 1) % n as u32;
+                        }
+                        v
+                    }
+                };
+                if assignment[v as usize] != PartId::MAX {
+                    continue;
+                }
+                assignment[v as usize] = part as PartId;
+                size += 1;
+                assigned += 1;
+                for &w in undirected.out_neighbors(v) {
+                    if assignment[w as usize] == PartId::MAX {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if assigned == n {
+                break;
+            }
+        }
+        // k > n leaves trailing parts empty; any unassigned vertex (k
+        // exhausted early) goes to the last part.
+        for slot in assignment.iter_mut() {
+            if *slot == PartId::MAX {
+                *slot = (k - 1) as PartId;
+            }
+        }
+        Partitioning::new(assignment, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmr_graph::generators;
+
+    #[test]
+    fn hash_round_robins() {
+        let g = generators::cycle(10);
+        let p = HashPartitioner.partition(&g, 3);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(4), 1);
+        assert_eq!(p.part_sizes(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn range_blocks_are_contiguous_and_balanced() {
+        let g = generators::cycle(11);
+        let p = RangePartitioner.partition(&g, 4);
+        assert_eq!(p.part_sizes(), vec![3, 3, 3, 2]);
+        // Contiguity: assignment is non-decreasing.
+        let a = p.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bfs_covers_all_vertices() {
+        let g = generators::grid(8, 8);
+        let p = BfsPartitioner::default().partition(&g, 4);
+        assert_eq!(p.num_nodes(), 64);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 64);
+        assert!(p.balance() < 1.6, "BFS regions badly unbalanced: {}", p.balance());
+    }
+
+    #[test]
+    fn bfs_beats_hash_on_grid_locality() {
+        let g = generators::grid(16, 16);
+        let bfs = BfsPartitioner::default().partition(&g, 8);
+        let hash = HashPartitioner.partition(&g, 8);
+        assert!(
+            bfs.edge_cut(&g) < hash.edge_cut(&g) / 2,
+            "BFS cut {} should be far below hash cut {}",
+            bfs.edge_cut(&g),
+            hash.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn range_on_crawl_ordered_graph_has_locality() {
+        // Preferential attachment ids follow insertion order, the
+        // paper's "crawler-induced" locality.
+        let g = generators::preferential_attachment(2000, 3, 1, 1, 7);
+        let range = RangePartitioner.partition(&g, 10);
+        let hash = HashPartitioner.partition(&g, 10);
+        assert!(range.cut_fraction(&g) < hash.cut_fraction(&g));
+    }
+
+    #[test]
+    fn more_parts_than_nodes() {
+        let g = generators::cycle(3);
+        for partitioner in [&HashPartitioner as &dyn Partitioner, &RangePartitioner] {
+            let p = partitioner.partition(&g, 5);
+            assert_eq!(p.num_parts(), 5);
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), 3);
+        }
+        let p = BfsPartitioner::default().partition(&g, 5);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = asyncmr_graph::CsrGraph::from_edges(0, &[]);
+        let p = BfsPartitioner::default().partition(&g, 3);
+        assert_eq!(p.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the partitioners, on arbitrary graphs.
+
+use asyncmr_graph::{generators, CsrGraph};
+use asyncmr_partition::{
+    BfsPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RangePartitioner,
+};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..80).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Invariants common to every partitioner: full cover, valid ids,
+    /// cut bounded by the edge count, sizes summing to n.
+    #[test]
+    fn all_partitioners_valid((n, edges) in arb_edges(), k in 1usize..10) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let ps: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner),
+            Box::new(RangePartitioner),
+            Box::new(BfsPartitioner { seed: 3 }),
+            Box::new(MultilevelKWay::default()),
+        ];
+        for p in ps {
+            let parts = p.partition(&g, k);
+            prop_assert_eq!(parts.num_nodes(), n);
+            prop_assert_eq!(parts.part_sizes().iter().sum::<usize>(), n);
+            prop_assert!(parts.edge_cut(&g) <= g.num_edges());
+            prop_assert!(parts.assignment().iter().all(|&a| (a as usize) < k));
+        }
+    }
+
+    /// Boundary flags are consistent with the edge cut: zero cut iff
+    /// no boundary vertices.
+    #[test]
+    fn boundary_consistent_with_cut((n, edges) in arb_edges(), k in 1usize..6) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = MultilevelKWay::default().partition(&g, k);
+        let boundary = parts.boundary_flags(&g).iter().filter(|&&b| b).count();
+        if parts.edge_cut(&g) == 0 {
+            // Only self-loop-free cut edges create boundaries.
+            prop_assert_eq!(boundary, 0);
+        } else {
+            prop_assert!(boundary >= 1);
+        }
+    }
+
+    /// The multilevel partitioner is deterministic.
+    #[test]
+    fn multilevel_deterministic((n, edges) in arb_edges(), k in 1usize..8) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let a = MultilevelKWay::default().partition(&g, k);
+        let b = MultilevelKWay::default().partition(&g, k);
+        prop_assert_eq!(a, b);
+    }
+
+    /// On community-structured graphs, the multilevel cut never loses
+    /// to hash partitioning (the no-locality strawman).
+    #[test]
+    fn multilevel_no_worse_than_hash_on_cliques(c in 2usize..6, size in 4usize..10) {
+        let g = generators::disjoint_cliques(c, size);
+        let ml = MultilevelKWay::default().partition(&g, c);
+        let hash = HashPartitioner.partition(&g, c);
+        prop_assert!(ml.edge_cut(&g) <= hash.edge_cut(&g));
+        prop_assert_eq!(ml.edge_cut(&g), 0, "cliques admit a zero cut");
+    }
+}

@@ -1,0 +1,42 @@
+//! # asyncmr-runtime — work-stealing task runtime
+//!
+//! This crate is the in-process stand-in for Hadoop's per-node task slots
+//! in the CLUSTER 2010 *"Asynchronous Algorithms in MapReduce"*
+//! reproduction. The MapReduce engine ([`asyncmr-core`]) executes its map
+//! and reduce tasks on this pool; the paper's *eager scheduling* (next
+//! local map iterations scheduled without waiting on other partitions) is
+//! realized simply by submitting independent coarse tasks here.
+//!
+//! The design follows the classic work-stealing architecture (one
+//! [`crossbeam_deque::Worker`] per thread, a shared
+//! [`crossbeam_deque::Injector`], random-order stealing), with:
+//!
+//! * [`ThreadPool::scope`] — structured (borrow-friendly) task spawning
+//!   with panic propagation, in the spirit of `rayon::scope` /
+//!   `crossbeam::scope`;
+//! * [`ThreadPool::par_map`] / [`ThreadPool::par_map_indexed`] /
+//!   [`ThreadPool::par_for_each`] — order-preserving data-parallel
+//!   helpers built on `scope`;
+//! * cooperative waiting: a thread blocked in [`Scope::wait`] *helps*
+//!   execute queued tasks, so nested scopes cannot deadlock the pool;
+//! * graceful shutdown: dropping the pool completes all queued work.
+//!
+//! ```
+//! use asyncmr_runtime::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod metrics;
+mod parallel;
+mod pool;
+mod scope;
+
+pub use metrics::PoolMetrics;
+pub use pool::{ThreadPool, ThreadPoolBuilder};
+pub use scope::Scope;

@@ -1,0 +1,90 @@
+//! Lightweight execution counters for the pool.
+//!
+//! The counters are updated with [`Ordering::Relaxed`]: they are purely
+//! observational (tests, benches, the simulator's sanity checks) and
+//! never used for synchronization.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Internal atomic counters shared by all workers of a pool.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Tasks that finished running (including panicked ones).
+    pub executed: AtomicUsize,
+    /// Tasks whose closure panicked (the panic is captured, not lost).
+    pub panicked: AtomicUsize,
+    /// Successful steals from *another worker's* deque.
+    pub steals: AtomicUsize,
+    /// Successful grabs from the shared injector queue.
+    pub injector_pops: AtomicUsize,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn snapshot(&self, threads: usize) -> PoolMetrics {
+        PoolMetrics {
+            threads,
+            executed: self.executed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a pool's execution counters.
+///
+/// Obtained from [`crate::ThreadPool::metrics`]. All counts are
+/// monotonically non-decreasing over the pool's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Number of worker threads in the pool.
+    pub threads: usize,
+    /// Total tasks executed so far.
+    pub executed: usize,
+    /// Tasks that panicked; their payloads were captured by the
+    /// submitting scope (or counted, for detached tasks).
+    pub panicked: usize,
+    /// Successful worker-to-worker steals.
+    pub steals: usize,
+    /// Successful pops from the shared injector.
+    pub injector_pops: usize,
+}
+
+impl PoolMetrics {
+    /// Fraction of tasks that migrated between workers via stealing.
+    ///
+    /// Returns `0.0` when nothing has executed yet.
+    pub fn steal_ratio(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let c = Counters::default();
+        c.executed.store(10, Ordering::Relaxed);
+        c.steals.store(4, Ordering::Relaxed);
+        let m = c.snapshot(3);
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.executed, 10);
+        assert_eq!(m.steals, 4);
+        assert_eq!(m.panicked, 0);
+    }
+
+    #[test]
+    fn steal_ratio_handles_zero() {
+        let m = PoolMetrics { threads: 1, executed: 0, panicked: 0, steals: 0, injector_pops: 0 };
+        assert_eq!(m.steal_ratio(), 0.0);
+        let m2 = PoolMetrics { executed: 8, steals: 2, ..m };
+        assert!((m2.steal_ratio() - 0.25).abs() < 1e-12);
+    }
+}

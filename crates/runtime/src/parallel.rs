@@ -1,0 +1,218 @@
+//! Order-preserving data-parallel helpers built on [`ThreadPool::scope`].
+//!
+//! These are the primitives the MapReduce engine and the applications
+//! use for intra-task parallelism (the paper's "local map and local
+//! reduce operations can use a thread-pool to extract further
+//! parallelism", §IV).
+
+use crate::pool::ThreadPool;
+use crate::Scope;
+
+impl ThreadPool {
+    /// Chunk size targeting ~4 chunks per worker, so stealing can smooth
+    /// moderate load imbalance without drowning in per-task overhead.
+    fn chunk_size(&self, n: usize) -> usize {
+        let target_chunks = self.num_threads() * 4;
+        n.div_ceil(target_chunks).max(1)
+    }
+
+    /// Applies `f` to every element, returning results *in input order*.
+    ///
+    /// ```
+    /// use asyncmr_runtime::ThreadPool;
+    /// let pool = ThreadPool::new(4);
+    /// let v = pool.par_map(&[3u32, 1, 2], |x| x + 10);
+    /// assert_eq!(v, vec![13, 11, 12]);
+    /// ```
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`ThreadPool::par_map`] but the closure also receives the
+    /// element's index.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = self.chunk_size(n);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let f = &f;
+        self.scope(|s| {
+            for (ci, (in_chunk, out_chunk)) in
+                items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(f(base + j, item));
+                    }
+                });
+            }
+        });
+        // Every slot was filled: scope blocks until all chunks ran.
+        out.into_iter()
+            .map(|slot| slot.expect("scope completed; all slots filled"))
+            .collect()
+    }
+
+    /// Runs `f` over every element for its side effects.
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let chunk = self.chunk_size(n);
+        let f = &f;
+        self.scope(|s| {
+            for in_chunk in items.chunks(chunk) {
+                s.spawn(move || {
+                    for item in in_chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Runs `f` over every element of a mutable slice in parallel,
+    /// giving each invocation exclusive access to its element.
+    pub fn par_for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let chunk = self.chunk_size(n);
+        let f = &f;
+        self.scope(|s| {
+            for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (j, item) in chunk_items.iter_mut().enumerate() {
+                        f(base + j, item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Fork-join over two closures; runs `a` on the calling thread and
+    /// `b` on the pool, returning both results.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        let mut rb: Option<RB> = None;
+        let ra = self.scope(|s: &Scope<'_>| {
+            let rb_ref = &mut rb;
+            s.spawn(move || {
+                *rb_ref = Some(b());
+            });
+            a()
+        });
+        (ra, rb.expect("join: spawned half completed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let out = pool.par_map(&input, |x| x * 2);
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_indexed_gives_correct_indices() {
+        let pool = ThreadPool::new(3);
+        let input = vec!["a"; 257];
+        let out = pool.par_map_indexed(&input, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.par_map(&[] as &[u32], |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_element() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.par_map(&[41u8], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_element_once() {
+        let pool = ThreadPool::new(4);
+        let mut v = vec![0u32; 513];
+        pool.par_for_each_mut(&mut v, |i, x| *x = i as u32 + 1);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_each_side_effects() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = ThreadPool::new(4);
+        let acc = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        pool.par_for_each(&items, |x| {
+            acc.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_par_map_inside_par_map() {
+        // Exercises helping: inner scopes run while outer chunks wait.
+        let pool = ThreadPool::new(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let out = pool.par_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..4).collect();
+            pool_less_sum(x, &inner)
+        });
+        assert_eq!(out.iter().sum::<u64>(), (0..8).map(|x| x * 4 + 6).sum());
+    }
+
+    fn pool_less_sum(x: u64, inner: &[u64]) -> u64 {
+        inner.iter().map(|y| x + y).sum()
+    }
+}

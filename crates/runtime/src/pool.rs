@@ -1,0 +1,417 @@
+//! The work-stealing thread pool itself.
+//!
+//! Architecture (one instance per [`ThreadPool`]):
+//!
+//! ```text
+//!                 +--------------------+
+//!   submitters -> |  Injector (FIFO)   |   shared, lock-free
+//!                 +--------------------+
+//!                    |     |       |
+//!                 worker0 worker1 worker2 ...   each owns a LIFO deque,
+//!                    \______steal______/        steals when starved
+//! ```
+//!
+//! Idle workers park on a `Condvar` with a short timeout; every task
+//! submission rings the condvar, and before parking a worker re-checks
+//! the injector under the lock, so wakeups cannot be lost.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::{Counters, PoolMetrics};
+
+/// A heap-allocated unit of work.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configures and builds a [`ThreadPool`].
+///
+/// ```
+/// use asyncmr_runtime::ThreadPoolBuilder;
+/// let pool = ThreadPoolBuilder::new()
+///     .num_threads(2)
+///     .thread_name("mr-slot")
+///     .build();
+/// assert_eq!(pool.num_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+    thread_name: String,
+    stack_size: Option<usize>,
+}
+
+impl Default for ThreadPoolBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings (one thread per available
+    /// CPU, 8 MiB default stacks, threads named `asyncmr-worker-<i>`).
+    pub fn new() -> Self {
+        ThreadPoolBuilder {
+            num_threads: None,
+            thread_name: "asyncmr-worker".to_string(),
+            stack_size: None,
+        }
+    }
+
+    /// Sets the number of worker threads. Zero is clamped to one.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
+    /// Sets the base name for worker threads (`<name>-<index>`).
+    pub fn thread_name(mut self, name: impl Into<String>) -> Self {
+        self.thread_name = name.into();
+        self
+    }
+
+    /// Sets the stack size, in bytes, for each worker thread.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Builds the pool, spawning the worker threads immediately.
+    pub fn build(self) -> ThreadPool {
+        let threads = self
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = workers.iter().map(Worker::stealer).collect();
+
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            counters: Counters::default(),
+        });
+
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                let mut builder =
+                    std::thread::Builder::new().name(format!("{}-{index}", self.thread_name));
+                if let Some(bytes) = self.stack_size {
+                    builder = builder.stack_size(bytes);
+                }
+                builder
+                    .spawn(move || worker_loop(index, local, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        ThreadPool { shared, handles, threads }
+    }
+}
+
+/// State shared between the pool handle and every worker.
+pub(crate) struct Shared {
+    pub(crate) injector: Injector<Job>,
+    pub(crate) stealers: Vec<Stealer<Job>>,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    /// Jobs submitted but not yet finished executing.
+    in_flight: AtomicUsize,
+    pub(crate) counters: Counters,
+}
+
+impl Shared {
+    /// Pushes a job and wakes a sleeping worker.
+    pub(crate) fn inject(&self, job: Job) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(job);
+        // Lock/unlock pairs with the re-check a parking worker performs
+        // under the same lock, preventing lost wakeups.
+        drop(self.sleep_lock.lock());
+        self.wakeup.notify_one();
+    }
+
+    /// Attempts to grab one job from the injector or any worker's deque.
+    ///
+    /// Used both by starved workers and by threads *helping* while they
+    /// wait in [`crate::Scope::wait`]. `skip` is the caller's own worker
+    /// index, if any (its deque is popped by the worker loop directly).
+    pub(crate) fn find_task(&self, skip: Option<usize>) -> Option<Job> {
+        loop {
+            let mut retry = false;
+            match self.injector.steal() {
+                Steal::Success(job) => {
+                    self.counters.injector_pops.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            for (i, stealer) in self.stealers.iter().enumerate() {
+                if Some(i) == skip {
+                    continue;
+                }
+                match stealer.steal() {
+                    Steal::Success(job) => {
+                        self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+
+    /// Runs a job, capturing panics so a worker thread never dies.
+    pub(crate) fn run_job(&self, job: Job) {
+        // The panic (if any) is surfaced through the owning `Scope`; for
+        // detached `execute` jobs it is counted and dropped.
+        if panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.executed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn park(&self) {
+        let mut guard = self.sleep_lock.lock();
+        // Re-check under the lock: a submitter holds this lock while
+        // notifying, so either we see its job or we hear its notify.
+        if !self.injector.is_empty() || self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Timed wait bounds the cost of the (benign) race with deque
+        // stealing, which cannot be checked under the lock.
+        self.wakeup.wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    pub(crate) fn notify_all(&self) {
+        drop(self.sleep_lock.lock());
+        self.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        // Fast path: own deque (LIFO keeps caches warm for fork-join).
+        if let Some(job) = local.pop() {
+            shared.run_job(job);
+            continue;
+        }
+        // Refill from the injector in a batch, then steal from peers.
+        match shared.injector.steal_batch_and_pop(&local) {
+            Steal::Success(job) => {
+                shared.counters.injector_pops.fetch_add(1, Ordering::Relaxed);
+                shared.run_job(job);
+                continue;
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        if let Some(job) = shared.find_task(Some(index)) {
+            shared.run_job(job);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Only exit once every queue is drained; `find_task` just
+            // returned None and nothing new can arrive after shutdown.
+            if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Someone is still running a job that may spawn more work.
+            std::thread::yield_now();
+            continue;
+        }
+        shared.park();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// See the [crate-level documentation](crate) for an overview. Cheap
+/// handles are not provided on purpose: the pool is meant to be owned by
+/// a driver (the MapReduce engine) and shared by reference; wrap it in
+/// an [`Arc`] if shared ownership is needed.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (zero is clamped to one).
+    pub fn new(threads: usize) -> Self {
+        ThreadPoolBuilder::new().num_threads(threads).build()
+    }
+
+    /// Creates a pool with one worker per available CPU.
+    pub fn with_default_parallelism() -> Self {
+        ThreadPoolBuilder::new().build()
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits a detached ("fire and forget") task.
+    ///
+    /// The task is guaranteed to run before the pool is dropped. Panics
+    /// inside the task are caught and counted (see [`PoolMetrics`]).
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.inject(Box::new(f));
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Returns a snapshot of the execution counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.shared.counters.snapshot(self.threads)
+    }
+
+    /// Blocks until every job submitted so far has finished.
+    ///
+    /// Mostly useful in tests and before reading side effects of
+    /// [`ThreadPool::execute`] tasks; `scope`-based APIs wait inherently.
+    pub fn wait_idle(&self) {
+        while self.shared.in_flight.load(Ordering::SeqCst) != 0 {
+            // Help instead of spinning: drain one task if available.
+            if let Some(job) = self.shared.find_task(None) {
+                self.shared.run_job(job);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Graceful shutdown: let queued work finish, then stop workers.
+        self.wait_idle();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            // Workers never panic (jobs are caught), but don't double
+            // panic during drop if one somehow did.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_detached_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_completes_queued_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..64 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(Duration::from_micros(100));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop here
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        pool.execute(move || {
+            f.store(7, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panicked_tasks_are_counted_and_do_not_kill_workers() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("boom"));
+        pool.wait_idle();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.metrics().panicked, 1);
+        assert!(pool.metrics().executed >= 2);
+    }
+
+    #[test]
+    fn metrics_count_executions() {
+        let pool = ThreadPool::new(3);
+        for _ in 0..50 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        assert!(pool.metrics().executed >= 50);
+        assert_eq!(pool.metrics().threads, 3);
+    }
+
+    #[test]
+    fn builder_names_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).thread_name("custom").build();
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        pool.execute(move || {
+            tx.send(std::thread::current().name().map(str::to_owned)).unwrap();
+        });
+        let name = rx.recv().unwrap().unwrap();
+        assert!(name.starts_with("custom-"), "unexpected thread name {name}");
+    }
+}

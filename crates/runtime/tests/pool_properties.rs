@@ -1,0 +1,71 @@
+//! Property tests for the work-stealing pool: parallel execution must
+//! be observationally equivalent to sequential execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use asyncmr_runtime::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `par_map` equals the sequential map, for any input and any
+    /// thread count (including 1).
+    #[test]
+    fn par_map_equals_serial_map(
+        input in proptest::collection::vec(any::<u32>(), 0..500),
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let parallel = pool.par_map(&input, |x| u64::from(*x) * 3 + 1);
+        let serial: Vec<u64> = input.iter().map(|x| u64::from(*x) * 3 + 1).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Every scope task runs exactly once.
+    #[test]
+    fn scope_runs_each_task_exactly_once(
+        tasks in 0usize..200,
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        prop_assert_eq!(counter.load(Ordering::SeqCst), tasks);
+    }
+
+    /// `par_for_each_mut` writes every slot exactly once with the right
+    /// index.
+    #[test]
+    fn par_for_each_mut_indices_correct(
+        len in 0usize..300,
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let mut data = vec![usize::MAX; len];
+        pool.par_for_each_mut(&mut data, |i, slot| *slot = i * 2);
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(*v, i * 2);
+        }
+    }
+
+    /// Metrics count at least the submitted tasks.
+    #[test]
+    fn metrics_monotone(tasks in 1usize..100) {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|| {});
+            }
+        });
+        prop_assert!(pool.metrics().executed >= tasks);
+        prop_assert_eq!(pool.metrics().panicked, 0);
+    }
+}

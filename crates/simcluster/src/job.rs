@@ -1,0 +1,152 @@
+//! Job descriptions: the metered profile of one MapReduce execution.
+//!
+//! A [`JobSpec`] is produced by the engine after it has *actually run*
+//! the map and reduce functions in-process: every task carries its real
+//! input bytes, abstract operation count, and output bytes. The
+//! simulator replays the job's schedule on the modeled cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// Metered profile of a single map task (a paper `gmap` invocation —
+/// which may internally contain many local map/reduce iterations, all
+/// folded into `ops`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapTaskSpec {
+    /// Bytes read from the DFS (the task's input split).
+    pub input_bytes: u64,
+    /// Abstract operations performed (engine-metered).
+    pub ops: u64,
+    /// Bytes of intermediate output to shuffle to reducers.
+    pub output_bytes: u64,
+    /// Records emitted (framework per-record overhead).
+    pub output_records: u64,
+}
+
+impl MapTaskSpec {
+    /// Convenience constructor; records default to `output_bytes / 16`
+    /// (a typical key+value pair of two longs).
+    pub fn new(input_bytes: u64, ops: u64, output_bytes: u64) -> Self {
+        MapTaskSpec { input_bytes, ops, output_bytes, output_records: output_bytes / 16 }
+    }
+
+    /// Sets the emitted record count explicitly.
+    pub fn with_records(mut self, records: u64) -> Self {
+        self.output_records = records;
+        self
+    }
+}
+
+/// Metered profile of a single reduce task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceTaskSpec {
+    /// Abstract operations performed by the reduce function.
+    pub ops: u64,
+    /// Bytes written to the DFS as job output (pre-replication).
+    pub output_bytes: u64,
+}
+
+impl ReduceTaskSpec {
+    /// Convenience constructor.
+    pub fn new(ops: u64, output_bytes: u64) -> Self {
+        ReduceTaskSpec { ops, output_bytes }
+    }
+}
+
+/// A complete MapReduce job profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobSpec {
+    /// Label for traces (e.g. `pagerank-eager-iter-3`).
+    pub name: String,
+    /// Map-side task profiles (one per partition / input split).
+    pub maps: Vec<MapTaskSpec>,
+    /// Reduce-side task profiles.
+    pub reduces: Vec<ReduceTaskSpec>,
+    /// Whether map output is combined before shuffling (the paper notes
+    /// combiners compose with partial synchronization, §VI). When true,
+    /// shuffle volume per map is reduced by the combiner ratio.
+    pub combiner_ratio: Option<f64>,
+}
+
+impl JobSpec {
+    /// Creates an empty job with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        JobSpec { name: name.into(), ..Default::default() }
+    }
+
+    /// Sets the map task profiles.
+    pub fn with_maps(mut self, maps: Vec<MapTaskSpec>) -> Self {
+        self.maps = maps;
+        self
+    }
+
+    /// Sets the reduce task profiles.
+    pub fn with_reduces(mut self, reduces: Vec<ReduceTaskSpec>) -> Self {
+        self.reduces = reduces;
+        self
+    }
+
+    /// Enables a combiner with the given output/input byte ratio
+    /// (0 < ratio ≤ 1; lower means more aggregation).
+    pub fn with_combiner_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "combiner ratio must be in (0, 1]");
+        self.combiner_ratio = Some(ratio);
+        self
+    }
+
+    /// Effective shuffle bytes leaving one map task after combining.
+    pub fn shuffle_bytes(&self, map: &MapTaskSpec) -> u64 {
+        match self.combiner_ratio {
+            Some(r) => (map.output_bytes as f64 * r).round() as u64,
+            None => map.output_bytes,
+        }
+    }
+
+    /// Total bytes shuffled by the job.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.maps.iter().map(|m| self.shuffle_bytes(m)).sum()
+    }
+
+    /// Total abstract operations across all tasks.
+    pub fn total_ops(&self) -> u64 {
+        self.maps.iter().map(|m| m.ops).sum::<u64>()
+            + self.reduces.iter().map(|r| r.ops).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_job() {
+        let job = JobSpec::named("j")
+            .with_maps(vec![MapTaskSpec::new(100, 10, 64); 3])
+            .with_reduces(vec![ReduceTaskSpec::new(5, 32); 2]);
+        assert_eq!(job.maps.len(), 3);
+        assert_eq!(job.reduces.len(), 2);
+        assert_eq!(job.total_ops(), 3 * 10 + 2 * 5);
+        assert_eq!(job.total_shuffle_bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn default_records_estimated_from_bytes() {
+        let m = MapTaskSpec::new(0, 0, 160);
+        assert_eq!(m.output_records, 10);
+        let m = m.with_records(3);
+        assert_eq!(m.output_records, 3);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle() {
+        let job = JobSpec::named("c")
+            .with_maps(vec![MapTaskSpec::new(0, 0, 1000)])
+            .with_combiner_ratio(0.25);
+        assert_eq!(job.total_shuffle_bytes(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "combiner ratio")]
+    fn combiner_ratio_validated() {
+        let _ = JobSpec::named("bad").with_combiner_ratio(0.0);
+    }
+}

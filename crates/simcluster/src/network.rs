@@ -1,0 +1,145 @@
+//! Store-and-forward network model with per-node NIC serialization.
+//!
+//! Each node has two serialized pipes — transmit and receive. A
+//! transfer from `src` to `dst` occupies `src`'s tx pipe and `dst`'s rx
+//! pipe for `latency + bytes / bandwidth`, starting no earlier than both
+//! pipes are free. Transfers between co-located endpoints (`src == dst`)
+//! bypass the NIC (loopback) and only pay a disk-ish copy, which the
+//! caller charges separately.
+//!
+//! This is deliberately simpler than flow-level max-min fairness, but it
+//! preserves the property the paper's argument rests on: all-to-all
+//! shuffles serialize on node NICs, so a *global* synchronization costs
+//! far more than the partition-local work it punctuates, and grows with
+//! the number of communicating tasks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Mutable NIC occupancy state for every node in the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkState {
+    /// Bytes/second per NIC direction.
+    bandwidth: f64,
+    /// One-way latency charged once per transfer.
+    latency: SimTime,
+    /// Earliest instant each node's transmit pipe is free.
+    tx_free: Vec<SimTime>,
+    /// Earliest instant each node's receive pipe is free.
+    rx_free: Vec<SimTime>,
+}
+
+impl NetworkState {
+    /// Creates an idle network for `nodes` nodes.
+    pub fn new(nodes: usize, bandwidth: f64, latency: SimTime) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        NetworkState {
+            bandwidth,
+            latency,
+            tx_free: vec![SimTime::ZERO; nodes],
+            rx_free: vec![SimTime::ZERO; nodes],
+        }
+    }
+
+    /// Pure transfer duration for `bytes` (latency + serialization).
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        self.latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Schedules a transfer of `bytes` from `src` to `dst`, not starting
+    /// before `earliest`. Returns the completion time and occupies both
+    /// pipes until then. Loopback (`src == dst`) completes instantly at
+    /// `earliest` (no NIC involvement).
+    pub fn transfer(&mut self, src: usize, dst: usize, bytes: u64, earliest: SimTime) -> SimTime {
+        if src == dst {
+            return earliest;
+        }
+        let start = earliest.max(self.tx_free[src]).max(self.rx_free[dst]);
+        let finish = start + self.wire_time(bytes);
+        self.tx_free[src] = finish;
+        self.rx_free[dst] = finish;
+        finish
+    }
+
+    /// Occupies only the receive pipe of `dst` (used for DFS pipeline
+    /// writes fanning in from a remote replica).
+    pub fn receive_only(&mut self, dst: usize, bytes: u64, earliest: SimTime) -> SimTime {
+        let start = earliest.max(self.rx_free[dst]);
+        let finish = start + self.wire_time(bytes);
+        self.rx_free[dst] = finish;
+        finish
+    }
+
+    /// Clears occupancy to `at` or later (used between jobs so a new
+    /// job's transfers never start in the previous job's past).
+    pub fn advance_to(&mut self, at: SimTime) {
+        for t in self.tx_free.iter_mut().chain(self.rx_free.iter_mut()) {
+            *t = (*t).max(at);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.tx_free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkState {
+        // 1 MB/s, 1 ms latency, 4 nodes — easy mental arithmetic.
+        NetworkState::new(4, 1e6, SimTime::from_millis(1))
+    }
+
+    #[test]
+    fn wire_time_is_latency_plus_serialization() {
+        let n = net();
+        let t = n.wire_time(500_000); // 0.5 s + 1 ms
+        assert_eq!(t, SimTime::from_micros(501_000));
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mut n = net();
+        let done = n.transfer(2, 2, 10_000_000, SimTime::from_secs(3));
+        assert_eq!(done, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn transfers_on_same_tx_pipe_serialize() {
+        let mut n = net();
+        let a = n.transfer(0, 1, 1_000_000, SimTime::ZERO);
+        let b = n.transfer(0, 2, 1_000_000, SimTime::ZERO);
+        assert_eq!(a, SimTime::from_micros(1_001_000));
+        // b could not start before a finished (same sender NIC).
+        assert_eq!(b, SimTime::from_micros(2_002_000));
+    }
+
+    #[test]
+    fn transfers_on_disjoint_pipes_run_concurrently() {
+        let mut n = net();
+        let a = n.transfer(0, 1, 1_000_000, SimTime::ZERO);
+        let b = n.transfer(2, 3, 1_000_000, SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn receiver_contention_serializes() {
+        let mut n = net();
+        let a = n.transfer(0, 3, 1_000_000, SimTime::ZERO);
+        let b = n.transfer(1, 3, 1_000_000, SimTime::ZERO);
+        assert!(b > a, "second transfer into node 3 must wait");
+    }
+
+    #[test]
+    fn advance_to_floors_occupancy() {
+        let mut n = net();
+        n.advance_to(SimTime::from_secs(100));
+        let done = n.transfer(0, 1, 0, SimTime::ZERO);
+        // Latency only, but starting at the floored time.
+        assert_eq!(done, SimTime::from_secs(100) + SimTime::from_millis(1));
+    }
+}

@@ -1,0 +1,576 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Simulation`] holds the persistent cluster state (clock, NIC
+//! occupancy, RNG) across jobs, so an *iterative* MapReduce run is
+//! simply a sequence of [`Simulation::run_job`] calls — exactly how
+//! Hadoop 0.20 executed iterative algorithms, one job per iteration,
+//! with all state round-tripping through the DFS in between.
+//!
+//! ## Job life cycle
+//!
+//! ```text
+//! submit ──setup──▶ map waves (slots, locality, stragglers, failures)
+//!        ╰─ shuffle transfers start as each map finishes (overlapped)
+//! all maps done ──▶ exposed shuffle tail ──▶ reduce waves ──▶ cleanup
+//! ```
+//!
+//! All scheduling decisions iterate nodes and FIFO queues in fixed
+//! order, and every random draw comes from one seeded RNG, so a run is
+//! a pure function of `(ClusterSpec, FailurePlan, seed, jobs)`.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::cluster::ClusterSpec;
+use crate::events::EventQueue;
+use crate::failure::FailurePlan;
+use crate::job::JobSpec;
+use crate::network::NetworkState;
+use crate::stats::{JobStats, PhaseBreakdown, RunTotals};
+use crate::time::SimTime;
+
+/// A persistent simulated cluster executing MapReduce jobs.
+#[derive(Debug)]
+pub struct Simulation {
+    spec: ClusterSpec,
+    failure: FailurePlan,
+    clock: SimTime,
+    net: NetworkState,
+    rng: StdRng,
+    jobs_run: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    MapDone { task: usize, node: usize },
+    MapFailed { task: usize, node: usize },
+    MapRetry { task: usize },
+    ReduceReady { task: usize },
+    ReduceDone { task: usize, node: usize },
+    ReduceFailed { task: usize, node: usize },
+    ReduceRetry { task: usize },
+}
+
+impl Simulation {
+    /// Creates an idle cluster with no failure injection.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        let nodes = spec.num_nodes();
+        assert!(nodes > 0, "cluster must have at least one node");
+        let net = NetworkState::new(nodes, spec.nic_bandwidth, spec.net_latency);
+        Simulation {
+            spec,
+            failure: FailurePlan::none(),
+            clock: SimTime::ZERO,
+            net,
+            rng: StdRng::seed_from_u64(seed),
+            jobs_run: 0,
+        }
+    }
+
+    /// Enables transient-failure injection for subsequent jobs.
+    pub fn with_failures(mut self, plan: FailurePlan) -> Self {
+        self.failure = plan;
+        self
+    }
+
+    /// The cluster description this simulation runs on.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Current simulated wall-clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of jobs executed so far.
+    pub fn jobs_run(&self) -> usize {
+        self.jobs_run
+    }
+
+    /// Samples a mean-1 log-normal straggler multiplier.
+    fn straggler(&mut self) -> f64 {
+        let sigma = self.spec.straggler_sigma;
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        // Box–Muller; mean-corrected so E[multiplier] = 1.
+        let u1: f64 = self.rng.random_range(1e-12..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (sigma * z - 0.5 * sigma * sigma).exp()
+    }
+
+    /// Decides whether this attempt fails (never on the last attempt).
+    fn attempt_fails(&mut self, attempt: u32) -> bool {
+        self.failure.enabled()
+            && attempt + 1 < self.failure.max_attempts
+            && self.rng.random_range(0.0..1.0) < self.failure.attempt_failure_prob
+    }
+
+    /// Runs one job to completion, advancing the cluster clock.
+    pub fn run_job(&mut self, job: &JobSpec) -> JobStats {
+        let submitted_at = self.clock;
+        let setup_done = submitted_at + self.spec.job_setup;
+        self.net.advance_to(setup_done);
+
+        let n_nodes = self.spec.num_nodes();
+        let n_maps = job.maps.len();
+        let n_reduces = job.reduces.len();
+
+        // Reducers get home nodes up front (fetch destinations).
+        let reduce_node: Vec<usize> = (0..n_reduces).map(|r| r % n_nodes).collect();
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut free_map_slots: Vec<u32> = self.spec.nodes.iter().map(|n| n.map_slots).collect();
+        let mut free_reduce_slots: Vec<u32> =
+            self.spec.nodes.iter().map(|n| n.reduce_slots).collect();
+
+        let mut pending_maps: VecDeque<usize> = (0..n_maps).collect();
+        let mut map_attempts: Vec<u32> = vec![0; n_maps];
+        let mut maps_remaining = n_maps;
+        let mut maps_done_at = setup_done;
+
+        // Per-reducer shuffle fetch completion (running max).
+        let mut fetch_done: Vec<SimTime> = vec![setup_done; n_reduces];
+
+        let mut ready_reduces: VecDeque<usize> = VecDeque::new();
+        let mut reduce_attempts: Vec<u32> = vec![0; n_reduces];
+        let mut reduces_remaining = n_reduces;
+        let mut last_shuffle = setup_done;
+        let mut last_reduce_done = setup_done;
+
+        let mut failed_attempts: u32 = 0;
+        let mut local_map_tasks: usize = 0;
+        let mut network_bytes: u64 = 0;
+
+        // --- helpers as closures are awkward with &mut self; use macros-free inline code ---
+
+        // Dispatch as many pending maps onto free slots as possible.
+        // Returns events pushed via `events`.
+        fn dispatch_maps(
+            sim: &mut Simulation,
+            job: &JobSpec,
+            now: SimTime,
+            free_map_slots: &mut [u32],
+            pending_maps: &mut VecDeque<usize>,
+            map_attempts: &mut [u32],
+            events: &mut EventQueue<Event>,
+            local_map_tasks: &mut usize,
+            network_bytes: &mut u64,
+        ) {
+            let n_nodes = sim.spec.num_nodes();
+            'outer: for node in 0..n_nodes {
+                while free_map_slots[node] > 0 {
+                    let Some(task) = pending_maps.pop_front() else { break 'outer };
+                    free_map_slots[node] -= 1;
+                    let spec = &job.maps[task];
+                    let speed = sim.spec.nodes[node].speed;
+
+                    // Locality is a seeded coin weighted by the DFS
+                    // model's achievable locality fraction.
+                    let local = sim.rng.random_range(0.0..1.0) < sim.spec.dfs.locality_fraction;
+                    if local {
+                        *local_map_tasks += 1;
+                    } else {
+                        *network_bytes += spec.input_bytes;
+                    }
+                    let remote_src = (node + 1 + task) % n_nodes;
+
+                    let launch_done = now + sim.spec.task_launch;
+                    let disk_bw = sim.spec.disk_bandwidth;
+                    let read_done = sim.spec.dfs.clone().read(
+                        &mut sim.net,
+                        node,
+                        remote_src,
+                        spec.input_bytes,
+                        local,
+                        disk_bw,
+                        launch_done,
+                    );
+                    let straggle = sim.straggler();
+                    let compute = sim
+                        .spec
+                        .cost
+                        .compute_time(spec.ops, spec.output_records, speed)
+                        .scale(straggle);
+                    let sort = sim.spec.cost.sort_time(job.shuffle_bytes(spec), speed);
+                    let finish = read_done + compute + sort;
+
+                    let attempt = map_attempts[task];
+                    map_attempts[task] += 1;
+                    if sim.attempt_fails(attempt) {
+                        // Dies a uniform fraction of the way through.
+                        let frac: f64 = sim.rng.random_range(0.05..0.95);
+                        let alive = finish.saturating_sub(now).scale(frac);
+                        events.push(now + alive, Event::MapFailed { task, node });
+                    } else {
+                        events.push(finish, Event::MapDone { task, node });
+                    }
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn dispatch_reduces(
+            sim: &mut Simulation,
+            job: &JobSpec,
+            now: SimTime,
+            free_reduce_slots: &mut [u32],
+            ready_reduces: &mut VecDeque<usize>,
+            reduce_attempts: &mut [u32],
+            events: &mut EventQueue<Event>,
+            network_bytes: &mut u64,
+        ) {
+            let n_nodes = sim.spec.num_nodes();
+            'outer: for node in 0..n_nodes {
+                while free_reduce_slots[node] > 0 {
+                    let Some(task) = ready_reduces.pop_front() else { break 'outer };
+                    free_reduce_slots[node] -= 1;
+                    let spec = &job.reduces[task];
+                    let speed = sim.spec.nodes[node].speed;
+
+                    let shuffle_in: u64 = job.total_shuffle_bytes() / job.reduces.len().max(1) as u64;
+                    let launch_done = now + sim.spec.task_launch;
+                    let straggle = sim.straggler();
+                    let merge = sim.spec.cost.merge_time(shuffle_in, speed);
+                    let compute =
+                        sim.spec.cost.compute_time(spec.ops, 0, speed).scale(straggle);
+                    let compute_done = launch_done + merge + compute;
+
+                    // Pipeline-replicated DFS output write.
+                    let replicas: Vec<usize> = (1..sim.spec.dfs.replication as usize)
+                        .map(|k| (node + k) % n_nodes)
+                        .filter(|&r| r != node)
+                        .collect();
+                    *network_bytes += spec.output_bytes * replicas.len() as u64;
+                    let disk_bw = sim.spec.disk_bandwidth;
+                    let finish = sim.spec.dfs.clone().write(
+                        &mut sim.net,
+                        node,
+                        &replicas,
+                        spec.output_bytes,
+                        disk_bw,
+                        compute_done,
+                    );
+
+                    let attempt = reduce_attempts[task];
+                    reduce_attempts[task] += 1;
+                    if sim.attempt_fails(attempt) {
+                        let frac: f64 = sim.rng.random_range(0.05..0.95);
+                        let alive = finish.saturating_sub(now).scale(frac);
+                        events.push(now + alive, Event::ReduceFailed { task, node });
+                    } else {
+                        events.push(finish, Event::ReduceDone { task, node });
+                    }
+                }
+            }
+        }
+
+        dispatch_maps(
+            self,
+            job,
+            setup_done,
+            &mut free_map_slots,
+            &mut pending_maps,
+            &mut map_attempts,
+            &mut events,
+            &mut local_map_tasks,
+            &mut network_bytes,
+        );
+        if n_maps == 0 && n_reduces > 0 {
+            // Degenerate: reducers have nothing to wait for.
+            for r in 0..n_reduces {
+                events.push(setup_done, Event::ReduceReady { task: r });
+            }
+        }
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::MapDone { task, node } => {
+                    maps_remaining -= 1;
+                    maps_done_at = maps_done_at.max(now);
+                    // Start shuffle fetches for this map's output.
+                    if n_reduces > 0 {
+                        let bytes = job.shuffle_bytes(&job.maps[task]);
+                        let per_reduce = bytes / n_reduces as u64;
+                        for (r, &rnode) in reduce_node.iter().enumerate() {
+                            if rnode != node {
+                                network_bytes += per_reduce;
+                            }
+                            let done = self.net.transfer(node, rnode, per_reduce, now);
+                            fetch_done[r] = fetch_done[r].max(done);
+                        }
+                    }
+                    free_map_slots[node] += 1;
+                    dispatch_maps(
+                        self,
+                        job,
+                        now,
+                        &mut free_map_slots,
+                        &mut pending_maps,
+                        &mut map_attempts,
+                        &mut events,
+                        &mut local_map_tasks,
+                        &mut network_bytes,
+                    );
+                    if maps_remaining == 0 {
+                        // Hadoop semantics: reduce() cannot start until
+                        // every map output is fetched; fetches already
+                        // overlap the map phase above.
+                        for r in 0..n_reduces {
+                            let ready = fetch_done[r].max(now);
+                            events.push(ready, Event::ReduceReady { task: r });
+                        }
+                    }
+                }
+                Event::MapFailed { task, node } => {
+                    failed_attempts += 1;
+                    free_map_slots[node] += 1;
+                    events.push(
+                        now + self.failure.detection_delay,
+                        Event::MapRetry { task },
+                    );
+                    dispatch_maps(
+                        self,
+                        job,
+                        now,
+                        &mut free_map_slots,
+                        &mut pending_maps,
+                        &mut map_attempts,
+                        &mut events,
+                        &mut local_map_tasks,
+                        &mut network_bytes,
+                    );
+                }
+                Event::MapRetry { task } => {
+                    pending_maps.push_back(task);
+                    dispatch_maps(
+                        self,
+                        job,
+                        now,
+                        &mut free_map_slots,
+                        &mut pending_maps,
+                        &mut map_attempts,
+                        &mut events,
+                        &mut local_map_tasks,
+                        &mut network_bytes,
+                    );
+                }
+                Event::ReduceReady { task } => {
+                    last_shuffle = last_shuffle.max(now);
+                    ready_reduces.push_back(task);
+                    dispatch_reduces(
+                        self,
+                        job,
+                        now,
+                        &mut free_reduce_slots,
+                        &mut ready_reduces,
+                        &mut reduce_attempts,
+                        &mut events,
+                        &mut network_bytes,
+                    );
+                }
+                Event::ReduceDone { task: _, node } => {
+                    reduces_remaining -= 1;
+                    last_reduce_done = last_reduce_done.max(now);
+                    free_reduce_slots[node] += 1;
+                    dispatch_reduces(
+                        self,
+                        job,
+                        now,
+                        &mut free_reduce_slots,
+                        &mut ready_reduces,
+                        &mut reduce_attempts,
+                        &mut events,
+                        &mut network_bytes,
+                    );
+                }
+                Event::ReduceFailed { task, node } => {
+                    failed_attempts += 1;
+                    free_reduce_slots[node] += 1;
+                    events.push(
+                        now + self.failure.detection_delay,
+                        Event::ReduceRetry { task },
+                    );
+                }
+                Event::ReduceRetry { task } => {
+                    ready_reduces.push_back(task);
+                    dispatch_reduces(
+                        self,
+                        job,
+                        now,
+                        &mut free_reduce_slots,
+                        &mut ready_reduces,
+                        &mut reduce_attempts,
+                        &mut events,
+                        &mut network_bytes,
+                    );
+                }
+            }
+        }
+
+        debug_assert_eq!(maps_remaining, 0, "all maps must complete");
+        debug_assert_eq!(reduces_remaining, 0, "all reduces must complete");
+
+        let work_end = if n_reduces > 0 { last_reduce_done } else { maps_done_at };
+        let finished_at = work_end + self.spec.job_cleanup;
+        self.clock = finished_at;
+        self.net.advance_to(finished_at);
+        self.jobs_run += 1;
+
+        let shuffle_end = if n_reduces > 0 { last_shuffle.max(maps_done_at) } else { maps_done_at };
+        JobStats {
+            name: job.name.clone(),
+            submitted_at,
+            finished_at,
+            duration: finished_at - submitted_at,
+            phases: PhaseBreakdown {
+                setup: self.spec.job_setup,
+                map_phase: maps_done_at - setup_done,
+                shuffle_tail: shuffle_end - maps_done_at,
+                reduce_phase: work_end - shuffle_end,
+                cleanup: self.spec.job_cleanup,
+            },
+            map_tasks: n_maps,
+            reduce_tasks: n_reduces,
+            failed_attempts,
+            local_map_tasks,
+            network_bytes,
+        }
+    }
+
+    /// Runs a sequence of jobs (e.g. the global iterations of an
+    /// iterative algorithm) and aggregates their accounting.
+    pub fn run_jobs<'a>(&mut self, jobs: impl IntoIterator<Item = &'a JobSpec>) -> RunTotals {
+        let mut totals = RunTotals::default();
+        for job in jobs {
+            let stats = self.run_job(job);
+            totals.add(&stats);
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MapTaskSpec, ReduceTaskSpec};
+
+    fn small_job(maps: usize, reduces: usize) -> JobSpec {
+        JobSpec::named("t")
+            .with_maps(vec![MapTaskSpec::new(32 << 20, 5_000_000, 4 << 20); maps])
+            .with_reduces(vec![ReduceTaskSpec::new(1_000_000, 8 << 20); reduces])
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let job = small_job(20, 8);
+        let a = Simulation::new(ClusterSpec::ec2_2010(), 7).run_job(&job);
+        let b = Simulation::new(ClusterSpec::ec2_2010(), 7).run_job(&job);
+        assert_eq!(a, b);
+        let c = Simulation::new(ClusterSpec::ec2_2010(), 8).run_job(&job);
+        assert_ne!(a.duration, c.duration, "different seed should perturb stragglers");
+    }
+
+    #[test]
+    fn phases_sum_to_duration() {
+        let job = small_job(10, 4);
+        let stats = Simulation::new(ClusterSpec::ec2_2010(), 1).run_job(&job);
+        assert_eq!(stats.phases_sum(), stats.duration);
+    }
+
+    #[test]
+    fn clock_advances_across_jobs() {
+        let job = small_job(4, 2);
+        let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 1);
+        let s1 = sim.run_job(&job);
+        let s2 = sim.run_job(&job);
+        assert_eq!(s2.submitted_at, s1.finished_at);
+        assert_eq!(sim.jobs_run(), 2);
+    }
+
+    #[test]
+    fn more_map_waves_take_longer() {
+        // Same aggregate work split into many more tasks: the per-task
+        // launch overheads and waves must dominate.
+        let few = JobSpec::named("few")
+            .with_maps(vec![MapTaskSpec::new(64 << 20, 100_000_000, 8 << 20); 32])
+            .with_reduces(vec![ReduceTaskSpec::new(1_000_000, 1 << 20); 8]);
+        let many = JobSpec::named("many")
+            .with_maps(vec![MapTaskSpec::new(64 << 10, 100_000, 8 << 10); 3200])
+            .with_reduces(vec![ReduceTaskSpec::new(1_000_000, 1 << 20); 8]);
+        let t_few = Simulation::new(ClusterSpec::ec2_2010(), 3).run_job(&few).duration;
+        let t_many = Simulation::new(ClusterSpec::ec2_2010(), 3).run_job(&many).duration;
+        assert!(
+            t_many > t_few,
+            "3200 tiny tasks ({t_many}) should outlast 32 large tasks ({t_few})"
+        );
+    }
+
+    #[test]
+    fn failures_lengthen_jobs_and_are_counted() {
+        let job = small_job(40, 8);
+        let clean = Simulation::new(ClusterSpec::ec2_2010(), 5).run_job(&job);
+        let faulty = Simulation::new(ClusterSpec::ec2_2010(), 5)
+            .with_failures(FailurePlan::transient(0.2))
+            .run_job(&job);
+        assert!(faulty.failed_attempts > 0, "20% attempt failure must trigger");
+        assert!(faulty.duration > clean.duration);
+    }
+
+    #[test]
+    fn empty_job_costs_only_overheads() {
+        let job = JobSpec::named("empty");
+        let spec = ClusterSpec::ec2_2010();
+        let expected = spec.job_setup + spec.job_cleanup;
+        let stats = Simulation::new(spec, 1).run_job(&job);
+        assert_eq!(stats.duration, expected);
+    }
+
+    #[test]
+    fn map_only_job_has_no_reduce_phase() {
+        let job = JobSpec::named("maponly")
+            .with_maps(vec![MapTaskSpec::new(1 << 20, 1_000_000, 0); 8]);
+        let stats = Simulation::new(ClusterSpec::ec2_2010(), 1).run_job(&job);
+        assert_eq!(stats.phases.reduce_phase, SimTime::ZERO);
+        assert_eq!(stats.phases.shuffle_tail, SimTime::ZERO);
+        assert!(stats.phases.map_phase > SimTime::ZERO);
+    }
+
+    #[test]
+    fn combiner_reduces_network_traffic() {
+        let plain = small_job(16, 8);
+        let combined = small_job(16, 8).with_combiner_ratio(0.1);
+        let a = Simulation::new(ClusterSpec::ec2_2010(), 2).run_job(&plain);
+        let b = Simulation::new(ClusterSpec::ec2_2010(), 2).run_job(&combined);
+        assert!(b.network_bytes < a.network_bytes);
+    }
+
+    #[test]
+    fn run_jobs_aggregates() {
+        let job = small_job(4, 2);
+        let jobs = vec![job.clone(), job.clone(), job];
+        let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 1);
+        let totals = sim.run_jobs(jobs.iter());
+        assert_eq!(totals.jobs, 3);
+        assert!(totals.total_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn slow_nodes_straggle_the_job() {
+        let job = small_job(32, 8);
+        let fast = Simulation::new(ClusterSpec::ec2_2010().with_straggler_sigma(0.0), 1)
+            .run_job(&job)
+            .duration;
+        let slow = Simulation::new(
+            ClusterSpec::ec2_2010().with_straggler_sigma(0.0).with_slow_nodes(4, 0.25),
+            1,
+        )
+        .run_job(&job)
+        .duration;
+        assert!(slow > fast);
+    }
+}

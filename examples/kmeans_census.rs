@@ -1,0 +1,76 @@
+//! K-Means on census-like demographic data (paper §V-D clusters the
+//! 1990 US Census sample: ~200 K records × 68 discretized attributes).
+//!
+//! Runs General (Mahout-style, one Lloyd step per global round) against
+//! Eager (Yom-Tov & Slonim partial synchronization: local Lloyd to
+//! convergence inside each gmap, periodic repartitioning, oscillation
+//! detection) across the paper's threshold sweep.
+//!
+//! ```sh
+//! cargo run --release --example kmeans_census
+//! ```
+
+use std::sync::Arc;
+
+use asyncmr::apps::kmeans::{self, data, KMeansConfig};
+use asyncmr::core::Engine;
+use asyncmr::runtime::ThreadPool;
+use asyncmr::simcluster::{ClusterSpec, Simulation};
+
+fn main() {
+    // 4,000-record sample at 2% scale (pass 1.0 for the paper's 200 K).
+    let dataset = data::census_sample(0.02, 1990);
+    let points = Arc::new(dataset.points);
+    println!(
+        "census-like sample: {} records x {} attributes",
+        points.len(),
+        points[0].len()
+    );
+
+    let pool = ThreadPool::with_default_parallelism();
+    let partitions = 52; // paper: fixed at 52 gmaps
+    let initial = kmeans::initial_centroids(&points, 10, 1990);
+    println!("clustering into k = 10 with {partitions} partitions\n");
+
+    println!("threshold   eager iters  general iters  eager SSE    general SSE   speedup");
+    for threshold in [0.1, 0.01, 0.001, 0.0001] {
+        let cfg = KMeansConfig { k: 10, threshold, seed: 1990, ..Default::default() };
+
+        let mut eager_engine =
+            Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 3));
+        let eager = kmeans::eager::run_eager_from(
+            &mut eager_engine,
+            &points,
+            partitions,
+            &cfg,
+            Some(initial.clone()),
+        );
+
+        let mut general_engine =
+            Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 3));
+        let general = kmeans::general::run_general_from(
+            &mut general_engine,
+            &points,
+            partitions,
+            &cfg,
+            Some(initial.clone()),
+        );
+
+        let et = eager.report.sim_time.unwrap().as_secs_f64();
+        let gt = general.report.sim_time.unwrap().as_secs_f64();
+        println!(
+            "{threshold:>9}  {:>12} {:>14}  {:>11.4e} {:>12.4e} {:>8.1}x",
+            eager.report.global_iterations,
+            general.report.global_iterations,
+            eager.sse,
+            general.sse,
+            gt / et,
+        );
+    }
+
+    println!(
+        "\nEager spends extra local iterations inside each gmap (partial synchronizations) and \
+         repartitions points every few rounds, converging in far fewer global synchronizations \
+         with equal or better cluster quality (paper Figs. 8-9)."
+    );
+}

@@ -1,0 +1,182 @@
+//! The paper's qualitative claims, asserted end-to-end at test scale.
+//! Each test names the claim and where the paper makes it.
+
+use std::sync::Arc;
+
+use asyncmr::apps::kmeans::{self, KMeansConfig};
+use asyncmr::apps::pagerank::{self, PageRankConfig};
+use asyncmr::apps::sssp::{self, SsspConfig};
+use asyncmr::core::Engine;
+use asyncmr::graph::{generators, WeightedGraph};
+use asyncmr::partition::{MultilevelKWay, Partitioner, RangePartitioner};
+use asyncmr::runtime::ThreadPool;
+use asyncmr::simcluster::{ClusterSpec, Simulation};
+
+fn crawl_graph(n: usize, seed: u64) -> asyncmr::graph::CsrGraph {
+    generators::preferential_attachment_crawled(n, 3, 2, 1, 0.98, 50, seed)
+}
+
+/// §V-B4 / Fig. 2: "The number of iterations does not change in the
+/// general case" as partitions vary.
+#[test]
+fn claim_general_iterations_flat_in_partitions() {
+    let g = crawl_graph(800, 1);
+    let pool = ThreadPool::new(2);
+    let mut iters = Vec::new();
+    for k in [2usize, 5, 11, 23] {
+        let parts = RangePartitioner.partition(&g, k);
+        let mut engine = Engine::in_process(&pool);
+        let out = pagerank::run_general(&mut engine, &g, &parts, &PageRankConfig::default());
+        iters.push(out.report.global_iterations);
+    }
+    assert!(iters.windows(2).all(|w| w[0] == w[1]), "not flat: {iters:?}");
+}
+
+/// §V-B4 / Fig. 2: Eager's global iterations grow with the number of
+/// partitions (monotone up to partition-quality noise), and are fewer
+/// than General's at few partitions.
+#[test]
+fn claim_eager_iterations_grow_with_partitions_and_beat_general() {
+    let g = crawl_graph(1600, 2);
+    let pool = ThreadPool::new(2);
+    let cfg = PageRankConfig::default();
+    let mut eager_iters = Vec::new();
+    for k in [2usize, 8, 64] {
+        let parts = MultilevelKWay::default().partition(&g, k);
+        let mut engine = Engine::in_process(&pool);
+        let out = pagerank::run_eager(&mut engine, &g, &parts, &cfg);
+        eager_iters.push(out.report.global_iterations);
+    }
+    let parts = MultilevelKWay::default().partition(&g, 2);
+    let mut engine = Engine::in_process(&pool);
+    let general = pagerank::run_general(&mut engine, &g, &parts, &cfg);
+
+    assert!(
+        eager_iters[0] < general.report.global_iterations,
+        "eager {} !< general {}",
+        eager_iters[0],
+        general.report.global_iterations
+    );
+    assert!(
+        eager_iters[0] < eager_iters[2],
+        "iterations should grow with partitions: {eager_iters:?}"
+    );
+}
+
+/// §II: the eager scheme "may be suboptimal in serial operation
+/// counts" — it does strictly more work than the general scheme, in
+/// exchange for fewer global synchronizations.
+#[test]
+fn claim_eager_trades_serial_ops_for_global_syncs() {
+    let g = crawl_graph(700, 3);
+    let parts = MultilevelKWay::default().partition(&g, 4);
+    let pool = ThreadPool::new(2);
+    let cfg = PageRankConfig::default();
+    let mut e1 = Engine::in_process(&pool);
+    let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
+    let mut e2 = Engine::in_process(&pool);
+    let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
+
+    assert!(eager.report.total_ops > general.report.total_ops, "no serial-op cost?");
+    assert!(eager.report.global_iterations < general.report.global_iterations);
+    // Total synchronizations (partial + global) is *higher* for eager —
+    // they're just much cheaper (§II).
+    let eager_total_syncs = eager.report.local_syncs + eager.report.global_iterations as u64;
+    assert!(eager_total_syncs > general.report.global_iterations as u64);
+}
+
+/// §V-B4 headline: significant simulated-time speedup at the paper's
+/// favourable partition counts.
+#[test]
+fn claim_eager_pagerank_is_faster_on_the_simulated_cluster() {
+    let g = crawl_graph(1500, 4);
+    let parts = MultilevelKWay::default().partition(&g, 3);
+    let pool = ThreadPool::new(2);
+    let cfg = PageRankConfig::default();
+    let mut e1 = Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 5));
+    let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
+    let mut e2 = Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 5));
+    let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
+    let speedup = general.report.sim_time.unwrap().as_secs_f64()
+        / eager.report.sim_time.unwrap().as_secs_f64();
+    assert!(speedup > 2.0, "speedup only {speedup:.2}x");
+}
+
+/// §V-C2 / Fig. 6: same story for SSSP.
+#[test]
+fn claim_eager_sssp_fewer_global_iterations() {
+    let g = crawl_graph(1200, 6);
+    let wg = WeightedGraph::random_weights(g, 1.0, 10.0, 7);
+    let parts = MultilevelKWay::default().partition(wg.graph(), 3);
+    let pool = ThreadPool::new(2);
+    let cfg = SsspConfig::default();
+    let mut e1 = Engine::in_process(&pool);
+    let eager = sssp::run_eager(&mut e1, &wg, &parts, &cfg);
+    let mut e2 = Engine::in_process(&pool);
+    let general = sssp::run_general(&mut e2, &wg, &parts, &cfg);
+    assert!(
+        eager.report.global_iterations < general.report.global_iterations,
+        "eager {} vs general {}",
+        eager.report.global_iterations,
+        general.report.global_iterations
+    );
+}
+
+/// §V-D / Fig. 8: Eager K-Means converges in a fraction of General's
+/// global iterations at tight thresholds, with comparable quality.
+#[test]
+fn claim_eager_kmeans_converges_in_fraction_of_global_iterations() {
+    let data = kmeans::data::census_like(4000, 30, 8, 11);
+    let points = Arc::new(data.points);
+    let initial = kmeans::initial_centroids(&points, 8, 3);
+    let cfg = KMeansConfig { k: 8, threshold: 0.001, ..Default::default() };
+    let pool = ThreadPool::new(2);
+    let mut e1 = Engine::in_process(&pool);
+    let eager = kmeans::eager::run_eager_from(&mut e1, &points, 20, &cfg, Some(initial.clone()));
+    let mut e2 = Engine::in_process(&pool);
+    let general = kmeans::general::run_general_from(&mut e2, &points, 20, &cfg, Some(initial));
+    assert!(
+        (eager.report.global_iterations as f64)
+            < 0.67 * general.report.global_iterations as f64,
+        "eager {} vs general {}",
+        eager.report.global_iterations,
+        general.report.global_iterations
+    );
+    assert!(eager.sse <= general.sse * 1.25);
+}
+
+/// §V-B4: "if the partition size is one ... Eager PageRank becomes
+/// General PageRank."
+#[test]
+fn claim_degenerate_eager_equals_general() {
+    let g = crawl_graph(150, 8);
+    let n = g.num_nodes();
+    let parts = RangePartitioner.partition(&g, n);
+    let pool = ThreadPool::new(2);
+    let cfg = PageRankConfig::default();
+    let mut e1 = Engine::in_process(&pool);
+    let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
+    let mut e2 = Engine::in_process(&pool);
+    let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
+    let diff = eager.report.global_iterations.abs_diff(general.report.global_iterations);
+    assert!(diff <= 2, "degenerate eager should track general: {diff}");
+    assert!(pagerank::inf_norm_diff(&eager.ranks, &general.ranks) < 1e-3);
+}
+
+/// §II: partial synchronizations replace most global ones — the
+/// count of *global* reductions drops even though total
+/// synchronizations rise.
+#[test]
+fn claim_global_reductions_reduced() {
+    let g = crawl_graph(1600, 4);
+    let parts = MultilevelKWay::default().partition(&g, 3);
+    let pool = ThreadPool::new(2);
+    let cfg = PageRankConfig::default();
+    let mut e1 = Engine::in_process(&pool);
+    let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
+    let mut e2 = Engine::in_process(&pool);
+    let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
+    assert!(eager.report.global_iterations * 2 <= general.report.global_iterations,
+        "expected at least 2x fewer global reductions, got {} vs {}",
+        eager.report.global_iterations, general.report.global_iterations);
+}

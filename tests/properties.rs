@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates. Case counts are kept moderate — each case runs real
+//! multi-crate pipelines.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use asyncmr::apps::kmeans;
+use asyncmr::apps::pagerank::{self, PageRankConfig};
+use asyncmr::apps::sssp::{self, SsspConfig};
+use asyncmr::core::Engine;
+use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
+use asyncmr::partition::{
+    BfsPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RangePartitioner,
+};
+use asyncmr::runtime::ThreadPool;
+
+/// Strategy: a random small digraph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR construction preserves the edge multiset and per-vertex
+    /// degrees, for arbitrary (possibly parallel/self-loop) edges.
+    #[test]
+    fn csr_round_trips_edges((n, mut edges) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let mut rebuilt: Vec<(u32, u32)> = g.edges().collect();
+        edges.sort_unstable();
+        rebuilt.sort_unstable();
+        prop_assert_eq!(rebuilt, edges);
+    }
+
+    /// Transpose is an involution up to adjacency-list ordering (the
+    /// edge multiset is preserved exactly).
+    #[test]
+    fn transpose_involution((n, edges) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // And in-degrees/out-degrees swap under a single transpose.
+        let t = g.transpose();
+        prop_assert_eq!(t.in_degrees(),
+            (0..n as u32).map(|v| g.out_degree(v)).collect::<Vec<_>>());
+    }
+
+    /// Every partitioner covers all vertices with valid part ids, and
+    /// its reported edge cut never exceeds the edge count.
+    #[test]
+    fn partitioners_produce_valid_covers((n, edges) in arb_graph(), k in 1usize..12) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner),
+            Box::new(RangePartitioner),
+            Box::new(BfsPartitioner::default()),
+            Box::new(MultilevelKWay::default()),
+        ];
+        for p in partitioners {
+            let parts = p.partition(&g, k);
+            prop_assert_eq!(parts.num_nodes(), n);
+            prop_assert_eq!(parts.num_parts(), k);
+            prop_assert_eq!(parts.part_sizes().iter().sum::<usize>(), n);
+            prop_assert!(parts.edge_cut(&g) <= g.num_edges());
+            // One part => zero cut.
+            if k == 1 {
+                prop_assert_eq!(parts.edge_cut(&g), 0);
+            }
+        }
+    }
+
+    /// Eager and General PageRank agree with the sequential power
+    /// iteration on arbitrary graphs and partitionings.
+    #[test]
+    fn pagerank_variants_agree_with_reference(
+        (n, edges) in arb_graph(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = BfsPartitioner { seed }.partition(&g, k);
+        let pool = ThreadPool::new(2);
+        let cfg = PageRankConfig { tolerance: 1e-8, ..Default::default() };
+        let (truth, _) = pagerank::reference::pagerank_sequential(&g, cfg.damping, 1e-11, 5000);
+
+        let mut e1 = Engine::in_process(&pool);
+        let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
+        prop_assert!(pagerank::inf_norm_diff(&eager.ranks, &truth) < 1e-4,
+            "eager err {}", pagerank::inf_norm_diff(&eager.ranks, &truth));
+
+        let mut e2 = Engine::in_process(&pool);
+        let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
+        prop_assert!(pagerank::inf_norm_diff(&general.ranks, &truth) < 1e-4,
+            "general err {}", pagerank::inf_norm_diff(&general.ranks, &truth));
+    }
+
+    /// Both SSSP formulations equal Dijkstra on random weighted graphs.
+    #[test]
+    fn sssp_variants_equal_dijkstra(
+        (n, edges) in arb_graph(),
+        k in 1usize..6,
+        wseed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let wg = WeightedGraph::random_weights(g, 0.5, 20.0, wseed);
+        let parts = RangePartitioner.partition(wg.graph(), k);
+        let truth = sssp::reference::dijkstra(&wg, 0);
+        let pool = ThreadPool::new(2);
+        let cfg = SsspConfig::default();
+
+        let mut e1 = Engine::in_process(&pool);
+        let eager = sssp::run_eager(&mut e1, &wg, &parts, &cfg);
+        let mut e2 = Engine::in_process(&pool);
+        let general = sssp::run_general(&mut e2, &wg, &parts, &cfg);
+        for v in 0..truth.len() {
+            let t = truth[v];
+            for d in [eager.distances[v], general.distances[v]] {
+                prop_assert!((d - t).abs() < 1e-9 || (d.is_infinite() && t.is_infinite()),
+                    "vertex {} got {} want {}", v, d, t);
+            }
+        }
+    }
+
+    /// Lloyd's invariants hold for the K-Means building blocks: the
+    /// nearest assignment minimizes distance, and an update step never
+    /// increases the SSE.
+    #[test]
+    fn kmeans_step_never_increases_sse(
+        npoints in 10usize..80,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let data = kmeans::data::census_like(npoints, 8, k.max(2), seed);
+        let initial = kmeans::initial_centroids(&data.points, k.min(npoints), seed);
+        let before = kmeans::sse(&data.points, &initial);
+        let stepped = kmeans::reference::lloyd_step(&data.points, &initial);
+        let after = kmeans::sse(&data.points, &stepped);
+        prop_assert!(after <= before + 1e-6, "SSE rose: {} -> {}", before, after);
+    }
+
+    /// `nearest` really returns the closest centroid.
+    #[test]
+    fn nearest_is_argmin(
+        point in proptest::collection::vec(-10.0f64..10.0, 4),
+        centroids in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4), 1..8),
+    ) {
+        let best = kmeans::nearest(&point, &centroids);
+        let bd = kmeans::dist2(&point, &centroids[best]);
+        for c in &centroids {
+            prop_assert!(bd <= kmeans::dist2(&point, c) + 1e-12);
+        }
+    }
+}
