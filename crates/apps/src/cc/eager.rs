@@ -119,13 +119,7 @@ pub fn run_eager(
                 labels: p.nodes.iter().map(|&v| labels[v as usize]).collect(),
             })
             .collect();
-        let out = engine.run(
-            &format!("cc-eager-iter{iter}"),
-            &inputs,
-            &gmap,
-            &CcMinReducer,
-            &opts,
-        );
+        let out = engine.run(&format!("cc-eager-iter{iter}"), &inputs, &gmap, &CcMinReducer, &opts);
         let mut changed = false;
         for (v, label) in out.pairs {
             if labels[v as usize] != label {

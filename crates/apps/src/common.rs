@@ -50,10 +50,7 @@ impl GraphPartition {
     }
 
     /// Splits a weighted graph according to `parts`.
-    pub fn build_weighted(
-        wg: &WeightedGraph,
-        parts: &Partitioning,
-    ) -> Vec<Arc<GraphPartition>> {
+    pub fn build_weighted(wg: &WeightedGraph, parts: &Partitioning) -> Vec<Arc<GraphPartition>> {
         Self::build_inner(wg.graph(), Some(wg.weights()), parts)
     }
 
@@ -143,10 +140,7 @@ impl GraphPartition {
     pub fn cross_edges(&self, li: u32) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         let lo = self.cross_offsets[li as usize] as usize;
         let hi = self.cross_offsets[li as usize + 1] as usize;
-        self.cross_targets[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.cross_weights[lo..hi].iter().copied())
+        self.cross_targets[lo..hi].iter().copied().zip(self.cross_weights[lo..hi].iter().copied())
     }
 
     /// Count of internal out-edges of `li`.
@@ -158,8 +152,8 @@ impl GraphPartition {
     /// Approximate serialized size: the split a Hadoop map would read.
     pub fn approx_bytes(&self) -> u64 {
         // node id + degree + rank per node, id + weight per edge.
-        (self.nodes.len() * 16
-            + (self.internal_targets.len() + self.cross_targets.len()) * 12) as u64
+        (self.nodes.len() * 16 + (self.internal_targets.len() + self.cross_targets.len()) * 12)
+            as u64
     }
 }
 

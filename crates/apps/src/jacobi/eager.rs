@@ -33,13 +33,7 @@ impl LocalAlgorithm for JacobiLocalAlgorithm {
     }
 
     fn init_state(&self, _task: usize, input: &JacobiInput) -> Vec<(NodeId, JMsg)> {
-        input
-            .part
-            .nodes
-            .iter()
-            .zip(&input.x)
-            .map(|(&v, &xv)| (v, JMsg::Contrib(xv)))
-            .collect()
+        input.part.nodes.iter().zip(&input.x).map(|(&v, &xv)| (v, JMsg::Contrib(xv))).collect()
     }
 
     fn lmap(
@@ -111,9 +105,8 @@ impl LocalAlgorithm for JacobiLocalAlgorithm {
             };
             // Recover the converged internal sum from the block
             // equation: x = (b + S_int + remote_in) / diag.
-            let s_int = xv * input.diag[li as usize]
-                - input.b[li as usize]
-                - input.remote_in[li as usize];
+            let s_int =
+                xv * input.diag[li as usize] - input.b[li as usize] - input.remote_in[li as usize];
             ctx.emit_intermediate(v, JMsg::LocalSum(s_int));
             ctx.emit_intermediate(
                 v,
@@ -164,13 +157,8 @@ pub fn run_eager(
                 remote_in: p.nodes.iter().map(|&v| remote_in[v as usize]).collect(),
             })
             .collect();
-        let out = engine.run(
-            &format!("jacobi-eager-iter{iter}"),
-            &inputs,
-            &gmap,
-            &JacobiReducer,
-            &opts,
-        );
+        let out =
+            engine.run(&format!("jacobi-eager-iter{iter}"), &inputs, &gmap, &JacobiReducer, &opts);
         // greduce emitted x'(v) = (b + S_int + Σ cross x)/diag; recover
         // the new frozen remote sums for the next block solve.
         let mut next = x.clone();

@@ -65,9 +65,7 @@ pub fn seeded_rhs(n: usize, seed: u64) -> Vec<f64> {
 
 /// Diagonal of `A = (D + I) − Adj` for the undirected graph.
 pub fn diagonal(undirected: &CsrGraph) -> Vec<f64> {
-    (0..undirected.num_nodes() as u32)
-        .map(|v| undirected.out_degree(v) as f64 + 1.0)
-        .collect()
+    (0..undirected.num_nodes() as u32).map(|v| undirected.out_degree(v) as f64 + 1.0).collect()
 }
 
 /// Residual ∞-norm `‖b − A·x‖∞` for the graph-induced system.

@@ -25,10 +25,7 @@ pub fn jacobi_sequential(
             }
             next[v] = acc / diag[v];
         }
-        let diff = x
-            .iter()
-            .zip(&next)
-            .fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        let diff = x.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
         x = next;
         if diff < tolerance {
             return (x, iter);

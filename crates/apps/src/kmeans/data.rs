@@ -50,13 +50,15 @@ pub fn census_like(n: usize, dims: usize, clusters: usize, seed: u64) -> Labeled
         .map(|_| {
             base.iter()
                 .zip(&levels)
-                .map(|(&b, &l)| {
-                    if rng.random_range(0.0..1.0) < 0.35 {
-                        rng.random_range(0..l)
-                    } else {
-                        b
-                    }
-                })
+                .map(
+                    |(&b, &l)| {
+                        if rng.random_range(0.0..1.0) < 0.35 {
+                            rng.random_range(0..l)
+                        } else {
+                            b
+                        }
+                    },
+                )
                 .collect()
         })
         .collect();
@@ -134,7 +136,7 @@ mod tests {
         let data = census_like(300, 20, 3, 1);
         for p in &data.points {
             for &v in p {
-                assert!(v >= 0.0 && v < 10.0, "value {v} out of census range");
+                assert!((0.0..10.0).contains(&v), "value {v} out of census range");
                 assert_eq!(v, v.round(), "census attributes are integer codes");
             }
         }

@@ -22,9 +22,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use super::general::ClusterUpdate;
-use super::{
-    sse, ConvergenceTracker, KMeansConfig, KMeansOutcome, Point,
-};
+use super::{sse, ConvergenceTracker, KMeansConfig, KMeansOutcome, Point};
 
 /// `gmap` input: this task's point subset plus the common centroids.
 #[derive(Debug, Clone)]
@@ -60,12 +58,7 @@ impl LocalAlgorithm for KmLocalAlgorithm {
     }
 
     fn init_state(&self, _task: usize, input: &KmEagerInput) -> Vec<(u32, ClusterUpdate)> {
-        input
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(cid, c)| (cid as u32, (c.clone(), 0)))
-            .collect()
+        input.centroids.iter().enumerate().map(|(cid, c)| (cid as u32, (c.clone(), 0))).collect()
     }
 
     fn lmap(
@@ -195,11 +188,7 @@ impl Reducer for KmEagerReducer {
 /// Splits point indices into `num_partitions` groups; `shuffle_seed`
 /// (when `Some`) permutes the points first — the paper's periodic
 /// re-partitioning.
-fn partition_indices(
-    n: usize,
-    num_partitions: usize,
-    shuffle_seed: Option<u64>,
-) -> Vec<Vec<u32>> {
+fn partition_indices(n: usize, num_partitions: usize, shuffle_seed: Option<u64>) -> Vec<Vec<u32>> {
     let mut idx: Vec<u32> = (0..n as u32).collect();
     if let Some(seed) = shuffle_seed {
         idx.shuffle(&mut StdRng::seed_from_u64(seed));
@@ -256,13 +245,8 @@ pub fn run_eager_from(
                 centroids: Arc::clone(&shared),
             })
             .collect();
-        let out = engine.run(
-            &format!("kmeans-eager-iter{iter}"),
-            &inputs,
-            &gmap,
-            &KmEagerReducer,
-            &opts,
-        );
+        let out =
+            engine.run(&format!("kmeans-eager-iter{iter}"), &inputs, &gmap, &KmEagerReducer, &opts);
         let mut new_centroids = centroids.clone();
         for (cid, mean) in out.pairs {
             new_centroids[cid as usize] = mean;

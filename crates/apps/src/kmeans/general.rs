@@ -134,9 +134,8 @@ pub fn run_general_from(
     // Both bounds are clamped: with more partitions than chunks the
     // trailing tasks legitimately receive empty ranges.
     let chunk = n.div_ceil(num_partitions);
-    let ranges: Vec<(usize, usize)> = (0..num_partitions)
-        .map(|p| ((p * chunk).min(n), ((p + 1) * chunk).min(n)))
-        .collect();
+    let ranges: Vec<(usize, usize)> =
+        (0..num_partitions).map(|p| ((p * chunk).min(n), ((p + 1) * chunk).min(n))).collect();
     let opts = JobOptions::with_reducers(cfg.num_reducers).with_combiner(&KmCombiner);
     // General convergence: Euclidean threshold only (no oscillation
     // detection — that refinement belongs to the eager variant).
@@ -197,10 +196,7 @@ mod tests {
         let (expected, seq_iters) = lloyd(&points, &initial, 0.001, 300);
         // One MapReduce job = one Lloyd step, identical arithmetic.
         assert_eq!(out.report.global_iterations, seq_iters);
-        assert!(
-            max_movement(&out.centroids, &expected) < 1e-9,
-            "centroids deviate from Lloyd"
-        );
+        assert!(max_movement(&out.centroids, &expected) < 1e-9, "centroids deviate from Lloyd");
     }
 
     #[test]
@@ -213,8 +209,7 @@ mod tests {
         let mut iters = Vec::new();
         for parts in [1, 4, 13] {
             let mut engine = Engine::in_process(&pool);
-            let out =
-                run_general_from(&mut engine, &points, parts, &cfg, Some(initial.clone()));
+            let out = run_general_from(&mut engine, &points, parts, &cfg, Some(initial.clone()));
             iters.push(out.report.global_iterations);
         }
         assert_eq!(iters[0], iters[1]);
@@ -245,8 +240,7 @@ mod tests {
         for threshold in [0.1, 0.01, 0.001] {
             let cfg = KMeansConfig { k: 5, threshold, ..Default::default() };
             let mut engine = Engine::in_process(&pool);
-            let out =
-                run_general_from(&mut engine, &points, 5, &cfg, Some(initial.clone()));
+            let out = run_general_from(&mut engine, &points, 5, &cfg, Some(initial.clone()));
             assert!(
                 out.report.global_iterations >= last,
                 "iterations should not decrease as δ tightens"

@@ -141,10 +141,7 @@ impl ConvergenceTracker {
         if max_movement(old, new) < self.threshold {
             return true;
         }
-        let oscillating = self
-            .history
-            .iter()
-            .any(|past| max_movement(past, new) < self.threshold);
+        let oscillating = self.history.iter().any(|past| max_movement(past, new) < self.threshold);
         if self.window > 0 {
             self.history.push(new.to_vec());
             if self.history.len() > self.window {
@@ -209,8 +206,8 @@ mod tests {
         let b = vec![vec![5.0]];
         assert!(!t.converged(&a, &b)); // history: [b]
         assert!(!t.converged(&b, &a)); // history: [b, a]
-        // Back to (≈) b: a → b again is a period-2 oscillation.
-        assert!(t.converged(&a, &vec![vec![5.01]]));
+                                       // Back to (≈) b: a → b again is a period-2 oscillation.
+        assert!(t.converged(&a, &[vec![5.01]]));
     }
 
     #[test]

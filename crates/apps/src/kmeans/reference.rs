@@ -110,9 +110,6 @@ mod tests {
         let initial = crate::kmeans::initial_centroids(&data.points, 5, 1);
         let (_, loose) = lloyd(&data.points, &initial, 0.1, 500);
         let (_, tight) = lloyd(&data.points, &initial, 0.0001, 500);
-        assert!(
-            tight >= loose,
-            "tight threshold took {tight} iters, loose took {loose}"
-        );
+        assert!(tight >= loose, "tight threshold took {tight} iters, loose took {loose}");
     }
 }

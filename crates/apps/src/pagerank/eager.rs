@@ -26,10 +26,7 @@ use asyncmr_core::prelude::*;
 use asyncmr_graph::{CsrGraph, NodeId};
 use asyncmr_partition::Partitioning;
 
-use super::{
-    initial_remote_in, slice_by_partition, PageRankConfig, PageRankOutcome,
-    PrMsg,
-};
+use super::{initial_remote_in, slice_by_partition, PageRankConfig, PageRankOutcome, PrMsg};
 use crate::common::GraphPartition;
 
 /// `gmap` input: the partition view plus this global iteration's state.
@@ -184,12 +181,7 @@ impl Reducer for PrEagerReducer {
     type ValueIn = PrMsg;
     type Out = (f64, f64);
 
-    fn reduce(
-        &self,
-        key: &NodeId,
-        values: &[PrMsg],
-        ctx: &mut ReduceContext<NodeId, (f64, f64)>,
-    ) {
+    fn reduce(&self, key: &NodeId, values: &[PrMsg], ctx: &mut ReduceContext<NodeId, (f64, f64)>) {
         let mut local_sum = 0.0;
         let mut remote_sum = 0.0;
         for msg in values {
@@ -235,19 +227,10 @@ pub fn run_eager(
         let inputs: Vec<PrEagerInput> = partitions
             .iter()
             .zip(rank_slices.into_iter().zip(remote_slices))
-            .map(|(part, (r, m))| PrEagerInput {
-                part: Arc::clone(part),
-                ranks: r,
-                remote_in: m,
-            })
+            .map(|(part, (r, m))| PrEagerInput { part: Arc::clone(part), ranks: r, remote_in: m })
             .collect();
-        let out = engine.run(
-            &format!("pagerank-eager-iter{iter}"),
-            &inputs,
-            &gmap,
-            &greduce,
-            &opts,
-        );
+        let out =
+            engine.run(&format!("pagerank-eager-iter{iter}"), &inputs, &gmap, &greduce, &opts);
         let mut diff = 0.0f64;
         for (v, (rank, remote)) in out.pairs {
             diff = diff.max((rank - ranks[v as usize]).abs());

@@ -43,12 +43,7 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig {
-            damping: 0.85,
-            tolerance: 1e-5,
-            max_iterations: 500,
-            num_reducers: 16,
-        }
+        PageRankConfig { damping: 0.85, tolerance: 1e-5, max_iterations: 500, num_reducers: 16 }
     }
 }
 
@@ -89,10 +84,7 @@ pub(crate) fn slice_by_partition(
     global: &[f64],
     partitions: &[std::sync::Arc<crate::common::GraphPartition>],
 ) -> Vec<Vec<f64>> {
-    partitions
-        .iter()
-        .map(|p| p.nodes.iter().map(|&v| global[v as usize]).collect())
-        .collect()
+    partitions.iter().map(|p| p.nodes.iter().map(|&v| global[v as usize]).collect()).collect()
 }
 
 /// Initial frozen remote contributions: for every cross edge `u → v`,

@@ -149,13 +149,8 @@ pub fn run_eager(
                 dists: p.nodes.iter().map(|&v| dists[v as usize]).collect(),
             })
             .collect();
-        let out = engine.run(
-            &format!("sssp-eager-iter{iter}"),
-            &inputs,
-            &gmap,
-            &SpMinReducer,
-            &opts,
-        );
+        let out =
+            engine.run(&format!("sssp-eager-iter{iter}"), &inputs, &gmap, &SpMinReducer, &opts);
         let mut new_dists = dists.clone();
         for (v, d) in out.pairs {
             new_dists[v as usize] = d;
@@ -233,9 +228,7 @@ mod tests {
         assert!(out.report.global_iterations <= 2);
         let expected = dijkstra(&wg, 0);
         for (got, want) in out.distances.iter().zip(&expected) {
-            assert!(
-                (got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite())
-            );
+            assert!((got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()));
         }
     }
 

@@ -60,10 +60,7 @@ mod tests {
 
     #[test]
     fn distance_equality_handles_infinities() {
-        assert!(distances_equal(
-            &[0.0, f64::INFINITY, 2.0],
-            &[0.0, f64::INFINITY, 2.0]
-        ));
+        assert!(distances_equal(&[0.0, f64::INFINITY, 2.0], &[0.0, f64::INFINITY, 2.0]));
         assert!(!distances_equal(&[0.0, 1.0], &[0.0, 1.5]));
         assert!(!distances_equal(&[f64::INFINITY], &[3.0]));
     }

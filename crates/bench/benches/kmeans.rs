@@ -20,7 +20,8 @@ fn bench_kmeans_to_convergence(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for threshold in [0.01f64] {
+    {
+        let threshold = 0.01f64;
         let cfg = KMeansConfig { k: 10, threshold, ..Default::default() };
         group.bench_with_input(
             BenchmarkId::new("eager", format!("{threshold}")),

@@ -89,9 +89,7 @@ fn bench_generator(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("preferential_attachment_10k", |b| {
         b.iter(|| {
-            black_box(generators::preferential_attachment_crawled(
-                10_000, 3, 2, 1, 0.98, 50, 1,
-            ))
+            black_box(generators::preferential_attachment_crawled(10_000, 3, 2, 1, 0.98, 50, 1))
         })
     });
     group.finish();

@@ -47,12 +47,9 @@ fn main() -> ExitCode {
                 cfg.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--reducers" => {
-                cfg.reducers =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.reducers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
-            "--out" => {
-                cfg.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
-            }
+            "--out" => cfg.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--no-save" => cfg.out_dir = None,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -64,8 +61,19 @@ fn main() -> ExitCode {
     }
     if artifacts.iter().any(|a| a == "all") {
         artifacts = [
-            "table1", "table2", "fig2", "fig4", "fig3", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "faults", "ablation", "scalability",
+            "table1",
+            "table2",
+            "fig2",
+            "fig4",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "faults",
+            "ablation",
+            "scalability",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -98,26 +106,22 @@ fn main() -> ExitCode {
             "table1" => emit(&table1(&cfg), &cfg),
             "table2" => emit(&table2(&cfg), &cfg),
             "fig2" => {
-                let figs =
-                    pr_a.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::A));
+                let figs = pr_a.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::A));
                 let fig = figs.0.clone();
                 emit(&fig, &cfg);
             }
             "fig4" => {
-                let figs =
-                    pr_a.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::A));
+                let figs = pr_a.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::A));
                 let fig = figs.1.clone();
                 emit(&fig, &cfg);
             }
             "fig3" => {
-                let figs =
-                    pr_b.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::B));
+                let figs = pr_b.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::B));
                 let fig = figs.0.clone();
                 emit(&fig, &cfg);
             }
             "fig5" => {
-                let figs =
-                    pr_b.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::B));
+                let figs = pr_b.get_or_insert_with(|| pagerank_figures(&cfg, GraphChoice::B));
                 let fig = figs.1.clone();
                 emit(&fig, &cfg);
             }

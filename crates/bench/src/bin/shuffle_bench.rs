@@ -1,0 +1,161 @@
+//! Before/after throughput of the shuffle+group hot path.
+//!
+//! Compares, on identical routed map output:
+//!
+//! * **reference** — the pre-staged engine's strategy: sequential
+//!   single-threaded bucket concatenation, then parallel reduce tasks
+//!   that `clone()` their whole input and group through a `BTreeMap`
+//!   (kept in-tree as `asyncmr_core::plan::reference` /
+//!   `shuffle::group`);
+//! * **staged** — the `core::plan` pipeline's strategy: per-reducer
+//!   bucket ownership transfer, move-based concatenation, sort-based
+//!   `GroupView` grouping, scratch buffers recycled through a
+//!   `ScratchArena` across repetitions (as across an iterative run's
+//!   jobs).
+//!
+//! Emits machine-readable `BENCH_shuffle.json` (in the working
+//! directory) so later PRs have a perf trajectory, and prints a small
+//! table. Deterministic workload; wall-clock numbers vary with the
+//! host, the *ratio* is the tracked quantity.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use asyncmr_core::plan::ScratchArena;
+use asyncmr_core::shuffle::{self, Grouped, ShuffleScratch};
+use asyncmr_runtime::ThreadPool;
+
+const MAP_TASKS: usize = 8;
+const RECORDS_PER_TASK: usize = 250_000;
+const REDUCERS: usize = 16;
+/// Key cardinality mirrors the graph workloads: keys are node ids, so
+/// records-per-key ≈ average degree (~6 here, as in PageRank shuffles).
+const DISTINCT_KEYS: u32 = 330_000;
+const REPS: usize = 7;
+
+type Pair = (u32, f64);
+
+/// One map task's routed output (what the map phase hands the shuffle).
+fn routed_map_output() -> Vec<Vec<Vec<Pair>>> {
+    (0..MAP_TASKS)
+        .map(|t| {
+            let pairs: Vec<Pair> = (0..RECORDS_PER_TASK)
+                .map(|i| {
+                    let x = (t * RECORDS_PER_TASK + i) as u64;
+                    // Cheap deterministic scatter over the key space.
+                    let key = ((x.wrapping_mul(2654435761)) % u64::from(DISTINCT_KEYS)) as u32;
+                    (key, x as f64 * 0.5)
+                })
+                .collect();
+            shuffle::route(pairs, REDUCERS)
+        })
+        .collect()
+}
+
+/// The old path: sequential concat, then parallel clone + BTreeMap.
+fn run_reference(pool: &ThreadPool, tasks: Vec<Vec<Vec<Pair>>>) -> f64 {
+    let mut reduce_inputs: Vec<Vec<Pair>> = (0..REDUCERS).map(|_| Vec::new()).collect();
+    for mut task in tasks {
+        for (r, bucket) in task.drain(..).enumerate() {
+            reduce_inputs[r].extend(bucket);
+        }
+    }
+    let sums = pool.par_map(&reduce_inputs, |input| {
+        let grouped = shuffle::group(input.clone());
+        let mut sum = 0.0;
+        for (k, values) in &grouped {
+            sum += f64::from(*k) + values.iter().sum::<f64>();
+        }
+        sum
+    });
+    sums.iter().sum()
+}
+
+/// The staged path: ownership transfer, move concat, sort grouping,
+/// recycled scratch.
+fn run_staged(pool: &ThreadPool, tasks: Vec<Vec<Vec<Pair>>>, arena: &ScratchArena) -> f64 {
+    // Transpose bucket *handles* per reducer (no element moves).
+    let mut per_reducer: Vec<Vec<Vec<Pair>>> = (0..REDUCERS).map(|_| Vec::new()).collect();
+    for task in tasks {
+        for (r, bucket) in task.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                per_reducer[r].push(bucket);
+            }
+        }
+    }
+    let sums = pool.par_map_vec(per_reducer, |_, buckets| {
+        let mut scratch: ShuffleScratch<u32, f64> = arena.take();
+        let pairs = shuffle::concat_buckets(buckets, &mut scratch);
+        let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+        let mut sum = 0.0;
+        grouped.for_each(|g| {
+            sum += f64::from(*g.key) + g.values.iter().sum::<f64>();
+        });
+        grouped.recycle_into(&mut scratch);
+        arena.put(scratch);
+        sum
+    });
+    sums.iter().sum()
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let pool = ThreadPool::new(threads);
+    let arena = ScratchArena::new();
+    let total_records = (MAP_TASKS * RECORDS_PER_TASK) as f64;
+
+    // Correctness gate: both paths must reduce to the same checksum.
+    let a = run_reference(&pool, routed_map_output());
+    let b = run_staged(&pool, routed_map_output(), &arena);
+    assert!((a - b).abs() <= a.abs() * 1e-12, "paths disagree: reference {a} vs staged {b}");
+
+    let mut ref_times = Vec::with_capacity(REPS);
+    let mut staged_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let input = routed_map_output(); // untimed regeneration
+        let t0 = Instant::now();
+        black_box(run_reference(&pool, input));
+        ref_times.push(t0.elapsed());
+
+        let input = routed_map_output();
+        let t0 = Instant::now();
+        black_box(run_staged(&pool, input, &arena));
+        staged_times.push(t0.elapsed());
+    }
+
+    let ref_med = median(ref_times);
+    let staged_med = median(staged_times);
+    let ref_rps = total_records / ref_med.as_secs_f64();
+    let staged_rps = total_records / staged_med.as_secs_f64();
+    let speedup = staged_rps / ref_rps;
+
+    println!("shuffle+group throughput ({total_records:.0} records, {REDUCERS} reducers, {threads} threads)");
+    println!(
+        "  reference (seq concat + clone + BTreeMap): {:>10.0} records/s  ({:.1} ms)",
+        ref_rps,
+        ref_med.as_secs_f64() * 1e3
+    );
+    println!(
+        "  staged    (move concat + sort GroupView):  {:>10.0} records/s  ({:.1} ms)",
+        staged_rps,
+        staged_med.as_secs_f64() * 1e3
+    );
+    println!("  speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"shuffle_group_throughput\",\n  \"config\": {{\n    \"map_tasks\": {MAP_TASKS},\n    \"records_per_task\": {RECORDS_PER_TASK},\n    \"total_records\": {},\n    \"reducers\": {REDUCERS},\n    \"distinct_keys\": {DISTINCT_KEYS},\n    \"threads\": {threads},\n    \"reps\": {REPS}\n  }},\n  \"reference\": {{\n    \"strategy\": \"sequential concat + per-reducer clone + BTreeMap group\",\n    \"median_secs\": {:.6},\n    \"records_per_sec\": {:.0}\n  }},\n  \"staged\": {{\n    \"strategy\": \"bucket ownership transfer + move concat + sort-based GroupView + scratch reuse\",\n    \"median_secs\": {:.6},\n    \"records_per_sec\": {:.0}\n  }},\n  \"speedup\": {:.3}\n}}\n",
+        MAP_TASKS * RECORDS_PER_TASK,
+        ref_med.as_secs_f64(),
+        ref_rps,
+        staged_med.as_secs_f64(),
+        staged_rps,
+        speedup,
+    );
+    std::fs::write("BENCH_shuffle.json", &json).expect("write BENCH_shuffle.json");
+    println!("wrote BENCH_shuffle.json");
+}

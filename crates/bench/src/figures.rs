@@ -65,13 +65,24 @@ pub fn table1(cfg: &ReproConfig) -> Figure {
         (
             "compute",
             "8 64-bit EC2 compute units".into(),
-            format!("{} map + {} reduce slots/node", spec.nodes[0].map_slots, spec.nodes[0].reduce_slots),
+            format!(
+                "{} map + {} reduce slots/node",
+                spec.nodes[0].map_slots, spec.nodes[0].reduce_slots
+            ),
         ),
-        ("memory", "15 GB RAM, 4x420 GB disk".into(), format!("disk {} MB/s (modeled)", spec.disk_bandwidth / 1e6)),
+        (
+            "memory",
+            "15 GB RAM, 4x420 GB disk".into(),
+            format!("disk {} MB/s (modeled)", spec.disk_bandwidth / 1e6),
+        ),
         ("software", "Hadoop 0.20.1, Java 1.6".into(), "asyncmr engine + DES cluster model".into()),
         ("job setup", "(unreported)".into(), format!("{}", spec.job_setup)),
         ("task launch", "(unreported)".into(), format!("{}", spec.task_launch)),
-        ("network", "(cloud, shared)".into(), format!("{} MB/s NIC, {} latency", spec.nic_bandwidth / 1e6, spec.net_latency)),
+        (
+            "network",
+            "(cloud, shared)".into(),
+            format!("{} MB/s NIC, {} latency", spec.nic_bandwidth / 1e6, spec.net_latency),
+        ),
     ];
     for (k, p, r) in rows {
         fig.push_row(vec![k.to_string(), p, r]);
@@ -185,7 +196,14 @@ pub fn pagerank_figures(cfg: &ReproConfig, graph: GraphChoice) -> (Figure, Figur
         iters_id,
         format!("PageRank: iterations to converge vs partitions — {}", graph.label()),
         cfg.scale,
-        vec!["partitions(paper)", "partitions(run)", "cut%", "Eager", "General", "Eager partial syncs"],
+        vec![
+            "partitions(paper)",
+            "partitions(run)",
+            "cut%",
+            "Eager",
+            "General",
+            "Eager partial syncs",
+        ],
     );
     for p in &points {
         iters.push_row(vec![
@@ -218,9 +236,7 @@ pub fn pagerank_figures(cfg: &ReproConfig, graph: GraphChoice) -> (Figure, Figur
         ]);
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    time.note(format!(
-        "Average speedup {avg:.1}x (paper §V-B4: ~8x average on EC2)."
-    ));
+    time.note(format!("Average speedup {avg:.1}x (paper §V-B4: ~8x average on EC2)."));
     time.note("Times are simulated seconds on the Table I cluster model.");
     (iters, time)
 }
@@ -277,7 +293,9 @@ pub fn sssp_figures(cfg: &ReproConfig) -> (Figure, Figure) {
             p.general_iters.to_string(),
         ]);
     }
-    iters.note("Paper shape: General flat; Eager needs fewer global iterations at fewer partitions.");
+    iters.note(
+        "Paper shape: General flat; Eager needs fewer global iterations at fewer partitions.",
+    );
 
     let mut time = Figure::new(
         "fig7",
@@ -418,9 +436,11 @@ pub fn fault_tolerance(cfg: &ReproConfig) -> Figure {
     for eager in [true, false] {
         let name = if eager { "Eager" } else { "General" };
         let run = |fail: bool| {
-            let sim = Simulation::new(ClusterSpec::ec2_2010(), cfg.seed).with_failures(
-                if fail { FailurePlan::transient(0.01) } else { FailurePlan::none() },
-            );
+            let sim = Simulation::new(ClusterSpec::ec2_2010(), cfg.seed).with_failures(if fail {
+                FailurePlan::transient(0.01)
+            } else {
+                FailurePlan::none()
+            });
             let mut engine = Engine::with_simulation(&pool, sim);
             let outcome = if eager {
                 pagerank::run_eager(&mut engine, &g, &parts, &pr_cfg)
@@ -439,11 +459,7 @@ pub fn fault_tolerance(cfg: &ReproConfig) -> Figure {
         let (faulty, reexec) = run(true);
         let t_clean = secs(clean.report.sim_time);
         let t_faulty = secs(faulty.report.sim_time);
-        let identical = clean
-            .ranks
-            .iter()
-            .zip(&faulty.ranks)
-            .all(|(a, b)| (a - b).abs() < 1e-12);
+        let identical = clean.ranks.iter().zip(&faulty.ranks).all(|(a, b)| (a - b).abs() < 1e-12);
         fig.push_row(vec![
             name.into(),
             "none".into(),
@@ -535,11 +551,9 @@ pub fn scalability(cfg: &ReproConfig) -> Figure {
         cfg.scale,
         vec!["cluster", "Eager (s)", "General (s)", "speedup"],
     );
-    for (label, spec) in
-        [("ec2-8", ClusterSpec::ec2_2010()), ("clue-460", ClusterSpec::clue_460())]
+    for (label, spec) in [("ec2-8", ClusterSpec::ec2_2010()), ("clue-460", ClusterSpec::clue_460())]
     {
-        let mut e1 =
-            Engine::with_simulation(&pool, Simulation::new(spec.clone(), cfg.seed));
+        let mut e1 = Engine::with_simulation(&pool, Simulation::new(spec.clone(), cfg.seed));
         let eager = pagerank::run_eager(&mut e1, &g, &parts, &pr_cfg);
         let mut e2 = Engine::with_simulation(&pool, Simulation::new(spec, cfg.seed));
         let general = pagerank::run_general(&mut e2, &g, &parts, &pr_cfg);
@@ -606,10 +620,10 @@ mod tests {
     #[test]
     fn fault_figure_reports_identical_results() {
         let fig = fault_tolerance(&tiny());
-        assert!(fig
-            .rows
-            .iter()
-            .filter(|r| r[1] != "none")
-            .all(|r| r[5] == "yes"), "{:?}", fig.rows);
+        assert!(
+            fig.rows.iter().filter(|r| r[1] != "none").all(|r| r[5] == "yes"),
+            "{:?}",
+            fig.rows
+        );
     }
 }

@@ -3,8 +3,6 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
-
 /// Global knobs for a reproduction run.
 #[derive(Debug, Clone)]
 pub struct ReproConfig {
@@ -51,7 +49,7 @@ impl ReproConfig {
 }
 
 /// One regenerated table or figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Paper artifact id (`table1`, `fig4`, …).
     pub id: String,
@@ -106,12 +104,8 @@ impl Figure {
         }
         let mut out = String::new();
         out.push_str(&format!("== {} — {} (scale {}) ==\n", self.id, self.title, self.scale));
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
@@ -134,14 +128,69 @@ impl Figure {
         println!();
     }
 
+    /// Renders the figure as pretty-printed JSON (hand-rolled: the
+    /// offline build stubs serde, see `vendor/serde`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json::string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json::string(&self.title)));
+        out.push_str(&format!("  \"scale\": {},\n", json::number(self.scale)));
+        out.push_str(&format!("  \"columns\": {},\n", json::string_array(&self.columns)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", json::string_array(row)));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"notes\": {}\n", json::string_array(&self.notes)));
+        out.push_str("}\n");
+        out
+    }
+
     /// Persists as pretty JSON under `dir` (`<id>.json`).
     pub fn save_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut file = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("figure serializes");
-        file.write_all(json.as_bytes())?;
+        file.write_all(self.to_json().as_bytes())?;
         Ok(path)
+    }
+}
+
+/// Tiny JSON encoding helpers shared by the result writers.
+pub mod json {
+    /// Escapes and quotes a string.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Formats a finite number (JSON has no NaN/∞ — those become null).
+    pub fn number(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// A single-line array of strings.
+    pub fn string_array(items: &[String]) -> String {
+        let inner: Vec<String> = items.iter().map(|s| string(s)).collect();
+        format!("[{}]", inner.join(", "))
     }
 }
 

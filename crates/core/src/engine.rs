@@ -2,34 +2,53 @@
 //! simulated distributed timing.
 //!
 //! One [`Engine::run`] call is one MapReduce *job* — one **global
-//! synchronization** in the paper's cost accounting. The engine:
+//! synchronization** in the paper's cost accounting. Execution is a
+//! composition of the named stage types in [`crate::plan`]:
 //!
-//! 1. runs every map task in parallel on the work-stealing pool,
-//! 2. applies the optional combiner per map task,
-//! 3. shuffles deterministically (stable key hash → reducer, key-sorted
-//!    groups, map-task-ordered values),
-//! 4. runs every reduce task in parallel,
-//! 5. meters everything, and — when a [`Simulation`] is attached —
-//!    replays the metered job on the simulated cluster, appending the
-//!    resulting [`JobStats`] to the engine's history.
+//! 1. [`plan::MapStage`] runs every map task in parallel on the
+//!    work-stealing pool,
+//! 2. [`plan::CombineStage`] applies the optional combiner per task,
+//! 3. [`plan::ShuffleStage`] routes deterministically (stable key hash
+//!    → reduce partition) and transfers each partition's buckets to its
+//!    reduce task *by move* — no clone, and partitions that received no
+//!    records are skipped,
+//! 4. [`plan::ReduceStage`] runs every reduce task in parallel, fusing
+//!    move-based concatenation with sort-based
+//!    [`crate::shuffle::GroupView`] grouping (key-sorted groups,
+//!    map-task-ordered values) over buffers recycled across jobs,
+//! 5. the engine meters everything, and — when a [`Simulation`] is
+//!    attached — replays the metered job on the simulated cluster,
+//!    appending the resulting [`JobStats`] to the engine's history.
 //!
 //! The returned pairs are *identical* whether or not simulation is
-//! enabled; simulation only produces timing.
+//! enabled; simulation only produces timing. They are also identical
+//! to what the kept-for-test reference strategy
+//! ([`plan::reference::execute`]) produces — asserted by the
+//! `stage_equivalence` integration tests.
 
 use std::time::{Duration, Instant};
 
 use asyncmr_runtime::ThreadPool;
-use asyncmr_simcluster::{JobSpec, JobStats, MapTaskSpec, ReduceTaskSpec, SimTime, Simulation};
+use asyncmr_simcluster::{JobSpec, JobStats, SimTime, Simulation};
 
-use crate::emitter::{MapContext, ReduceContext};
-use crate::shuffle;
+use crate::plan::{
+    self, CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings,
+};
 use crate::traits::{Combiner, Mapper, Reducer};
 
 /// Per-job knobs.
 #[derive(Clone, Copy)]
 pub struct JobOptions<'c, K, V> {
-    /// Number of reduce tasks (Hadoop: ~0.95 × cluster reduce slots;
-    /// the paper's testbed has 16).
+    /// The shuffle's partition count — an **upper bound** on reduce
+    /// tasks, not a promise.
+    ///
+    /// Keys are routed by stable hash into `num_reducers` partitions;
+    /// partitions that receive no records are *skipped*: not executed,
+    /// not counted in [`JobMeter::reduce_tasks`], and not replayed on
+    /// the simulated cluster. The default of 16 (the paper's testbed
+    /// reduce slots) is therefore safe on tiny inputs — a job with
+    /// three distinct keys runs at most three reduce tasks instead of
+    /// metering thirteen empty ones.
     pub num_reducers: usize,
     /// Optional map-side combiner.
     pub combiner: Option<&'c dyn Combiner<Key = K, Value = V>>,
@@ -45,6 +64,9 @@ impl<K, V> std::fmt::Debug for JobOptions<'_, K, V> {
 }
 
 impl<K, V> Default for JobOptions<'static, K, V> {
+    /// 16 shuffle partitions (the paper's testbed), no combiner. See
+    /// [`JobOptions::num_reducers`] for why this is safe on tiny
+    /// inputs.
     fn default() -> Self {
         JobOptions { num_reducers: 16, combiner: None }
     }
@@ -73,7 +95,8 @@ impl<'c, K, V> JobOptions<'c, K, V> {
 pub struct JobMeter {
     /// Map task count.
     pub map_tasks: usize,
-    /// Reduce task count.
+    /// Reduce tasks **executed** (shuffle partitions that received at
+    /// least one record; see [`JobOptions::num_reducers`]).
     pub reduce_tasks: usize,
     /// Abstract ops across all map tasks.
     pub map_ops: u64,
@@ -83,6 +106,8 @@ pub struct JobMeter {
     pub shuffle_records: u64,
     /// Bytes entering the shuffle (post-combiner).
     pub shuffle_bytes: u64,
+    /// Records emitted by map tasks before combining.
+    pub precombine_records: u64,
     /// Bytes emitted by map tasks before combining.
     pub precombine_bytes: u64,
     /// Final output records.
@@ -98,7 +123,7 @@ pub struct JobMeter {
 /// Everything one job produced.
 #[derive(Debug)]
 pub struct JobResult<K, O> {
-    /// Output pairs, in (reducer index, key) order — deterministic.
+    /// Output pairs, in (reduce partition, key) order — deterministic.
     pub pairs: Vec<(K, O)>,
     /// Aggregate meters.
     pub meter: JobMeter,
@@ -106,6 +131,10 @@ pub struct JobResult<K, O> {
     pub sim: Option<JobStats>,
     /// Real in-process execution time of this job.
     pub wall: Duration,
+    /// Per-stage wall-clock breakdown of `wall`. All-zero when the job
+    /// ran on the reference path ([`Engine::with_reference_shuffle`]),
+    /// which executes monolithically and is not stage-instrumented.
+    pub stages: StageTimings,
 }
 
 /// A row of the engine's job history.
@@ -119,6 +148,19 @@ pub struct JobRecord {
     pub sim: Option<JobStats>,
     /// Real in-process execution time.
     pub wall: Duration,
+    /// Per-stage wall-clock breakdown.
+    pub stages: StageTimings,
+}
+
+/// Which execution strategy [`Engine::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShufflePath {
+    /// The staged pipeline (production path).
+    Staged,
+    /// The original clone + `BTreeMap` strategy
+    /// ([`plan::reference::execute`]) — for equivalence tests and the
+    /// before/after benchmark only.
+    Reference,
 }
 
 /// The MapReduce execution engine (see module docs).
@@ -126,6 +168,8 @@ pub struct Engine<'p> {
     pool: &'p ThreadPool,
     sim: Option<Simulation>,
     records: Vec<JobRecord>,
+    scratch: ScratchArena,
+    path: ShufflePath,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -133,20 +177,35 @@ impl std::fmt::Debug for Engine<'_> {
         f.debug_struct("Engine")
             .field("jobs_run", &self.records.len())
             .field("simulating", &self.sim.is_some())
+            .field("path", &self.path)
             .finish()
     }
 }
 
 impl<'p> Engine<'p> {
+    fn new(pool: &'p ThreadPool, sim: Option<Simulation>, path: ShufflePath) -> Self {
+        Engine { pool, sim, records: Vec::new(), scratch: ScratchArena::new(), path }
+    }
+
     /// An engine that only executes in-process (no simulated timing).
     pub fn in_process(pool: &'p ThreadPool) -> Self {
-        Engine { pool, sim: None, records: Vec::new() }
+        Engine::new(pool, None, ShufflePath::Staged)
     }
 
     /// An engine that additionally replays every job on a simulated
     /// cluster.
     pub fn with_simulation(pool: &'p ThreadPool, sim: Simulation) -> Self {
-        Engine { pool, sim: Some(sim), records: Vec::new() }
+        Engine::new(pool, Some(sim), ShufflePath::Staged)
+    }
+
+    /// An in-process engine running jobs through the kept-for-test
+    /// reference strategy (sequential concat, per-reducer input clone,
+    /// `BTreeMap` grouping). Results must be byte-identical to the
+    /// staged path; use only to assert that or to benchmark against it
+    /// (compare whole-job [`JobResult::wall`] — the reference path is
+    /// monolithic, so its [`JobResult::stages`] stays all-zero).
+    pub fn with_reference_shuffle(pool: &'p ThreadPool) -> Self {
+        Engine::new(pool, None, ShufflePath::Reference)
     }
 
     /// The thread pool tasks run on.
@@ -174,6 +233,12 @@ impl<'p> Engine<'p> {
         self.records.clear();
     }
 
+    /// The scratch arena reduce tasks recycle buffers through
+    /// (diagnostic access).
+    pub fn scratch_arena(&self) -> &ScratchArena {
+        &self.scratch
+    }
+
     /// Executes one MapReduce job. See the module docs for phase
     /// semantics and determinism guarantees.
     pub fn run<I, M, R>(
@@ -190,111 +255,17 @@ impl<'p> Engine<'p> {
         R: Reducer<Key = M::Key, ValueIn = M::Value>,
     {
         let started = Instant::now();
-        let reducers = opts.num_reducers.max(1);
-
-        // ---- Map phase (parallel, one task per input split) ----
-        struct MapOut<K, V> {
-            buckets: Vec<Vec<(K, V)>>,
-            ops: u64,
-            local_syncs: u64,
-            input_bytes: u64,
-            out_records: u64,
-            out_bytes: u64,
-            precombine_bytes: u64,
-        }
-        let map_outs: Vec<MapOut<M::Key, M::Value>> =
-            self.pool.par_map_indexed(inputs, |task, input| {
-                let mut ctx: MapContext<M::Key, M::Value> = MapContext::default();
-                mapper.map(task, input, &mut ctx);
-                let (mut pairs, meter, _records, bytes) = ctx.finish();
-                let precombine_bytes = bytes;
-                if let Some(combiner) = opts.combiner {
-                    pairs = shuffle::combine_local(pairs, |k, vs| combiner.combine(k, vs));
-                }
-                let (mut out_records, mut out_bytes) = (0u64, 0u64);
-                for (k, v) in &pairs {
-                    out_records += 1;
-                    out_bytes += crate::kv::Meterable::approx_bytes(k)
-                        + crate::kv::Meterable::approx_bytes(v);
-                }
-                let input_bytes = if meter.input_bytes() > 0 {
-                    meter.input_bytes()
-                } else {
-                    mapper.input_size_hint(input)
-                };
-                MapOut {
-                    buckets: shuffle::route(pairs, reducers),
-                    ops: meter.ops(),
-                    local_syncs: meter.local_syncs(),
-                    input_bytes,
-                    out_records,
-                    out_bytes,
-                    precombine_bytes,
-                }
-            });
-
-        // ---- Shuffle: concatenate per-reducer buckets in task order ----
-        let mut reduce_inputs: Vec<Vec<(M::Key, M::Value)>> =
-            (0..reducers).map(|_| Vec::new()).collect();
-        let mut map_specs = Vec::with_capacity(map_outs.len());
-        let mut meter = JobMeter {
-            map_tasks: inputs.len(),
-            reduce_tasks: reducers,
-            ..JobMeter::default()
-        };
-        let mut map_outs = map_outs;
-        for out in &mut map_outs {
-            meter.map_ops += out.ops;
-            meter.local_syncs += out.local_syncs;
-            meter.input_bytes += out.input_bytes;
-            meter.shuffle_records += out.out_records;
-            meter.shuffle_bytes += out.out_bytes;
-            meter.precombine_bytes += out.precombine_bytes;
-            map_specs.push(
-                MapTaskSpec::new(out.input_bytes, out.ops, out.out_bytes)
-                    .with_records(out.out_records),
-            );
-            for (r, bucket) in out.buckets.drain(..).enumerate() {
-                reduce_inputs[r].extend(bucket);
+        let (pairs, meter, map_specs, reduce_specs, stages) = match self.path {
+            ShufflePath::Staged => self.run_staged(inputs, mapper, reducer, opts),
+            ShufflePath::Reference => {
+                let run = plan::reference::execute(self.pool, inputs, mapper, reducer, opts);
+                (run.pairs, run.meter, run.map_specs, run.reduce_specs, StageTimings::default())
             }
-        }
-
-        // ---- Reduce phase (parallel, one task per reducer) ----
-        struct ReduceOut<K, O> {
-            pairs: Vec<(K, O)>,
-            ops: u64,
-            in_records: u64,
-            out_records: u64,
-            out_bytes: u64,
-        }
-        let reduce_outs: Vec<ReduceOut<R::Key, R::Out>> =
-            self.pool.par_map(&reduce_inputs, |input| {
-                let mut ctx: ReduceContext<R::Key, R::Out> = ReduceContext::default();
-                let in_records = input.len() as u64;
-                let grouped = shuffle::group(input.clone());
-                for (k, values) in &grouped {
-                    reducer.reduce(k, values, &mut ctx);
-                }
-                let (pairs, rmeter, out_records, out_bytes) = ctx.finish();
-                ReduceOut { pairs, ops: rmeter.ops(), in_records, out_records, out_bytes }
-            });
-
-        let mut pairs = Vec::new();
-        let mut reduce_specs = Vec::with_capacity(reduce_outs.len());
-        for out in reduce_outs {
-            meter.reduce_ops += out.ops;
-            meter.output_records += out.out_records;
-            meter.output_bytes += out.out_bytes;
-            // Record-handling framework work folds into reduce ops.
-            reduce_specs.push(ReduceTaskSpec::new(out.ops + out.in_records, out.out_bytes));
-            pairs.extend(out.pairs);
-        }
+        };
 
         // ---- Optional simulated replay ----
         let sim_stats = self.sim.as_mut().map(|sim| {
-            let job = JobSpec::named(name)
-                .with_maps(map_specs)
-                .with_reduces(reduce_specs);
+            let job = JobSpec::named(name).with_maps(map_specs).with_reduces(reduce_specs);
             sim.run_job(&job)
         });
 
@@ -304,14 +275,84 @@ impl<'p> Engine<'p> {
             meter,
             sim: sim_stats.clone(),
             wall,
+            stages,
         });
-        JobResult { pairs, meter, sim: sim_stats, wall }
+        JobResult { pairs, meter, sim: sim_stats, wall, stages }
+    }
+
+    /// The production path: compose the four named stages.
+    #[allow(clippy::type_complexity)]
+    fn run_staged<I, M, R>(
+        &mut self,
+        inputs: &[I],
+        mapper: &M,
+        reducer: &R,
+        opts: &JobOptions<'_, M::Key, M::Value>,
+    ) -> (
+        Vec<(R::Key, R::Out)>,
+        JobMeter,
+        Vec<asyncmr_simcluster::MapTaskSpec>,
+        Vec<asyncmr_simcluster::ReduceTaskSpec>,
+        StageTimings,
+    )
+    where
+        I: Send + Sync,
+        M: Mapper<Input = I>,
+        R: Reducer<Key = M::Key, ValueIn = M::Value>,
+    {
+        let mut stages = StageTimings::default();
+
+        let t = Instant::now();
+        let map_out = MapStage { mapper }.run(self.pool, inputs);
+        stages.map = t.elapsed();
+
+        let t = Instant::now();
+        let combined = CombineStage { combiner: opts.combiner }.run(self.pool, map_out);
+        stages.combine = t.elapsed();
+
+        let t = Instant::now();
+        let (profiles, shuffled) =
+            ShuffleStage { num_reducers: opts.num_reducers }.run(self.pool, combined);
+        stages.shuffle = t.elapsed();
+
+        let t = Instant::now();
+        let reduced = ReduceStage { reducer }.run(self.pool, shuffled, &self.scratch);
+        stages.reduce = t.elapsed();
+
+        let mut meter = JobMeter {
+            map_tasks: inputs.len(),
+            reduce_tasks: reduced.len(),
+            ..JobMeter::default()
+        };
+        for p in &profiles {
+            meter.map_ops += p.ops;
+            meter.local_syncs += p.local_syncs;
+            meter.input_bytes += p.input_bytes;
+            meter.shuffle_records += p.records;
+            meter.shuffle_bytes += p.bytes;
+            meter.precombine_records += p.precombine_records;
+            meter.precombine_bytes += p.precombine_bytes;
+        }
+        for r in &reduced {
+            meter.reduce_ops += r.ops;
+            meter.output_records += r.out_records;
+            meter.output_bytes += r.out_bytes;
+        }
+        let (map_specs, reduce_specs) = plan::task_specs(&profiles, &reduced);
+
+        let mut pairs = Vec::new();
+        for r in reduced {
+            pairs.extend(r.pairs);
+        }
+        (pairs, meter, map_specs, reduce_specs, stages)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emitter::{MapContext, ReduceContext};
+    use crate::hash::reducer_for;
     use asyncmr_simcluster::ClusterSpec;
 
     struct SquareMapper;
@@ -355,7 +396,7 @@ mod tests {
     }
 
     fn expected() -> Vec<(u32, u64)> {
-        let mut sums = vec![0u64; 10];
+        let mut sums = [0u64; 10];
         for split in splits() {
             for x in split {
                 sums[(x % 10) as usize] += (x as u64) * (x as u64);
@@ -364,17 +405,33 @@ mod tests {
         (0u32..10).map(|k| (k, sums[k as usize])).collect()
     }
 
+    /// Shuffle partitions of `0..10` (the emitted key space) that
+    /// actually receive records under `reducers` partitions.
+    fn populated_partitions(reducers: usize) -> usize {
+        let mut hit = vec![false; reducers];
+        for k in 0u32..10 {
+            hit[reducer_for(&k, reducers)] = true;
+        }
+        hit.iter().filter(|&&h| h).count()
+    }
+
     #[test]
     fn wordcount_style_job_is_correct() {
         let pool = ThreadPool::new(4);
         let mut engine = Engine::in_process(&pool);
         let inputs = splits();
-        let out = engine.run("squares", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let out = engine.run(
+            "squares",
+            &inputs,
+            &SquareMapper,
+            &SumReducer,
+            &JobOptions::with_reducers(4),
+        );
         let mut got = out.pairs;
         got.sort();
         assert_eq!(got, expected());
         assert_eq!(out.meter.map_tasks, 8);
-        assert_eq!(out.meter.reduce_tasks, 4);
+        assert_eq!(out.meter.reduce_tasks, populated_partitions(4));
         assert_eq!(out.meter.map_ops, 800);
         assert_eq!(out.meter.shuffle_records, 800);
         assert_eq!(out.meter.output_records, 10);
@@ -386,7 +443,8 @@ mod tests {
         let pool = ThreadPool::new(4);
         let mut engine = Engine::in_process(&pool);
         let inputs = splits();
-        let plain = engine.run("p", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let plain =
+            engine.run("p", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
         let combined = engine.run(
             "c",
             &inputs,
@@ -415,15 +473,86 @@ mod tests {
     }
 
     #[test]
+    fn reference_shuffle_produces_identical_pairs() {
+        let pool = ThreadPool::new(4);
+        let inputs = splits();
+        let opts = JobOptions::with_reducers(4);
+        let mut staged = Engine::in_process(&pool);
+        let a = staged.run("s", &inputs, &SquareMapper, &SumReducer, &opts);
+        let mut reference = Engine::with_reference_shuffle(&pool);
+        let b = reference.run("r", &inputs, &SquareMapper, &SumReducer, &opts);
+        assert_eq!(a.pairs, b.pairs, "staged and reference paths must agree byte-for-byte");
+    }
+
+    #[test]
+    fn empty_partitions_are_skipped_not_metered() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        // Single key: exactly one of the default 16 partitions runs.
+        struct OneKey;
+        impl Mapper for OneKey {
+            type Input = u32;
+            type Key = u32;
+            type Value = u64;
+            fn map(&self, _t: usize, input: &u32, ctx: &mut MapContext<u32, u64>) {
+                ctx.emit_intermediate(3, u64::from(*input));
+            }
+        }
+        let out = engine.run("tiny", &[5u32, 6], &OneKey, &SumReducer, &JobOptions::default());
+        assert_eq!(out.meter.reduce_tasks, 1, "15 empty partitions must not be metered");
+        assert_eq!(out.pairs, vec![(3, 11)]);
+    }
+
+    #[test]
+    fn stage_timings_cover_the_run() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        let out =
+            engine.run("t", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        assert!(out.stages.map > Duration::ZERO);
+        assert!(out.stages.reduce > Duration::ZERO);
+        assert!(out.stages.total() <= out.wall);
+        assert_eq!(engine.history()[0].stages, out.stages);
+    }
+
+    #[test]
+    fn scratch_is_recycled_across_jobs() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::in_process(&pool);
+        let inputs = splits();
+        for i in 0..3 {
+            engine.run(
+                &format!("iter{i}"),
+                &inputs,
+                &SquareMapper,
+                &SumReducer,
+                &JobOptions::with_reducers(2),
+            );
+        }
+        assert!(
+            engine.scratch_arena().shelved() > 0,
+            "reduce-task scratch buffers must be shelved for reuse"
+        );
+    }
+
+    #[test]
     fn simulation_attaches_timing_without_changing_results() {
         let pool = ThreadPool::new(4);
         let inputs = splits();
         let mut plain_engine = Engine::in_process(&pool);
-        let plain = plain_engine.run("x", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let plain = plain_engine.run(
+            "x",
+            &inputs,
+            &SquareMapper,
+            &SumReducer,
+            &JobOptions::with_reducers(4),
+        );
 
         let sim = Simulation::new(ClusterSpec::ec2_2010(), 42);
         let mut sim_engine = Engine::with_simulation(&pool, sim);
-        let simmed = sim_engine.run("x", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
+        let simmed =
+            sim_engine.run("x", &inputs, &SquareMapper, &SumReducer, &JobOptions::with_reducers(4));
 
         assert_eq!(plain.pairs, simmed.pairs);
         let stats = simmed.sim.expect("simulated stats present");
@@ -458,6 +587,7 @@ mod tests {
         let out = engine.run("empty", &inputs, &SquareMapper, &SumReducer, &JobOptions::default());
         assert!(out.pairs.is_empty());
         assert_eq!(out.meter.map_tasks, 0);
+        assert_eq!(out.meter.reduce_tasks, 0, "nothing shuffled, nothing reduced");
     }
 
     #[test]

@@ -77,10 +77,7 @@ mod tests {
             counts[reducer_for(&k, reducers)] += 1;
         }
         for (r, &c) in counts.iter().enumerate() {
-            assert!(
-                (700..1300).contains(&c),
-                "reducer {r} got {c} of 8000 keys — badly skewed"
-            );
+            assert!((700..1300).contains(&c), "reducer {r} got {c} of 8000 keys — badly skewed");
         }
     }
 

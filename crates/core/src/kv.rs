@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn reference_delegates() {
         let v = 9u64;
-        assert_eq!((&v).approx_bytes(), 8);
+        assert_eq!(v.approx_bytes(), 8);
     }
 
     fn assert_key<K: Key>() {}

@@ -82,6 +82,7 @@ pub mod engine;
 pub mod hash;
 pub mod kv;
 pub mod local;
+pub mod plan;
 pub mod shuffle;
 pub mod traits;
 
@@ -90,6 +91,8 @@ pub use emitter::{Emitter, MapContext, ReduceContext, TaskMeter};
 pub use engine::{Engine, JobMeter, JobOptions, JobResult};
 pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
+pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
+pub use shuffle::{GroupView, Grouped, ShuffleScratch};
 pub use traits::{Combiner, Mapper, Reducer};
 
 /// Glob import for application code.

@@ -37,7 +37,7 @@ use std::collections::BTreeMap;
 
 use crate::emitter::MapContext;
 use crate::kv::{Key, Meterable, Value};
-use crate::shuffle;
+use crate::shuffle::{Grouped, ShuffleScratch};
 use crate::traits::Mapper;
 
 /// The local-state "hashtable" of paper Figure 1 (a `BTreeMap` here, so
@@ -53,8 +53,10 @@ pub struct LocalMapContext<K, V> {
 }
 
 impl<K: Key, V: Value> LocalMapContext<K, V> {
-    fn new() -> Self {
-        LocalMapContext { intermediate: Vec::new(), ops: 0 }
+    /// A context emitting into a recycled (cleared) buffer.
+    fn reusing(buffer: Vec<(K, V)>) -> Self {
+        debug_assert!(buffer.is_empty());
+        LocalMapContext { intermediate: buffer, ops: 0 }
     }
 
     /// The paper's `EmitLocalIntermediate(key, value)`: feeds the next
@@ -118,8 +120,7 @@ pub trait LocalAlgorithm: Send + Sync {
     /// Builds the initial local-state hashtable from the partition
     /// ("functions to convert data into the formats required by the
     /// local map and local reduce", §IV).
-    fn init_state(&self, task: usize, input: &Self::Input)
-        -> Vec<(Self::Key, Self::Value)>;
+    fn init_state(&self, task: usize, input: &Self::Input) -> Vec<(Self::Key, Self::Value)>;
 
     /// The paper's `lmap`: processes one element of `xs`, reading the
     /// current hashtable and emitting via
@@ -223,12 +224,7 @@ impl<L: LocalAlgorithm> Mapper for EagerMapper<L> {
     type Key = L::Key;
     type Value = L::Value;
 
-    fn map(
-        &self,
-        task: usize,
-        input: &Self::Input,
-        ctx: &mut MapContext<Self::Key, Self::Value>,
-    ) {
+    fn map(&self, task: usize, input: &Self::Input, ctx: &mut MapContext<Self::Key, Self::Value>) {
         let mut state: LocalState<L::Key, L::Value> =
             self.algo.init_state(task, input).into_iter().collect();
         let input_bytes = self.algo.input_bytes(task, input).unwrap_or_else(|| {
@@ -237,9 +233,14 @@ impl<L: LocalAlgorithm> Mapper for EagerMapper<L> {
         ctx.meter.set_input_bytes(input_bytes);
         let items = self.algo.items(input);
 
+        // One scratch set serves every local iteration of this task:
+        // after the first pass the intermediate buffer and the group
+        // arrays stop allocating (same hot-path machinery as the
+        // engine's reduce stage, see `crate::shuffle::Grouped`).
+        let mut scratch: ShuffleScratch<L::Key, L::Value> = ShuffleScratch::default();
         for _ in 0..self.algo.max_local_iterations() {
             // Local map phase over every element of xs.
-            let mut lctx = LocalMapContext::new();
+            let mut lctx = LocalMapContext::reusing(scratch.take_pairs());
             for item in items {
                 self.algo.lmap(task, input, item, &state, &mut lctx);
             }
@@ -248,11 +249,11 @@ impl<L: LocalAlgorithm> Mapper for EagerMapper<L> {
             // already running their next local iteration (eager
             // scheduling).
             let record_work = lctx.intermediate.len() as u64;
-            let grouped = shuffle::group(std::mem::take(&mut lctx.intermediate));
+            let grouped =
+                Grouped::from_pairs_reusing(std::mem::take(&mut lctx.intermediate), &mut scratch);
             let mut rctx = LocalReduceContext::new();
-            for (k, values) in &grouped {
-                self.algo.lreduce(task, input, k, values, &mut rctx);
-            }
+            grouped.for_each(|g| self.algo.lreduce(task, input, g.key, g.values, &mut rctx));
+            grouped.recycle_into(&mut scratch);
             let mut new_state = std::mem::take(&mut rctx.state);
             self.algo.post_lreduce(task, input, &state, &mut new_state);
             ctx.meter.add_ops(lctx.ops + rctx.ops + record_work);

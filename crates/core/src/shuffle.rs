@@ -3,9 +3,21 @@
 //! Hadoop's shuffle hashes keys to reducers, then sorts each reducer's
 //! input by key so `reduce` sees contiguous groups. We reproduce the
 //! same contract: [`route`] splits each map task's output by stable
-//! key hash, and [`group`] produces key groups in ascending key order
+//! key hash, and grouping produces key groups in ascending key order
 //! with values ordered by (map task, emission index) — fully
 //! deterministic.
+//!
+//! Two grouping implementations exist:
+//!
+//! * [`Grouped`] — the **hot path**: a stable sort by key over the
+//!   moved-in pairs, split into parallel `keys`/`values` arrays, with
+//!   run detection yielding contiguous [`GroupView`] slices. No per-key
+//!   `Vec` allocations, no clones, and all three backing buffers are
+//!   recyclable through [`ShuffleScratch`] across the hundreds of jobs
+//!   an iterative driver issues.
+//! * [`group`] — the original `BTreeMap` formulation, **kept as the
+//!   behavioral reference** for property tests and the before/after
+//!   shuffle benchmark. Both produce byte-identical group order.
 
 use std::collections::BTreeMap;
 
@@ -23,8 +35,164 @@ pub fn route<K: Key, V: Value>(pairs: Vec<(K, V)>, reducers: usize) -> Vec<Vec<(
     buckets
 }
 
+/// Reusable backing buffers for [`concat_buckets`] and
+/// [`Grouped::from_pairs_reusing`].
+///
+/// One reduce task's worth of shuffle memory: the concatenation buffer
+/// plus the split key/value arrays. An [`crate::plan::ScratchArena`]
+/// shelves these between jobs so an iterative run stops reallocating
+/// after its first iteration.
+#[derive(Debug)]
+pub struct ShuffleScratch<K, V> {
+    pub(crate) pairs: Vec<(K, V)>,
+    pub(crate) keys: Vec<K>,
+    pub(crate) values: Vec<V>,
+}
+
+impl<K, V> Default for ShuffleScratch<K, V> {
+    fn default() -> Self {
+        ShuffleScratch { pairs: Vec::new(), keys: Vec::new(), values: Vec::new() }
+    }
+}
+
+impl<K, V> ShuffleScratch<K, V> {
+    /// Total capacity currently shelved (diagnostic).
+    pub fn capacity(&self) -> usize {
+        self.pairs.capacity() + self.keys.capacity() + self.values.capacity()
+    }
+
+    /// Takes the spare pair buffer (cleared), leaving an empty one.
+    pub(crate) fn take_pairs(&mut self) -> Vec<(K, V)> {
+        let mut pairs = std::mem::take(&mut self.pairs);
+        pairs.clear();
+        pairs
+    }
+
+    /// Shelves a pair buffer if it beats the currently held one.
+    pub(crate) fn offer_pairs(&mut self, pairs: Vec<(K, V)>) {
+        if pairs.capacity() > self.pairs.capacity() {
+            self.pairs = pairs;
+            self.pairs.clear();
+        }
+    }
+}
+
+/// Concatenates one reducer's buckets **by move**, in bucket (= map
+/// task) order, into a buffer recycled from `scratch`.
+pub fn concat_buckets<K, V>(
+    buckets: impl IntoIterator<Item = Vec<(K, V)>>,
+    scratch: &mut ShuffleScratch<K, V>,
+) -> Vec<(K, V)> {
+    let mut out = scratch.take_pairs();
+    for mut bucket in buckets {
+        out.append(&mut bucket);
+    }
+    out
+}
+
+/// One key group: the key plus its values as a contiguous slice.
+///
+/// Values are in (map task, emission index) order — identical to what
+/// the [`group`] reference produces.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupView<'a, K, V> {
+    /// The group's key.
+    pub key: &'a K,
+    /// All values shuffled to this key, deterministically ordered.
+    pub values: &'a [V],
+}
+
+/// One reducer's input, grouped by key via stable sort + run detection.
+///
+/// Internally two parallel arrays (`keys[i]` owns `values[i]`'s key), so
+/// each group's values are a contiguous `&[V]` without per-key `Vec`
+/// allocation. Keys ascend; duplicate keys are adjacent.
+#[derive(Debug)]
+pub struct Grouped<K, V> {
+    keys: Vec<K>,
+    values: Vec<V>,
+}
+
+impl<K: Key, V: Value> Grouped<K, V> {
+    /// Groups `pairs` (allocating fresh buffers).
+    pub fn from_pairs(pairs: Vec<(K, V)>) -> Self {
+        Self::from_pairs_reusing(pairs, &mut ShuffleScratch::default())
+    }
+
+    /// Groups `pairs`, recycling buffers from `scratch`; the drained
+    /// input allocation is shelved back into `scratch` for the next
+    /// round.
+    ///
+    /// The sort is *stable*, so values keep their concatenation order
+    /// within each key — the determinism contract the `BTreeMap`
+    /// reference establishes.
+    pub fn from_pairs_reusing(mut pairs: Vec<(K, V)>, scratch: &mut ShuffleScratch<K, V>) -> Self {
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut keys = std::mem::take(&mut scratch.keys);
+        let mut values = std::mem::take(&mut scratch.values);
+        keys.clear();
+        values.clear();
+        keys.reserve(pairs.len());
+        values.reserve(pairs.len());
+        for (k, v) in pairs.drain(..) {
+            keys.push(k);
+            values.push(v);
+        }
+        scratch.offer_pairs(pairs);
+        Grouped { keys, values }
+    }
+
+    /// Calls `f` once per key group, keys ascending.
+    pub fn for_each<F>(&self, mut f: F)
+    where
+        F: FnMut(GroupView<'_, K, V>),
+    {
+        let n = self.keys.len();
+        let mut lo = 0;
+        while lo < n {
+            let mut hi = lo + 1;
+            while hi < n && self.keys[hi] == self.keys[lo] {
+                hi += 1;
+            }
+            f(GroupView { key: &self.keys[lo], values: &self.values[lo..hi] });
+            lo = hi;
+        }
+    }
+
+    /// Total records (across all groups).
+    pub fn records(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of distinct keys.
+    pub fn num_groups(&self) -> usize {
+        let mut groups = 0;
+        self.for_each(|_| groups += 1);
+        groups
+    }
+
+    /// Returns the backing buffers to `scratch` (cleared, capacity
+    /// kept) for the next job.
+    pub fn recycle_into(mut self, scratch: &mut ShuffleScratch<K, V>) {
+        self.keys.clear();
+        self.values.clear();
+        scratch.keys = self.keys;
+        scratch.values = self.values;
+    }
+}
+
 /// Groups one reducer's input (concatenated map buckets, in map-task
 /// order) into `(key, values)` with keys ascending.
+///
+/// This is the original `BTreeMap` formulation, **kept as the
+/// behavioral reference**: the engine's hot path uses [`Grouped`], and
+/// tests/benches assert both produce identical output. Prefer
+/// [`Grouped`] in new engine code.
 pub fn group<K: Key, V: Value>(input: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
     let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for (k, v) in input {
@@ -40,13 +208,10 @@ pub fn combine_local<K: Key, V: Value>(
     pairs: Vec<(K, V)>,
     combine: impl Fn(&K, &[V]) -> V,
 ) -> Vec<(K, V)> {
-    group(pairs)
-        .into_iter()
-        .map(|(k, vs)| {
-            let combined = combine(&k, &vs);
-            (k, combined)
-        })
-        .collect()
+    let grouped = Grouped::from_pairs(pairs);
+    let mut out = Vec::new();
+    grouped.for_each(|g| out.push((g.key.clone(), combine(g.key, g.values))));
+    out
 }
 
 #[cfg(test)]
@@ -71,16 +236,64 @@ mod tests {
     fn group_sorts_keys_and_preserves_value_order() {
         let input = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
         let grouped = group(input);
-        assert_eq!(
-            grouped,
-            vec![(1, vec!['b', 'e']), (2, vec!['d']), (3, vec!['a', 'c'])]
-        );
+        assert_eq!(grouped, vec![(1, vec!['b', 'e']), (2, vec!['d']), (3, vec!['a', 'c'])]);
     }
 
     #[test]
     fn group_empty() {
         let grouped: Vec<(u32, Vec<u32>)> = group(Vec::new());
         assert!(grouped.is_empty());
+    }
+
+    #[test]
+    fn grouped_matches_reference_on_interleaved_keys() {
+        let input = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
+        let reference = group(input.clone());
+        let grouped = Grouped::from_pairs(input);
+        let mut got: Vec<(u32, Vec<char>)> = Vec::new();
+        grouped.for_each(|g| got.push((*g.key, g.values.to_vec())));
+        assert_eq!(got, reference);
+        assert_eq!(grouped.records(), 5);
+        assert_eq!(grouped.num_groups(), 3);
+    }
+
+    #[test]
+    fn grouped_empty() {
+        let grouped: Grouped<u32, u32> = Grouped::from_pairs(Vec::new());
+        assert!(grouped.is_empty());
+        let mut called = false;
+        grouped.for_each(|_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn scratch_recycles_capacity() {
+        let mut scratch: ShuffleScratch<u32, u64> = ShuffleScratch::default();
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|i| (i % 7, u64::from(i))).collect();
+        let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+        assert_eq!(grouped.records(), 1000);
+        grouped.recycle_into(&mut scratch);
+        let before = scratch.capacity();
+        assert!(before >= 3000, "all three buffers shelved: {before}");
+        // Second round must not grow the scratch (same shape workload).
+        let pairs: Vec<(u32, u64)> = concat_buckets(
+            vec![
+                (0..500).map(|i| (i % 7, u64::from(i))).collect(),
+                (0..500).map(|i| (i % 5, u64::from(i))).collect(),
+            ],
+            &mut scratch,
+        );
+        let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+        grouped.recycle_into(&mut scratch);
+        assert!(scratch.capacity() >= before, "capacity retained across rounds");
+    }
+
+    #[test]
+    fn concat_preserves_bucket_then_emission_order() {
+        let mut scratch = ShuffleScratch::default();
+        let buckets = vec![vec![(1u32, 'a'), (2, 'b')], Vec::new(), vec![(1, 'c')], vec![(3, 'd')]];
+        let pairs = concat_buckets(buckets, &mut scratch);
+        assert_eq!(pairs, vec![(1, 'a'), (2, 'b'), (1, 'c'), (3, 'd')]);
     }
 
     #[test]

@@ -20,12 +20,7 @@ pub trait Mapper: Send + Sync {
 
     /// Processes one split. `task` is the split index (stable across
     /// iterations — partition `p` is always task `p`).
-    fn map(
-        &self,
-        task: usize,
-        input: &Self::Input,
-        ctx: &mut MapContext<Self::Key, Self::Value>,
-    );
+    fn map(&self, task: usize, input: &Self::Input, ctx: &mut MapContext<Self::Key, Self::Value>);
 
     /// Approximate size of an input split in bytes, used for the
     /// simulator's DFS-read accounting when the map task does not set

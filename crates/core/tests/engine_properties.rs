@@ -130,7 +130,20 @@ proptest! {
         let emitted: u64 = inputs.iter().map(|s| s.len() as u64).sum();
         prop_assert_eq!(out.meter.shuffle_records, emitted);
         prop_assert_eq!(out.meter.map_tasks, inputs.len());
-        prop_assert_eq!(out.meter.reduce_tasks, reducers);
+        // Reduce tasks = shuffle partitions that actually received
+        // records (empty partitions are skipped, not metered).
+        let populated = {
+            use asyncmr_core::hash::reducer_for;
+            let mut hit = vec![false; reducers];
+            for split in &inputs {
+                for &x in split {
+                    hit[reducer_for(&(x % 10), reducers)] = true;
+                }
+            }
+            hit.iter().filter(|&&h| h).count()
+        };
+        prop_assert_eq!(out.meter.reduce_tasks, populated);
+        prop_assert!(out.meter.reduce_tasks <= reducers);
         // Output keys bounded by the modulus.
         prop_assert!(out.meter.output_records <= 10);
     }

@@ -75,10 +75,10 @@ pub fn preferential_attachment_crawled(
     let mut ins: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut edge_count = 0usize;
     let add_edge = |outs: &mut Vec<Vec<NodeId>>,
-                        ins: &mut Vec<Vec<NodeId>>,
-                        count: &mut usize,
-                        s: NodeId,
-                        t: NodeId| {
+                    ins: &mut Vec<Vec<NodeId>>,
+                    count: &mut usize,
+                    s: NodeId,
+                    t: NodeId| {
         if s == t || outs[s as usize].contains(&t) {
             return;
         }
@@ -255,10 +255,7 @@ mod tests {
         let max = *indeg.iter().max().unwrap();
         let mean = indeg.iter().map(|&d| d as f64).sum::<f64>() / indeg.len() as f64;
         // Power-law-ish: the biggest hub towers over the mean.
-        assert!(
-            (max as f64) > 8.0 * mean,
-            "expected hubs: max in-degree {max}, mean {mean:.2}"
-        );
+        assert!((max as f64) > 8.0 * mean, "expected hubs: max in-degree {max}, mean {mean:.2}");
     }
 
     #[test]

@@ -138,10 +138,7 @@ pub fn write_adjacency(g: &CsrGraph, mut writer: impl Write) -> std::io::Result<
 }
 
 /// Writes a weighted graph (`neighbor:weight` tokens).
-pub fn write_weighted_adjacency(
-    g: &WeightedGraph,
-    mut writer: impl Write,
-) -> std::io::Result<()> {
+pub fn write_weighted_adjacency(g: &WeightedGraph, mut writer: impl Write) -> std::io::Result<()> {
     for v in 0..g.num_nodes() as NodeId {
         write!(writer, "{v}")?;
         for (i, (t, w)) in g.out_edges(v).enumerate() {

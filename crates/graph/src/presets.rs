@@ -60,10 +60,7 @@ mod tests {
         let props = GraphProperties::measure(&g);
         assert_eq!(props.nodes, 5600);
         let per_node = props.edges as f64 / props.nodes as f64;
-        assert!(
-            (7.0..13.0).contains(&per_node),
-            "Graph A density off: {per_node:.1} edges/node"
-        );
+        assert!((7.0..13.0).contains(&per_node), "Graph A density off: {per_node:.1} edges/node");
         assert!(props.power_law_alpha.is_some());
     }
 

@@ -67,13 +67,8 @@ impl DegreeStats {
         if self.count == 0 {
             return 0.0;
         }
-        let tail: usize = self
-            .histogram
-            .iter()
-            .enumerate()
-            .skip(threshold as usize)
-            .map(|(_, &c)| c)
-            .sum();
+        let tail: usize =
+            self.histogram.iter().enumerate().skip(threshold as usize).map(|(_, &c)| c).sum();
         tail as f64 / self.count as f64
     }
 }

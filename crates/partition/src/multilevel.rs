@@ -152,6 +152,9 @@ fn coarsen(g: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
 }
 
 /// Weighted BFS region growing on the coarsest graph.
+// Part/vertex ids double as indices into the weight/assignment arrays;
+// index-based loops are the clearest formulation here.
+#[allow(clippy::needless_range_loop)]
 fn grow_initial(g: &WorkGraph, k: usize, rng: &mut StdRng) -> Vec<PartId> {
     let n = g.n();
     let total = g.total_vwgt();
@@ -196,8 +199,7 @@ fn grow_initial(g: &WorkGraph, k: usize, rng: &mut StdRng) -> Vec<PartId> {
     // Anything left (k exhausted) goes to the lightest part.
     for v in 0..n {
         if assignment[v] == PartId::MAX {
-            let lightest =
-                (0..k).min_by_key(|&p| part_weights[p]).expect("k >= 1") as PartId;
+            let lightest = (0..k).min_by_key(|&p| part_weights[p]).expect("k >= 1") as PartId;
             assignment[v] = lightest;
             part_weights[lightest as usize] += g.vwgt[v];
         }
@@ -328,8 +330,7 @@ impl Partitioner for MultilevelKWay {
             }
             assignment = fine_assignment;
             let total = fine.total_vwgt();
-            let max_w =
-                (((total as f64 / k as f64) * (1.0 + self.imbalance)).ceil() as u64).max(1);
+            let max_w = (((total as f64 / k as f64) * (1.0 + self.imbalance)).ceil() as u64).max(1);
             refine(&fine, &mut assignment, k, self.refine_passes, max_w);
             cur = fine;
         }

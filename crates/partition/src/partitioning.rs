@@ -19,10 +19,7 @@ impl Partitioning {
     /// Panics if any part id is `>= k`.
     pub fn new(assignment: Vec<PartId>, k: usize) -> Self {
         assert!(k >= 1, "need at least one part");
-        assert!(
-            assignment.iter().all(|&p| (p as usize) < k),
-            "assignment references part >= k"
-        );
+        assert!(assignment.iter().all(|&p| (p as usize) < k), "assignment references part >= k");
         Partitioning { assignment, k }
     }
 

@@ -54,17 +54,62 @@ impl ThreadPool {
             {
                 let base = ci * chunk;
                 s.spawn(move || {
-                    for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
-                    {
+                    for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
                         *slot = Some(f(base + j, item));
                     }
                 });
             }
         });
         // Every slot was filled: scope blocks until all chunks ran.
-        out.into_iter()
-            .map(|slot| slot.expect("scope completed; all slots filled"))
-            .collect()
+        out.into_iter().map(|slot| slot.expect("scope completed; all slots filled")).collect()
+    }
+
+    /// Like [`ThreadPool::par_map_indexed`], but each invocation takes
+    /// its element **by value** — the primitive behind ownership-moving
+    /// pipelines such as the MapReduce engine's shuffle, where every
+    /// reduce task must consume (not clone) its routed buckets.
+    ///
+    /// Results are returned in input order.
+    ///
+    /// ```
+    /// use asyncmr_runtime::ThreadPool;
+    /// let pool = ThreadPool::new(4);
+    /// let buffers: Vec<Vec<u32>> = (0..8).map(|i| vec![i; 4]).collect();
+    /// let sums = pool.par_map_vec(buffers, |i, buf| (i, buf.into_iter().sum::<u32>()));
+    /// assert_eq!(sums[3], (3, 12));
+    /// ```
+    pub fn par_map_vec<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = self.chunk_size(n);
+        // Slots let each chunk move its elements out while the spawning
+        // frame retains the backing allocation for the scope's duration.
+        let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let f = &f;
+        self.scope(|s| {
+            for (ci, (in_chunk, out_chunk)) in
+                slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (j, (slot, out_slot)) in
+                        in_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        let item = slot.take().expect("each slot moved out once");
+                        *out_slot = Some(f(base + j, item));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("scope completed; all slots filled")).collect()
     }
 
     /// Runs `f` over every element for its side effects.
@@ -168,6 +213,28 @@ mod tests {
     fn par_map_single_element() {
         let pool = ThreadPool::new(8);
         assert_eq!(pool.par_map(&[41u8], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_vec_moves_without_clone() {
+        // The element type is deliberately not Clone.
+        struct NoClone(u64);
+        let pool = ThreadPool::new(4);
+        let items: Vec<NoClone> = (0..777).map(NoClone).collect();
+        let out = pool.par_map_vec(items, |i, x| x.0 + i as u64);
+        assert_eq!(out.len(), 777);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_vec_empty_and_single() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<String> = Vec::new();
+        assert!(pool.par_map_vec(empty, |_, s| s).is_empty());
+        let one = pool.par_map_vec(vec![String::from("x")], |i, s| format!("{s}{i}"));
+        assert_eq!(one, vec!["x0".to_string()]);
     }
 
     #[test]

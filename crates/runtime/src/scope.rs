@@ -75,9 +75,8 @@ impl<'scope> Scope<'scope> {
         // outlives the boxed task. Extending the trait-object lifetime
         // to 'static is therefore sound (same argument as
         // crossbeam::scope / rayon::scope).
-        let task: Job = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task)
-        };
+        let task: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) };
         self.pool.shared().inject(task);
     }
 
@@ -163,7 +162,7 @@ mod tests {
     #[test]
     fn scope_tasks_can_borrow_stack_data() {
         let pool = ThreadPool::new(4);
-        let data = vec![1u64, 2, 3, 4, 5];
+        let data = [1u64, 2, 3, 4, 5];
         let total = AtomicU64::new(0);
         pool.scope(|s| {
             for chunk in data.chunks(2) {

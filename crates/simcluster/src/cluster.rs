@@ -68,10 +68,10 @@ impl ClusterSpec {
             job_setup: SimTime::from_secs_f64(12.0),
             job_cleanup: SimTime::from_secs_f64(3.0),
             task_launch: SimTime::from_secs_f64(1.5),
-            nic_bandwidth: 110e6,           // ~1 GbE effective
+            nic_bandwidth: 110e6,                   // ~1 GbE effective
             net_latency: SimTime::from_micros(400), // intra-AZ cloud RTT/2
-            disk_bandwidth: 70e6,           // 2010 magnetic disks
-            straggler_sigma: 0.25,          // cloud noisy neighbours
+            disk_bandwidth: 70e6,                   // 2010 magnetic disks
+            straggler_sigma: 0.25,                  // cloud noisy neighbours
             cost: CostModel::java_2010(),
             dfs: DfsModel::hdfs_2010(),
         }

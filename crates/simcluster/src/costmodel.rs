@@ -45,9 +45,8 @@ impl CostModel {
     /// framework record touches, on a node with relative `speed`.
     pub fn compute_time(&self, ops: u64, records: u64, speed: f64) -> SimTime {
         debug_assert!(speed > 0.0, "node speed must be positive");
-        let secs =
-            (ops as f64 / self.ops_per_sec + records as f64 * self.framework_sec_per_record)
-                / speed;
+        let secs = (ops as f64 / self.ops_per_sec + records as f64 * self.framework_sec_per_record)
+            / speed;
         SimTime::from_secs_f64(secs)
     }
 

@@ -44,11 +44,7 @@ impl DfsModel {
 
     /// Zero-overhead single-replica DFS for unit tests.
     pub fn local_test() -> Self {
-        DfsModel {
-            replication: 1,
-            namenode_latency: SimTime::ZERO,
-            locality_fraction: 1.0,
-        }
+        DfsModel { replication: 1, namenode_latency: SimTime::ZERO, locality_fraction: 1.0 }
     }
 
     /// Time for node `reader` to read `bytes` of input. `local` says

@@ -28,11 +28,7 @@ pub struct FailurePlan {
 impl FailurePlan {
     /// No injected failures (the default).
     pub fn none() -> Self {
-        FailurePlan {
-            attempt_failure_prob: 0.0,
-            max_attempts: 4,
-            detection_delay: SimTime::ZERO,
-        }
+        FailurePlan { attempt_failure_prob: 0.0, max_attempts: 4, detection_delay: SimTime::ZERO }
     }
 
     /// A "real-life transient failures" cloud: `prob` per attempt.

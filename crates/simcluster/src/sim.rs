@@ -150,6 +150,10 @@ impl Simulation {
 
         // Dispatch as many pending maps onto free slots as possible.
         // Returns events pushed via `events`.
+        // Index-based node iteration is deliberate (slot arrays are
+        // per-node ids); the argument list mirrors the mutable state
+        // the event loop threads through.
+        #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
         fn dispatch_maps(
             sim: &mut Simulation,
             job: &JobSpec,
@@ -214,6 +218,7 @@ impl Simulation {
         }
 
         #[allow(clippy::too_many_arguments)]
+        #[allow(clippy::needless_range_loop)]
         fn dispatch_reduces(
             sim: &mut Simulation,
             job: &JobSpec,
@@ -232,12 +237,12 @@ impl Simulation {
                     let spec = &job.reduces[task];
                     let speed = sim.spec.nodes[node].speed;
 
-                    let shuffle_in: u64 = job.total_shuffle_bytes() / job.reduces.len().max(1) as u64;
+                    let shuffle_in: u64 =
+                        job.total_shuffle_bytes() / job.reduces.len().max(1) as u64;
                     let launch_done = now + sim.spec.task_launch;
                     let straggle = sim.straggler();
                     let merge = sim.spec.cost.merge_time(shuffle_in, speed);
-                    let compute =
-                        sim.spec.cost.compute_time(spec.ops, 0, speed).scale(straggle);
+                    let compute = sim.spec.cost.compute_time(spec.ops, 0, speed).scale(straggle);
                     let compute_done = launch_done + merge + compute;
 
                     // Pipeline-replicated DFS output write.
@@ -320,8 +325,8 @@ impl Simulation {
                         // Hadoop semantics: reduce() cannot start until
                         // every map output is fetched; fetches already
                         // overlap the map phase above.
-                        for r in 0..n_reduces {
-                            let ready = fetch_done[r].max(now);
+                        for (r, done) in fetch_done.iter().enumerate() {
+                            let ready = (*done).max(now);
                             events.push(ready, Event::ReduceReady { task: r });
                         }
                     }
@@ -329,10 +334,7 @@ impl Simulation {
                 Event::MapFailed { task, node } => {
                     failed_attempts += 1;
                     free_map_slots[node] += 1;
-                    events.push(
-                        now + self.failure.detection_delay,
-                        Event::MapRetry { task },
-                    );
+                    events.push(now + self.failure.detection_delay, Event::MapRetry { task });
                     dispatch_maps(
                         self,
                         job,
@@ -391,10 +393,7 @@ impl Simulation {
                 Event::ReduceFailed { task, node } => {
                     failed_attempts += 1;
                     free_reduce_slots[node] += 1;
-                    events.push(
-                        now + self.failure.detection_delay,
-                        Event::ReduceRetry { task },
-                    );
+                    events.push(now + self.failure.detection_delay, Event::ReduceRetry { task });
                 }
                 Event::ReduceRetry { task } => {
                     ready_reduces.push_back(task);
@@ -532,8 +531,8 @@ mod tests {
 
     #[test]
     fn map_only_job_has_no_reduce_phase() {
-        let job = JobSpec::named("maponly")
-            .with_maps(vec![MapTaskSpec::new(1 << 20, 1_000_000, 0); 8]);
+        let job =
+            JobSpec::named("maponly").with_maps(vec![MapTaskSpec::new(1 << 20, 1_000_000, 0); 8]);
         let stats = Simulation::new(ClusterSpec::ec2_2010(), 1).run_job(&job);
         assert_eq!(stats.phases.reduce_phase, SimTime::ZERO);
         assert_eq!(stats.phases.shuffle_tail, SimTime::ZERO);
@@ -552,7 +551,7 @@ mod tests {
     #[test]
     fn run_jobs_aggregates() {
         let job = small_job(4, 2);
-        let jobs = vec![job.clone(), job.clone(), job];
+        let jobs = [job.clone(), job.clone(), job];
         let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 1);
         let totals = sim.run_jobs(jobs.iter());
         assert_eq!(totals.jobs, 3);

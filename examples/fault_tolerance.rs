@@ -29,11 +29,7 @@ fn main() {
         let name = if eager { "Eager" } else { "General" };
         let mut baseline_ranks: Option<Vec<f64>> = None;
         for prob in [0.0, 0.02, 0.05] {
-            let plan = if prob == 0.0 {
-                FailurePlan::none()
-            } else {
-                FailurePlan::transient(prob)
-            };
+            let plan = if prob == 0.0 { FailurePlan::none() } else { FailurePlan::transient(prob) };
             let sim = Simulation::new(ClusterSpec::ec2_2010(), 11).with_failures(plan);
             let mut engine = Engine::with_simulation(&pool, sim);
             let outcome = if eager {
@@ -53,9 +49,12 @@ fn main() {
                     "(baseline)".to_string()
                 }
                 Some(base) => {
-                    let same =
-                        base.iter().zip(&outcome.ranks).all(|(a, b)| (a - b).abs() < 1e-12);
-                    if same { "yes".to_string() } else { "NO — BUG".to_string() }
+                    let same = base.iter().zip(&outcome.ranks).all(|(a, b)| (a - b).abs() < 1e-12);
+                    if same {
+                        "yes".to_string()
+                    } else {
+                        "NO — BUG".to_string()
+                    }
                 }
             };
             println!(

@@ -21,11 +21,7 @@ fn main() {
     // 4,000-record sample at 2% scale (pass 1.0 for the paper's 200 K).
     let dataset = data::census_sample(0.02, 1990);
     let points = Arc::new(dataset.points);
-    println!(
-        "census-like sample: {} records x {} attributes",
-        points.len(),
-        points[0].len()
-    );
+    println!("census-like sample: {} records x {} attributes", points.len(), points[0].len());
 
     let pool = ThreadPool::with_default_parallelism();
     let partitions = 52; // paper: fixed at 52 gmaps

@@ -59,10 +59,7 @@ fn main() {
         "partial syncs       {:>10} {:>10}",
         general.report.local_syncs, eager.report.local_syncs
     );
-    println!(
-        "serial operations   {:>10} {:>10}",
-        general.report.total_ops, eager.report.total_ops
-    );
+    println!("serial operations   {:>10} {:>10}", general.report.total_ops, eager.report.total_ops);
     let gt = general.report.sim_time.unwrap().as_secs_f64();
     let et = eager.report.sim_time.unwrap().as_secs_f64();
     println!("simulated time (s)  {gt:>10.0} {et:>10.0}");

@@ -56,8 +56,7 @@ fn main() {
     let docs: Vec<String> = vec![
         "the quick brown fox jumps over the lazy dog".into(),
         "the dog barks and the fox runs".into(),
-        "asynchronous algorithms in MapReduce trade serial work for fewer synchronizations"
-            .into(),
+        "asynchronous algorithms in MapReduce trade serial work for fewer synchronizations".into(),
         "partial synchronization beats global synchronization on distributed platforms".into(),
     ];
 

@@ -47,11 +47,16 @@ fn main() {
             Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 7));
         let general = sssp::run_general(&mut general_engine, &network, &parts, &cfg);
 
-        let ok = eager.distances.iter().zip(&truth).all(|(a, b)| {
-            (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite())
-        }) && general.distances.iter().zip(&truth).all(|(a, b)| {
-            (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite())
-        });
+        let ok = eager
+            .distances
+            .iter()
+            .zip(&truth)
+            .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()))
+            && general
+                .distances
+                .iter()
+                .zip(&truth)
+                .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
 
         let et = eager.report.sim_time.unwrap().as_secs_f64();
         let gt = general.report.sim_time.unwrap().as_secs_f64();

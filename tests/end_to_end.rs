@@ -48,8 +48,7 @@ fn simulated_backend_never_changes_results() {
     let mut plain = Engine::in_process(&pool);
     let a = pagerank::run_eager(&mut plain, &g, &parts, &cfg);
 
-    let mut simulated =
-        Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 1));
+    let mut simulated = Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 1));
     let b = pagerank::run_eager(&mut simulated, &g, &parts, &cfg);
 
     assert_eq!(a.ranks, b.ranks, "simulation must be timing-only");
@@ -72,8 +71,7 @@ fn sssp_pipeline_matches_dijkstra_through_both_formulations() {
     let mut e2 = Engine::in_process(&pool);
     let general = sssp::run_general(&mut e2, &wg, &parts, &cfg);
 
-    for v in 0..truth.len() {
-        let t = truth[v];
+    for (v, &t) in truth.iter().enumerate() {
         for (label, d) in [("eager", eager.distances[v]), ("general", general.distances[v])] {
             assert!(
                 (d - t).abs() < 1e-9 || (d.is_infinite() && t.is_infinite()),
@@ -94,8 +92,8 @@ fn failure_injection_preserves_results_and_costs_time() {
     let mut clean_engine = Engine::with_simulation(&pool, clean_sim);
     let clean = pagerank::run_general(&mut clean_engine, &g, &parts, &cfg);
 
-    let faulty_sim = Simulation::new(ClusterSpec::ec2_2010(), 2)
-        .with_failures(FailurePlan::transient(0.15));
+    let faulty_sim =
+        Simulation::new(ClusterSpec::ec2_2010(), 2).with_failures(FailurePlan::transient(0.15));
     let mut faulty_engine = Engine::with_simulation(&pool, faulty_sim);
     let faulty = pagerank::run_general(&mut faulty_engine, &g, &parts, &cfg);
 
@@ -124,8 +122,7 @@ fn kmeans_pipeline_eager_quality_comparable_and_fewer_global_syncs() {
     let pool = ThreadPool::new(2);
 
     let mut e1 = Engine::in_process(&pool);
-    let eager =
-        kmeans::eager::run_eager_from(&mut e1, &points, 12, &cfg, Some(initial.clone()));
+    let eager = kmeans::eager::run_eager_from(&mut e1, &points, 12, &cfg, Some(initial.clone()));
     let mut e2 = Engine::in_process(&pool);
     let general = kmeans::general::run_general_from(&mut e2, &points, 12, &cfg, Some(initial));
 
@@ -136,7 +133,12 @@ fn kmeans_pipeline_eager_quality_comparable_and_fewer_global_syncs() {
         eager.report.global_iterations,
         general.report.global_iterations
     );
-    assert!(eager.sse <= general.sse * 1.25, "eager quality degraded: {} vs {}", eager.sse, general.sse);
+    assert!(
+        eager.sse <= general.sse * 1.25,
+        "eager quality degraded: {} vs {}",
+        eager.sse,
+        general.sse
+    );
 }
 
 #[test]
@@ -164,8 +166,7 @@ fn iterative_jobs_accumulate_on_one_simulated_cluster() {
     let g = crawl_graph(200, 41);
     let parts = MultilevelKWay::default().partition(&g, 2);
     let pool = ThreadPool::new(2);
-    let mut engine =
-        Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 3));
+    let mut engine = Engine::with_simulation(&pool, Simulation::new(ClusterSpec::ec2_2010(), 3));
     let _ = pagerank::run_eager(&mut engine, &g, &parts, &PageRankConfig::default());
     let history = engine.history();
     assert!(history.len() >= 2, "iterative run must comprise several jobs");

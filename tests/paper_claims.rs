@@ -136,8 +136,7 @@ fn claim_eager_kmeans_converges_in_fraction_of_global_iterations() {
     let mut e2 = Engine::in_process(&pool);
     let general = kmeans::general::run_general_from(&mut e2, &points, 20, &cfg, Some(initial));
     assert!(
-        (eager.report.global_iterations as f64)
-            < 0.67 * general.report.global_iterations as f64,
+        (eager.report.global_iterations as f64) < 0.67 * general.report.global_iterations as f64,
         "eager {} vs general {}",
         eager.report.global_iterations,
         general.report.global_iterations
@@ -176,7 +175,10 @@ fn claim_global_reductions_reduced() {
     let eager = pagerank::run_eager(&mut e1, &g, &parts, &cfg);
     let mut e2 = Engine::in_process(&pool);
     let general = pagerank::run_general(&mut e2, &g, &parts, &cfg);
-    assert!(eager.report.global_iterations * 2 <= general.report.global_iterations,
+    assert!(
+        eager.report.global_iterations * 2 <= general.report.global_iterations,
         "expected at least 2x fewer global reductions, got {} vs {}",
-        eager.report.global_iterations, general.report.global_iterations);
+        eager.report.global_iterations,
+        general.report.global_iterations
+    );
 }

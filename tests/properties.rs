@@ -2,15 +2,13 @@
 //! crates. Case counts are kept moderate — each case runs real
 //! multi-crate pipelines.
 
-use std::sync::Arc;
-
 use proptest::prelude::*;
 
 use asyncmr::apps::kmeans;
 use asyncmr::apps::pagerank::{self, PageRankConfig};
 use asyncmr::apps::sssp::{self, SsspConfig};
 use asyncmr::core::Engine;
-use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
+use asyncmr::graph::{CsrGraph, WeightedGraph};
 use asyncmr::partition::{
     BfsPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RangePartitioner,
 };
@@ -123,8 +121,7 @@ proptest! {
         let eager = sssp::run_eager(&mut e1, &wg, &parts, &cfg);
         let mut e2 = Engine::in_process(&pool);
         let general = sssp::run_general(&mut e2, &wg, &parts, &cfg);
-        for v in 0..truth.len() {
-            let t = truth[v];
+        for (v, &t) in truth.iter().enumerate() {
             for d in [eager.distances[v], general.distances[v]] {
                 prop_assert!((d - t).abs() < 1e-9 || (d.is_infinite() && t.is_infinite()),
                     "vertex {} got {} want {}", v, d, t);

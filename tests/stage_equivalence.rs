@@ -1,0 +1,167 @@
+//! The staged execution pipeline (`core::plan`) must be byte-identical
+//! to the kept-for-test reference strategy (sequential concat +
+//! per-reducer clone + `BTreeMap` grouping) — asserted end-to-end for
+//! all five applications in both General and Eager formulations.
+//!
+//! "Byte-identical" is literal: the outputs are `f64`/`u32` vectors and
+//! we compare with `==`, so any reordering of reductions (which would
+//! reassociate floating-point sums) fails the test.
+
+use std::sync::Arc;
+
+use asyncmr::apps::jacobi::{self, JacobiConfig};
+use asyncmr::apps::kmeans::{self, KMeansConfig};
+use asyncmr::apps::pagerank::{self, PageRankConfig};
+use asyncmr::apps::sssp::{self, SsspConfig};
+use asyncmr::apps::{cc, cc::CcConfig};
+use asyncmr::core::Engine;
+use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
+use asyncmr::partition::{MultilevelKWay, Partitioner};
+use asyncmr::runtime::ThreadPool;
+
+fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
+    generators::preferential_attachment_crawled(n, 3, 2, 1, 0.95, 40, seed)
+}
+
+/// Runs `f` on a staged engine and on a reference engine, returning
+/// both outcomes.
+fn both<T>(pool: &ThreadPool, mut f: impl FnMut(&mut Engine<'_>) -> T) -> (T, T) {
+    let mut staged = Engine::in_process(pool);
+    let a = f(&mut staged);
+    let mut reference = Engine::with_reference_shuffle(pool);
+    let b = f(&mut reference);
+    (a, b)
+}
+
+#[test]
+fn pagerank_both_modes_identical_across_paths() {
+    let g = crawl_graph(400, 11);
+    let parts = MultilevelKWay::default().partition(&g, 4);
+    let pool = ThreadPool::new(3);
+    let cfg = PageRankConfig::default();
+
+    let (a, b) = both(&pool, |e| pagerank::run_general(e, &g, &parts, &cfg));
+    assert_eq!(a.ranks, b.ranks, "general ranks diverge between shuffle paths");
+    assert_eq!(a.report.global_iterations, b.report.global_iterations);
+
+    let (a, b) = both(&pool, |e| pagerank::run_eager(e, &g, &parts, &cfg));
+    assert_eq!(a.ranks, b.ranks, "eager ranks diverge between shuffle paths");
+    assert_eq!(a.report.global_iterations, b.report.global_iterations);
+}
+
+#[test]
+fn sssp_both_modes_identical_across_paths() {
+    let g = crawl_graph(350, 13);
+    let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 4);
+    let parts = MultilevelKWay::default().partition(wg.graph(), 5);
+    let pool = ThreadPool::new(3);
+    let cfg = SsspConfig::default();
+
+    let (a, b) = both(&pool, |e| sssp::run_general(e, &wg, &parts, &cfg));
+    assert_eq!(a.distances, b.distances, "general distances diverge");
+    let (a, b) = both(&pool, |e| sssp::run_eager(e, &wg, &parts, &cfg));
+    assert_eq!(a.distances, b.distances, "eager distances diverge");
+}
+
+#[test]
+fn kmeans_both_modes_identical_across_paths() {
+    let data = kmeans::data::census_like(600, 12, 6, 21);
+    let points = Arc::new(data.points);
+    let initial = kmeans::initial_centroids(&points, 5, 9);
+    let cfg = KMeansConfig { k: 5, threshold: 0.001, ..Default::default() };
+    let pool = ThreadPool::new(3);
+
+    let (a, b) = both(&pool, |e| {
+        kmeans::general::run_general_from(e, &points, 8, &cfg, Some(initial.clone()))
+    });
+    assert_eq!(a.centroids, b.centroids, "general centroids diverge");
+    assert_eq!(a.sse, b.sse);
+
+    let (a, b) =
+        both(&pool, |e| kmeans::eager::run_eager_from(e, &points, 8, &cfg, Some(initial.clone())));
+    assert_eq!(a.centroids, b.centroids, "eager centroids diverge");
+    assert_eq!(a.sse, b.sse);
+}
+
+#[test]
+fn cc_both_modes_identical_across_paths() {
+    let g = crawl_graph(500, 17);
+    let parts = MultilevelKWay::default().partition(&g, 6);
+    let pool = ThreadPool::new(3);
+    let cfg = CcConfig::default();
+
+    let (a, b) = both(&pool, |e| cc::run_general(e, &g, &parts, &cfg));
+    assert_eq!(a.labels, b.labels, "general labels diverge");
+    let (a, b) = both(&pool, |e| cc::run_eager(e, &g, &parts, &cfg));
+    assert_eq!(a.labels, b.labels, "eager labels diverge");
+}
+
+#[test]
+fn jacobi_both_modes_identical_across_paths() {
+    let g = crawl_graph(300, 23);
+    let b_vec = jacobi::seeded_rhs(g.num_nodes(), 31);
+    let parts = MultilevelKWay::default().partition(&g, 4);
+    let pool = ThreadPool::new(3);
+    let cfg = JacobiConfig { max_iterations: 500, ..Default::default() };
+
+    let (a, b) = both(&pool, |e| jacobi::run_general(e, &g, &b_vec, &parts, &cfg));
+    assert_eq!(a.x, b.x, "general solutions diverge");
+    assert_eq!(a.residual, b.residual);
+
+    let (a, b) = both(&pool, |e| jacobi::run_eager(e, &g, &b_vec, &parts, &cfg));
+    assert_eq!(a.x, b.x, "eager solutions diverge");
+    assert_eq!(a.residual, b.residual);
+}
+
+#[test]
+fn job_level_pairs_are_byte_identical_with_combiner() {
+    // A raw engine-level check with a combiner in play, on string keys
+    // (exercises the non-Copy key path).
+    use asyncmr::core::prelude::*;
+
+    struct Tokenize;
+    impl Mapper for Tokenize {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        fn map(&self, _t: usize, doc: &String, ctx: &mut MapContext<String, u64>) {
+            for w in doc.split_whitespace() {
+                ctx.emit_intermediate(w.to_string(), 1);
+            }
+        }
+    }
+    struct Count;
+    impl Reducer for Count {
+        type Key = String;
+        type ValueIn = u64;
+        type Out = u64;
+        fn reduce(&self, k: &String, vs: &[u64], ctx: &mut ReduceContext<String, u64>) {
+            ctx.emit(k.clone(), vs.iter().sum());
+        }
+    }
+    struct Add;
+    impl Combiner for Add {
+        type Key = String;
+        type Value = u64;
+        fn combine(&self, _k: &String, vs: &[u64]) -> u64 {
+            vs.iter().sum()
+        }
+    }
+
+    let docs: Vec<String> = (0..12)
+        .map(|i| {
+            (0..40).map(|j| format!("w{}", (i * 7 + j * 13) % 23)).collect::<Vec<_>>().join(" ")
+        })
+        .collect();
+    let pool = ThreadPool::new(4);
+    let opts = JobOptions::with_reducers(6).with_combiner(&Add);
+
+    let mut staged = Engine::in_process(&pool);
+    let a = staged.run("wc", &docs, &Tokenize, &Count, &opts);
+    let mut reference = Engine::with_reference_shuffle(&pool);
+    let b = reference.run("wc", &docs, &Tokenize, &Count, &opts);
+    assert_eq!(a.pairs, b.pairs);
+    // Same shuffle volume metered on both paths.
+    assert_eq!(a.meter.shuffle_records, b.meter.shuffle_records);
+    assert_eq!(a.meter.shuffle_bytes, b.meter.shuffle_bytes);
+}

@@ -1,0 +1,251 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! Offline build: the real criterion cannot be vendored, so this shim
+//! implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`
+//! with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs timed batches until the measurement budget is spent, and
+//! reports the fastest/median/mean per-iteration wall time to stdout.
+//! No statistics, plots, or baselines — numbers are indicative, and the
+//! same bench files will run unchanged under real criterion later.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterized benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the closure under timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Per-sample mean iteration times from the last `iter` call.
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling repeatedly
+    /// within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters == 0 {
+            // Routine slower than the whole warm-up budget.
+            self.warm_up.max(Duration::from_millis(1))
+        } else {
+            warm_start.elapsed() / warm_iters.max(1) as u32
+        };
+        let budget_per_sample = self.measurement / self.samples.max(1) as u32;
+        let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u32::MAX as u128) as u32;
+
+        self.last.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.last.push(t0.elapsed() / iters_per_sample);
+            if measure_start.elapsed() > self.measurement * 2 {
+                break; // Runaway routine: keep the harness bounded.
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks sharing a configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut times = bencher.last;
+        if times.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        times.sort_unstable();
+        let best = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{id}: best {}  median {}  mean {}  ({} samples)",
+            self.name,
+            fmt_duration(best),
+            fmt_duration(median),
+            fmt_duration(mean),
+            times.len(),
+        );
+        let _ = &self.criterion; // group lifetime tied to the harness
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value threaded through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group with default timing budgets.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-exported for closures that want an explicit optimization barrier.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimal stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Only `bounded` with blocking `send`/`recv` is provided — the subset
+//! the workspace's tests use.
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+/// Sending half of a bounded channel.
+#[derive(Debug, Clone)]
+pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+impl<T> Sender<T> {
+    /// Blocks until the value is enqueued (or all receivers dropped).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// Receiving half of a bounded channel.
+#[derive(Debug)]
+pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives (or all senders dropped).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let (tx, rx) = bounded(1);
+        std::thread::spawn(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal stand-in for `crossbeam-deque`.
+//!
+//! Provides `Worker` / `Stealer` / `Injector` / `Steal` with the same
+//! API shape the runtime's work-stealing pool is written against. The
+//! implementation is mutex-backed rather than lock-free — correct and
+//! contention-adequate for the coarse tasks this workspace schedules
+//! (map/reduce tasks, chunked data-parallel closures), and trivially
+//! auditable. `Steal::Retry` is never produced (locks don't fail
+//! spuriously), which the consuming loops already handle.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A transient conflict occurred; retry. (Never produced by this
+    /// shim; kept so consumer match arms compile unchanged.)
+    Retry,
+}
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A worker-owned deque: LIFO pop on the owner side, FIFO steal on the
+/// other end.
+#[derive(Debug)]
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A worker queue whose owner pops most-recently-pushed first.
+    pub fn new_lifo() -> Self {
+        Worker { q: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        locked(&self.q).push_back(task);
+    }
+
+    /// Pops from the owner's end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.q).pop_back()
+    }
+
+    /// Whether the deque currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.q).is_empty()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+/// A stealing handle onto some worker's deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the cold (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.q).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// The shared FIFO injection queue.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { q: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        locked(&self.q).push_back(task);
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.q).is_empty()
+    }
+
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.q).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves a small batch into `dest` and pops one task for immediate
+    /// execution.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.q);
+        let first = match q.pop_front() {
+            Some(task) => task,
+            None => return Steal::Empty,
+        };
+        // Migrate up to half the remaining queue (capped), mirroring
+        // crossbeam's amortized batch refill.
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut dest_q = locked(&dest.q);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(task) => dest_q.push_front(task),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1), "steal takes the oldest");
+        assert_eq!(w.pop(), Some(2), "owner pops the newest");
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_refill() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "a batch migrated to the worker");
+        let mut drained = Vec::new();
+        while let Some(x) = w.pop() {
+            drained.push(x);
+        }
+        // Worker drains its batch in FIFO order of the original queue.
+        let expected: Vec<u32> = (1..=drained.len() as u32).collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn empty_steals_report_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert_eq!(inj.steal(), Steal::Empty);
+        assert!(inj.is_empty());
+        let w: Worker<u32> = Worker::new_lifo();
+        assert_eq!(w.stealer().steal(), Steal::Empty);
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+    }
+}

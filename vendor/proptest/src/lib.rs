@@ -1,0 +1,414 @@
+//! Minimal, dependency-light stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this shim provides
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]`
+//!   header, doc comments, and `pattern in strategy` arguments),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0..n`, `-1.0f64..1.0`), [`strategy::Just`],
+//!   tuple strategies, [`collection::vec`], and [`arbitrary::any`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (plain asserts here),
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted
+//! failure seeds: each test derives a deterministic RNG from its own
+//! name, so failures reproduce exactly on re-run. Inputs are uniform
+//! rather than edge-case-biased — coarser, but honest property
+//! coverage until the real crate can be vendored.
+
+/// Test-loop configuration and the deterministic RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SampleRange, SeedableRng};
+
+    /// Knobs for a `proptest!` block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG handed to strategies; deterministic per test name, so a
+    /// failing run reproduces identically.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG whose stream is a pure function of `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+
+        /// Uniform sample from a range (delegates to the rand shim).
+        pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            use rand::RngExt as _;
+            self.inner.random_range(range)
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds from it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategies behind references generate like their referents.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+/// `any::<T>()` — full-domain generation.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value from the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length distribution for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, 0..n)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// The usual glob import for tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` becomes
+/// a `#[test]` that draws its arguments `cases` times from a
+/// deterministic, per-test RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&{ $strat }, &mut __rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..10).prop_flat_map(|n| {
+            let items = crate::collection::vec(0u32..100, 0..(n * 2));
+            (Just(n), items)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(any::<u32>(), 0..9)) {
+            prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn flat_map_dependency_holds((n, items) in arb_pair()) {
+            prop_assert!(items.len() < n * 2);
+        }
+
+        #[test]
+        fn prop_map_applies(d in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instantiations() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        let s = 0u32..1000;
+        use crate::strategy::Strategy as _;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! In-tree stub for `serde` (the build container is offline).
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros so the
+//! simulator's annotated types compile unchanged. No serialization
+//! traits are defined: code that actually serializes must do so by
+//! hand (see `asyncmr-bench`'s JSON writer) until a real serde can be
+//! vendored. Any accidental use of serde-based serialization fails at
+//! compile time rather than silently at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives for the in-tree serde
+//! stub.
+//!
+//! The simulator types carry `#[derive(Serialize, Deserialize)]` so a
+//! future PR can persist simulation specs/stats once a real serde is
+//! available. Offline, these derives expand to nothing: annotated types
+//! compile unchanged, and any *actual* serialization call fails at
+//! compile time (no trait impls exist), never silently at runtime.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
