@@ -9,7 +9,7 @@
 //! which is the mean of all updated-centroids corresponding to a single
 //! input-centroid."
 //!
-//! Both refinements the paper takes from [12] are implemented: points
+//! Both refinements the paper takes from \[12\] are implemented: points
 //! are **re-partitioned across gmaps every few global iterations**, and
 //! global convergence adds **oscillation detection** to the Euclidean
 //! threshold.

@@ -3,7 +3,7 @@
 //! "In the map phase, every point chooses its closest cluster centroid
 //! and in the reduce phase, every centroid is updated to be the mean of
 //! all the points that chose the particular centroid" (§V-D, after
-//! Chu et al. [2] / Mahout). One Lloyd step per global iteration, with
+//! Chu et al. \[2\] / Mahout). One Lloyd step per global iteration, with
 //! the classic sum/count combiner to keep the shuffle small.
 
 use std::sync::Arc;

@@ -6,7 +6,7 @@
 //! all the points that chose the particular centroid", iterating until
 //! the maximum centroid movement (Euclidean) falls below a threshold δ.
 //!
-//! The eager variant follows Yom-Tov & Slonim [12]: each `gmap`
+//! The eager variant follows Yom-Tov & Slonim \[12\]: each `gmap`
 //! clusters *its own subset of points* to local convergence with the
 //! common input centroids, emits `(input-centroid, updated-centroid)`
 //! pairs, and the `greduce` averages them into the final centroids.
@@ -43,7 +43,7 @@ pub struct KMeansConfig {
     /// Reduce tasks per job.
     pub num_reducers: usize,
     /// Eager only: re-partition points across gmaps every this many
-    /// global iterations (paper/[12]; 0 disables).
+    /// global iterations (paper/\[12\]; 0 disables).
     pub repartition_every: usize,
     /// Eager only: oscillation-detection window (previous centroid
     /// sets compared against; 0 disables).

@@ -1,0 +1,215 @@
+//! Barrier vs. pipelined wall-clock on the five applications.
+//!
+//! Every app runs its full iterative General workload twice per rep:
+//!
+//! * **barrier** — the staged engine ([`Engine::in_process`]): each job
+//!   is four stage barriers (Map → Combine → Shuffle → Reduce);
+//! * **pipelined** — [`Engine::with_pipelined_shuffle`]: map/combine/
+//!   route fused per task, buckets streamed into a `BucketBoard`,
+//!   reduce tasks scheduled the moment their inputs complete — no
+//!   intra-job barriers.
+//!
+//! Iterative workloads run hundreds of small jobs, so per-job barrier
+//! overhead is exactly what the paper says dominates: removing it is
+//! where the pipelined win comes from. Before timing, every app's
+//! output is pinned byte-identical across *all three* strategies
+//! (barrier, pipelined, and the kept-for-test reference) — a bench that
+//! changed results would be worthless.
+//!
+//! Emits machine-readable `BENCH_pipeline.json` (working directory) and
+//! prints a table. Wall-clock varies with the host; the speedup *ratio*
+//! is the tracked quantity.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asyncmr_apps::jacobi::{self, JacobiConfig};
+use asyncmr_apps::kmeans::{self, KMeansConfig};
+use asyncmr_apps::pagerank::{self, PageRankConfig};
+use asyncmr_apps::sssp::{self, SsspConfig};
+use asyncmr_apps::{cc, cc::CcConfig};
+use asyncmr_core::Engine;
+use asyncmr_graph::{generators, CsrGraph, WeightedGraph};
+use asyncmr_partition::{MultilevelKWay, Partitioner};
+use asyncmr_runtime::ThreadPool;
+
+const REPS: usize = 5;
+
+/// One app's measurements.
+struct AppReport {
+    name: &'static str,
+    iterations: usize,
+    jobs: usize,
+    barrier: Duration,
+    pipelined: Duration,
+}
+
+impl AppReport {
+    fn speedup(&self) -> f64 {
+        self.barrier.as_secs_f64() / self.pipelined.as_secs_f64()
+    }
+}
+
+fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
+    generators::preferential_attachment_crawled(n, 3, 2, 1, 0.95, 40, seed)
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Pins byte-identity across all three strategies, then times barrier
+/// vs. pipelined. `run` returns (comparable output, global iterations,
+/// jobs).
+fn bench_app<T: PartialEq + std::fmt::Debug>(
+    name: &'static str,
+    pool: &ThreadPool,
+    mut run: impl FnMut(&mut Engine<'_>) -> (T, usize, usize),
+) -> AppReport {
+    // ---- Byte-identity gate (all three strategies) ----
+    let (barrier_out, iterations, jobs) = run(&mut Engine::in_process(pool));
+    let (reference_out, _, _) = run(&mut Engine::with_reference_shuffle(pool));
+    let (pipelined_out, pipe_iters, _) = run(&mut Engine::with_pipelined_shuffle(pool));
+    assert!(barrier_out == reference_out, "{name}: staged vs reference outputs diverge");
+    assert!(barrier_out == pipelined_out, "{name}: staged vs pipelined outputs diverge");
+    assert_eq!(iterations, pipe_iters, "{name}: iteration counts diverge");
+
+    // ---- Timing (interleaved reps, median) ----
+    let mut barrier_times = Vec::with_capacity(REPS);
+    let mut pipelined_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let _ = run(&mut Engine::in_process(pool));
+        barrier_times.push(t0.elapsed());
+
+        let t0 = Instant::now();
+        let _ = run(&mut Engine::with_pipelined_shuffle(pool));
+        pipelined_times.push(t0.elapsed());
+    }
+    AppReport {
+        name,
+        iterations,
+        jobs,
+        barrier: median(barrier_times),
+        pipelined: median(pipelined_times),
+    }
+}
+
+fn main() {
+    // Default to at least the paper's per-node slot count (4): the
+    // engine schedules onto worker *slots*, and barrier cost is a
+    // function of slot count, not of how many physical cores back
+    // them. Override with `pipeline_bench <threads>`.
+    let threads =
+        std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4)
+        });
+    let pool = ThreadPool::new(threads);
+    let mut reports = Vec::new();
+
+    // PageRank: the flagship iterative workload (tens of power steps).
+    {
+        let g = crawl_graph(1500, 11);
+        let parts = MultilevelKWay::default().partition(&g, 8);
+        let cfg = PageRankConfig::default();
+        reports.push(bench_app("pagerank", &pool, |e| {
+            let out = pagerank::run_general(e, &g, &parts, &cfg);
+            (out.ranks, out.report.global_iterations, out.report.jobs)
+        }));
+    }
+
+    // SSSP: frontier relaxation until distances stabilize.
+    {
+        let g = crawl_graph(1200, 13);
+        let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 4);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 8);
+        let cfg = SsspConfig::default();
+        reports.push(bench_app("sssp", &pool, |e| {
+            let out = sssp::run_general(e, &wg, &parts, &cfg);
+            (out.distances, out.report.global_iterations, out.report.jobs)
+        }));
+    }
+
+    // K-Means: Lloyd iterations on census-like points.
+    {
+        let data = kmeans::data::census_like(4000, 12, 6, 21);
+        let points = Arc::new(data.points);
+        let initial = kmeans::initial_centroids(&points, 6, 9);
+        let cfg = KMeansConfig { k: 6, threshold: 1e-4, ..Default::default() };
+        reports.push(bench_app("kmeans", &pool, |e| {
+            let out = kmeans::general::run_general_from(e, &points, 8, &cfg, Some(initial.clone()));
+            let iters = out.report.global_iterations;
+            let jobs = out.report.jobs;
+            ((out.centroids, out.sse.to_bits()), iters, jobs)
+        }));
+    }
+
+    // Connected components on a cycle: label propagation needs ~n/2
+    // global iterations of *tiny* jobs — the barrier-bound extreme.
+    {
+        let g = generators::cycle(600);
+        let parts = MultilevelKWay::default().partition(&g, 6);
+        let cfg = CcConfig::default();
+        reports.push(bench_app("cc", &pool, |e| {
+            let out = cc::run_general(e, &g, &parts, &cfg);
+            (out.labels, out.report.global_iterations, out.report.jobs)
+        }));
+    }
+
+    // Jacobi: many small relaxation sweeps.
+    {
+        let g = crawl_graph(500, 23);
+        let b_vec = jacobi::seeded_rhs(g.num_nodes(), 31);
+        let parts = MultilevelKWay::default().partition(&g, 6);
+        let cfg = JacobiConfig { max_iterations: 400, ..Default::default() };
+        reports.push(bench_app("jacobi", &pool, |e| {
+            let out = jacobi::run_general(e, &g, &b_vec, &parts, &cfg);
+            let iters = out.report.global_iterations;
+            let jobs = out.report.jobs;
+            ((out.x, out.residual.to_bits()), iters, jobs)
+        }));
+    }
+
+    // ---- Table ----
+    println!("barrier vs pipelined wall-clock ({threads} threads, median of {REPS} reps)");
+    println!(
+        "  {:<10} {:>6} {:>6} {:>14} {:>14} {:>9}",
+        "app", "iters", "jobs", "barrier (ms)", "pipelined (ms)", "speedup"
+    );
+    for r in &reports {
+        println!(
+            "  {:<10} {:>6} {:>6} {:>14.2} {:>14.2} {:>8.2}x",
+            r.name,
+            r.iterations,
+            r.jobs,
+            r.barrier.as_secs_f64() * 1e3,
+            r.pipelined.as_secs_f64() * 1e3,
+            r.speedup()
+        );
+    }
+    let max_speedup = reports.iter().map(AppReport::speedup).fold(0.0f64, f64::max);
+    println!("  max speedup: {max_speedup:.2}x");
+
+    // ---- JSON ----
+    let mut apps_json = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            apps_json.push_str(",\n");
+        }
+        apps_json.push_str(&format!(
+            "    {{\n      \"app\": \"{}\",\n      \"global_iterations\": {},\n      \"jobs\": {},\n      \"barrier_median_secs\": {:.6},\n      \"pipelined_median_secs\": {:.6},\n      \"speedup\": {:.3}\n    }}",
+            r.name,
+            r.iterations,
+            r.jobs,
+            r.barrier.as_secs_f64(),
+            r.pipelined.as_secs_f64(),
+            r.speedup(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pipelined_vs_barrier_wall_clock\",\n  \"config\": {{\n    \"threads\": {threads},\n    \"reps\": {REPS},\n    \"strategies\": [\"staged (barrier)\", \"pipelined (eager reduce scheduling)\"],\n    \"identity_gate\": \"outputs pinned byte-identical across staged/reference/pipelined before timing\"\n  }},\n  \"apps\": [\n{apps_json}\n  ],\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

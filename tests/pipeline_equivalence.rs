@@ -1,0 +1,156 @@
+//! Property tests pinning the pipelined execution strategy to the
+//! staged and reference strategies on arbitrary jobs — with the edge
+//! shapes the completion-driven scheduler has to get right called out
+//! explicitly: **empty-input jobs** (no map task ever deposits, so no
+//! partition ever completes) and **single-reducer jobs** (every map
+//! task feeds the one partition, which completes only on the very last
+//! deposit).
+
+use proptest::prelude::*;
+
+use asyncmr::core::prelude::*;
+use asyncmr::core::Engine;
+use asyncmr::runtime::ThreadPool;
+
+/// Scatters each input number across a small key space.
+struct ScatterMapper {
+    key_space: u32,
+}
+
+impl Mapper for ScatterMapper {
+    type Input = Vec<u32>;
+    type Key = u32;
+    type Value = u64;
+    fn map(&self, _t: usize, split: &Vec<u32>, ctx: &mut MapContext<u32, u64>) {
+        for &x in split {
+            ctx.emit_intermediate(x % self.key_space, u64::from(x));
+            ctx.add_ops(1);
+        }
+    }
+}
+
+/// Sums each key group, metering one op per value.
+struct SumReducer;
+
+impl Reducer for SumReducer {
+    type Key = u32;
+    type ValueIn = u64;
+    type Out = u64;
+    fn reduce(&self, key: &u32, values: &[u64], ctx: &mut ReduceContext<u32, u64>) {
+        ctx.add_ops(values.len() as u64);
+        ctx.emit(*key, values.iter().sum());
+    }
+}
+
+struct SumCombiner;
+
+impl Combiner for SumCombiner {
+    type Key = u32;
+    type Value = u64;
+    fn combine(&self, _key: &u32, values: &[u64]) -> u64 {
+        values.iter().sum()
+    }
+}
+
+type Run = (Vec<(u32, u64)>, asyncmr::core::JobMeter);
+
+/// Runs one job under all three strategies, returning each strategy's
+/// (pairs, meter).
+fn run_all(splits: &[Vec<u32>], key_space: u32, reducers: usize, combine: bool) -> (Run, Run, Run) {
+    let pool = ThreadPool::new(3);
+    let mapper = ScatterMapper { key_space };
+    let mut out = Vec::with_capacity(3);
+    for strategy in 0..3 {
+        let mut engine = match strategy {
+            0 => Engine::in_process(&pool),
+            1 => Engine::with_reference_shuffle(&pool),
+            _ => Engine::with_pipelined_shuffle(&pool),
+        };
+        let opts = JobOptions::with_reducers(reducers);
+        let result = if combine {
+            engine.run("job", splits, &mapper, &SumReducer, &opts.with_combiner(&SumCombiner))
+        } else {
+            engine.run("job", splits, &mapper, &SumReducer, &opts)
+        };
+        out.push((result.pairs, result.meter));
+    }
+    let pipelined = out.pop().unwrap();
+    let reference = out.pop().unwrap();
+    let staged = out.pop().unwrap();
+    (staged, reference, pipelined)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary splits, key space, reducer count, and combiner:
+    /// pipelined ≡ staged ≡ reference, pairs byte-for-byte.
+    #[test]
+    fn pipelined_equals_staged_equals_reference(
+        splits in proptest::collection::vec(
+            proptest::collection::vec(0u32..10_000, 0..40), 0..12),
+        key_space in 1u32..64,
+        reducers in 1usize..24,
+        combine in any::<bool>(),
+    ) {
+        let (staged, reference, pipelined) = run_all(&splits, key_space, reducers, combine);
+        prop_assert_eq!(&staged.0, &reference.0, "staged vs reference pairs");
+        prop_assert_eq!(&staged.0, &pipelined.0, "staged vs pipelined pairs");
+        // The reference keeps the old every-partition-is-a-task meter
+        // semantics; staged and pipelined meters must be fully equal.
+        prop_assert_eq!(staged.1, pipelined.1, "staged vs pipelined meter");
+    }
+
+    /// Empty-input jobs: zero map tasks means no deposit ever completes
+    /// a partition — the pipelined scheduler must still terminate with
+    /// empty output and zeroed meters, like the other strategies.
+    #[test]
+    fn empty_input_jobs_agree(
+        reducers in 1usize..24,
+        combine in any::<bool>(),
+    ) {
+        let (staged, reference, pipelined) = run_all(&[], 8, reducers, combine);
+        prop_assert!(pipelined.0.is_empty());
+        prop_assert_eq!(&staged.0, &pipelined.0);
+        prop_assert_eq!(&reference.0, &pipelined.0);
+        prop_assert_eq!(staged.1, pipelined.1);
+        prop_assert_eq!(pipelined.1.map_tasks, 0);
+        prop_assert_eq!(pipelined.1.reduce_tasks, 0);
+    }
+
+    /// Single-reducer jobs: the lone partition completes exactly when
+    /// the last map task deposits; ordering inside it must still be
+    /// map-task order regardless of completion order.
+    #[test]
+    fn single_reducer_jobs_agree(
+        splits in proptest::collection::vec(
+            proptest::collection::vec(0u32..10_000, 0..40), 1..12),
+        key_space in 1u32..64,
+        combine in any::<bool>(),
+    ) {
+        let (staged, reference, pipelined) = run_all(&splits, key_space, 1, combine);
+        prop_assert_eq!(&staged.0, &reference.0);
+        prop_assert_eq!(&staged.0, &pipelined.0);
+        prop_assert_eq!(staged.1, pipelined.1);
+        prop_assert!(pipelined.1.reduce_tasks <= 1);
+    }
+}
+
+/// Determinism under the pipelined scheduler: repeated runs of the same
+/// job must produce identical pair vectors even though completion order
+/// varies run to run.
+#[test]
+fn pipelined_is_deterministic_across_runs() {
+    let pool = ThreadPool::new(4);
+    let splits: Vec<Vec<u32>> = (0..8).map(|s| ((s * 100)..(s * 100 + 100)).collect()).collect();
+    let mapper = ScatterMapper { key_space: 16 };
+    let mut engine = Engine::with_pipelined_shuffle(&pool);
+    let first =
+        engine.run("d0", &splits, &mapper, &SumReducer, &JobOptions::with_reducers(8)).pairs;
+    for i in 1..5 {
+        let again = engine
+            .run(&format!("d{i}"), &splits, &mapper, &SumReducer, &JobOptions::with_reducers(8))
+            .pairs;
+        assert_eq!(first, again, "run {i} diverged from run 0");
+    }
+}

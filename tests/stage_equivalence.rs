@@ -1,11 +1,14 @@
-//! The staged execution pipeline (`core::plan`) must be byte-identical
-//! to the kept-for-test reference strategy (sequential concat +
-//! per-reducer clone + `BTreeMap` grouping) — asserted end-to-end for
-//! all five applications in both General and Eager formulations.
+//! All three execution strategies — **staged** (barriers), **pipelined**
+//! (eager reduce scheduling, no intra-job barriers), and the
+//! kept-for-test **reference** (sequential concat + per-reducer clone +
+//! `BTreeMap` grouping) — must be byte-identical, asserted end-to-end
+//! for all five applications in both General and Eager formulations.
 //!
 //! "Byte-identical" is literal: the outputs are `f64`/`u32` vectors and
 //! we compare with `==`, so any reordering of reductions (which would
-//! reassociate floating-point sums) fails the test.
+//! reassociate floating-point sums) fails the test. For the pipelined
+//! strategy this is the strongest possible check that completion-order
+//! scheduling never leaks into results.
 
 use std::sync::Arc;
 
@@ -23,14 +26,16 @@ fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
     generators::preferential_attachment_crawled(n, 3, 2, 1, 0.95, 40, seed)
 }
 
-/// Runs `f` on a staged engine and on a reference engine, returning
-/// both outcomes.
-fn both<T>(pool: &ThreadPool, mut f: impl FnMut(&mut Engine<'_>) -> T) -> (T, T) {
+/// Runs `f` under all three execution strategies, returning
+/// (staged, reference, pipelined) outcomes.
+fn all_strategies<T>(pool: &ThreadPool, mut f: impl FnMut(&mut Engine<'_>) -> T) -> (T, T, T) {
     let mut staged = Engine::in_process(pool);
     let a = f(&mut staged);
     let mut reference = Engine::with_reference_shuffle(pool);
     let b = f(&mut reference);
-    (a, b)
+    let mut pipelined = Engine::with_pipelined_shuffle(pool);
+    let c = f(&mut pipelined);
+    (a, b, c)
 }
 
 #[test]
@@ -40,13 +45,17 @@ fn pagerank_both_modes_identical_across_paths() {
     let pool = ThreadPool::new(3);
     let cfg = PageRankConfig::default();
 
-    let (a, b) = both(&pool, |e| pagerank::run_general(e, &g, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| pagerank::run_general(e, &g, &parts, &cfg));
     assert_eq!(a.ranks, b.ranks, "general ranks diverge between shuffle paths");
+    assert_eq!(a.ranks, c.ranks, "general ranks diverge under pipelined execution");
     assert_eq!(a.report.global_iterations, b.report.global_iterations);
+    assert_eq!(a.report.global_iterations, c.report.global_iterations);
 
-    let (a, b) = both(&pool, |e| pagerank::run_eager(e, &g, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| pagerank::run_eager(e, &g, &parts, &cfg));
     assert_eq!(a.ranks, b.ranks, "eager ranks diverge between shuffle paths");
+    assert_eq!(a.ranks, c.ranks, "eager ranks diverge under pipelined execution");
     assert_eq!(a.report.global_iterations, b.report.global_iterations);
+    assert_eq!(a.report.global_iterations, c.report.global_iterations);
 }
 
 #[test]
@@ -57,10 +66,12 @@ fn sssp_both_modes_identical_across_paths() {
     let pool = ThreadPool::new(3);
     let cfg = SsspConfig::default();
 
-    let (a, b) = both(&pool, |e| sssp::run_general(e, &wg, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| sssp::run_general(e, &wg, &parts, &cfg));
     assert_eq!(a.distances, b.distances, "general distances diverge");
-    let (a, b) = both(&pool, |e| sssp::run_eager(e, &wg, &parts, &cfg));
+    assert_eq!(a.distances, c.distances, "general distances diverge under pipelined execution");
+    let (a, b, c) = all_strategies(&pool, |e| sssp::run_eager(e, &wg, &parts, &cfg));
     assert_eq!(a.distances, b.distances, "eager distances diverge");
+    assert_eq!(a.distances, c.distances, "eager distances diverge under pipelined execution");
 }
 
 #[test]
@@ -71,16 +82,21 @@ fn kmeans_both_modes_identical_across_paths() {
     let cfg = KMeansConfig { k: 5, threshold: 0.001, ..Default::default() };
     let pool = ThreadPool::new(3);
 
-    let (a, b) = both(&pool, |e| {
+    let (a, b, c) = all_strategies(&pool, |e| {
         kmeans::general::run_general_from(e, &points, 8, &cfg, Some(initial.clone()))
     });
     assert_eq!(a.centroids, b.centroids, "general centroids diverge");
+    assert_eq!(a.centroids, c.centroids, "general centroids diverge under pipelined execution");
     assert_eq!(a.sse, b.sse);
+    assert_eq!(a.sse, c.sse);
 
-    let (a, b) =
-        both(&pool, |e| kmeans::eager::run_eager_from(e, &points, 8, &cfg, Some(initial.clone())));
+    let (a, b, c) = all_strategies(&pool, |e| {
+        kmeans::eager::run_eager_from(e, &points, 8, &cfg, Some(initial.clone()))
+    });
     assert_eq!(a.centroids, b.centroids, "eager centroids diverge");
+    assert_eq!(a.centroids, c.centroids, "eager centroids diverge under pipelined execution");
     assert_eq!(a.sse, b.sse);
+    assert_eq!(a.sse, c.sse);
 }
 
 #[test]
@@ -90,10 +106,12 @@ fn cc_both_modes_identical_across_paths() {
     let pool = ThreadPool::new(3);
     let cfg = CcConfig::default();
 
-    let (a, b) = both(&pool, |e| cc::run_general(e, &g, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| cc::run_general(e, &g, &parts, &cfg));
     assert_eq!(a.labels, b.labels, "general labels diverge");
-    let (a, b) = both(&pool, |e| cc::run_eager(e, &g, &parts, &cfg));
+    assert_eq!(a.labels, c.labels, "general labels diverge under pipelined execution");
+    let (a, b, c) = all_strategies(&pool, |e| cc::run_eager(e, &g, &parts, &cfg));
     assert_eq!(a.labels, b.labels, "eager labels diverge");
+    assert_eq!(a.labels, c.labels, "eager labels diverge under pipelined execution");
 }
 
 #[test]
@@ -104,13 +122,17 @@ fn jacobi_both_modes_identical_across_paths() {
     let pool = ThreadPool::new(3);
     let cfg = JacobiConfig { max_iterations: 500, ..Default::default() };
 
-    let (a, b) = both(&pool, |e| jacobi::run_general(e, &g, &b_vec, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| jacobi::run_general(e, &g, &b_vec, &parts, &cfg));
     assert_eq!(a.x, b.x, "general solutions diverge");
+    assert_eq!(a.x, c.x, "general solutions diverge under pipelined execution");
     assert_eq!(a.residual, b.residual);
+    assert_eq!(a.residual, c.residual);
 
-    let (a, b) = both(&pool, |e| jacobi::run_eager(e, &g, &b_vec, &parts, &cfg));
+    let (a, b, c) = all_strategies(&pool, |e| jacobi::run_eager(e, &g, &b_vec, &parts, &cfg));
     assert_eq!(a.x, b.x, "eager solutions diverge");
+    assert_eq!(a.x, c.x, "eager solutions diverge under pipelined execution");
     assert_eq!(a.residual, b.residual);
+    assert_eq!(a.residual, c.residual);
 }
 
 #[test]
@@ -160,8 +182,12 @@ fn job_level_pairs_are_byte_identical_with_combiner() {
     let a = staged.run("wc", &docs, &Tokenize, &Count, &opts);
     let mut reference = Engine::with_reference_shuffle(&pool);
     let b = reference.run("wc", &docs, &Tokenize, &Count, &opts);
+    let mut pipelined = Engine::with_pipelined_shuffle(&pool);
+    let c = pipelined.run("wc", &docs, &Tokenize, &Count, &opts);
     assert_eq!(a.pairs, b.pairs);
-    // Same shuffle volume metered on both paths.
+    assert_eq!(a.pairs, c.pairs, "pipelined diverges on string keys with a combiner");
+    // Same shuffle volume metered on all paths.
     assert_eq!(a.meter.shuffle_records, b.meter.shuffle_records);
     assert_eq!(a.meter.shuffle_bytes, b.meter.shuffle_bytes);
+    assert_eq!(a.meter, c.meter, "staged and pipelined meters are fully identical");
 }

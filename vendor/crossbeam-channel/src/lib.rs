@@ -1,22 +1,54 @@
 //! Minimal stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
 //!
-//! Only `bounded` with blocking `send`/`recv` is provided — the subset
-//! the workspace's tests use.
+//! Mirrors the real crate's core API subset — `bounded` and `unbounded`
+//! channels with blocking `send`/`recv`, non-blocking `try_recv`, and
+//! receiver iteration — so workspace code (currently the runtime's
+//! tests) can use the familiar surface without network access.
+//! Note: `ThreadPool::par_pipeline` does *not* use this; it drains a
+//! purpose-built `parking_lot` inbox instead.
 
-pub use std::sync::mpsc::{RecvError, SendError};
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
-/// Sending half of a bounded channel.
-#[derive(Debug, Clone)]
-pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+/// Internal transport: `std::sync::mpsc` has distinct sender types for
+/// bounded (`SyncSender`) and unbounded (`Sender`) channels; crossbeam
+/// exposes one.
+#[derive(Debug)]
+enum Tx<T> {
+    Bounded(std::sync::mpsc::SyncSender<T>),
+    Unbounded(std::sync::mpsc::Sender<T>),
+}
 
-impl<T> Sender<T> {
-    /// Blocks until the value is enqueued (or all receivers dropped).
-    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.0.send(value)
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+        }
     }
 }
 
-/// Receiving half of a bounded channel.
+/// Sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T>(Tx<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues the value, blocking on a full bounded channel. Errors
+    /// only when all receivers are dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            Tx::Bounded(tx) => tx.send(value),
+            Tx::Unbounded(tx) => tx.send(value),
+        }
+    }
+}
+
+/// Receiving half of a channel.
 #[derive(Debug)]
 pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
 
@@ -25,12 +57,29 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         self.0.recv()
     }
+
+    /// Returns immediately with a value, `Empty`, or `Disconnected`.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Blocking iterator over received values; ends when every sender
+    /// is dropped.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter()
+    }
 }
 
 /// Creates a channel holding at most `cap` in-flight messages.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(cap);
-    (Sender(tx), Receiver(rx))
+    (Sender(Tx::Bounded(tx)), Receiver(rx))
+}
+
+/// Creates a channel with no capacity bound (sends never block).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender(Tx::Unbounded(tx)), Receiver(rx))
 }
 
 #[cfg(test)]
@@ -42,5 +91,35 @@ mod tests {
         let (tx, rx) = bounded(1);
         std::thread::spawn(move || tx.send(42u32).unwrap());
         assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn unbounded_send_never_blocks() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_closed() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_senders_share_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx.send(1u8).unwrap());
+        std::thread::spawn(move || tx2.send(1u8).unwrap());
+        assert_eq!(rx.iter().sum::<u8>(), 2);
     }
 }
