@@ -157,6 +157,54 @@ impl GraphPartition {
     }
 }
 
+/// The cross-partition dependency structure of a partitioned graph —
+/// who owns each vertex, and which partitions' messages each partition
+/// must wait for per global iteration.
+///
+/// Derived once from [`GraphPartition::cross_targets`]: partition *q*
+/// sends to the owners of its cross targets every iteration, so the
+/// dependency set of partition *p* is exactly the set of partitions
+/// with at least one cross edge into *p*. This is what the graph apps
+/// hand to [`asyncmr_core::session::AsyncIterative::dependencies`].
+#[derive(Debug, Clone)]
+pub struct PartitionTopology {
+    /// Owning partition per vertex.
+    pub owner: Vec<u32>,
+    /// Local index of each vertex within its owning partition.
+    pub local: Vec<u32>,
+    /// Per partition: source partitions with cross edges into it,
+    /// ascending, self excluded.
+    pub in_deps: Vec<Vec<usize>>,
+}
+
+impl PartitionTopology {
+    /// Builds the topology for `partitions` over `num_nodes` vertices.
+    pub fn build(partitions: &[Arc<GraphPartition>], num_nodes: usize) -> Self {
+        let mut owner = vec![0u32; num_nodes];
+        let mut local = vec![0u32; num_nodes];
+        for part in partitions {
+            for (li, &v) in part.nodes.iter().enumerate() {
+                owner[v as usize] = part.part;
+                local[v as usize] = li as u32;
+            }
+        }
+        let mut in_deps: Vec<Vec<usize>> = vec![Vec::new(); partitions.len()];
+        for (q, part) in partitions.iter().enumerate() {
+            for &t in &part.cross_targets {
+                let dest = owner[t as usize] as usize;
+                if dest != q {
+                    in_deps[dest].push(q);
+                }
+            }
+        }
+        for deps in &mut in_deps {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        PartitionTopology { owner, local, in_deps }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +273,37 @@ mod tests {
         let views = GraphPartition::build(&g, &parts);
         let cross_total: usize = views.iter().map(|v| v.cross_targets.len()).sum();
         assert_eq!(cross_total, parts.edge_cut(&g));
+    }
+
+    #[test]
+    fn topology_derives_ring_dependencies_from_cross_targets() {
+        let g = generators::cycle(6); // 0→1→2→3→4→5→0
+        let parts = RangePartitioner.partition(&g, 3); // {0,1} {2,3} {4,5}
+        let views = GraphPartition::build(&g, &parts);
+        let topo = PartitionTopology::build(&views, g.num_nodes());
+        assert_eq!(topo.owner, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(topo.local, vec![0, 1, 0, 1, 0, 1]);
+        // Directed cycle: partition p receives only from p−1.
+        assert_eq!(topo.in_deps, vec![vec![2], vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn topology_full_cut_depends_on_everyone_sending() {
+        let g = generators::preferential_attachment(200, 3, 1, 1, 5);
+        let parts = RangePartitioner.partition(&g, 4);
+        let views = GraphPartition::build(&g, &parts);
+        let topo = PartitionTopology::build(&views, g.num_nodes());
+        for (p, deps) in topo.in_deps.iter().enumerate() {
+            assert!(!deps.contains(&p), "self-dependency must be excluded");
+            assert!(deps.windows(2).all(|w| w[0] < w[1]), "deps must be ascending");
+        }
+        // Every cross target's owner really lists the sender.
+        for (q, view) in views.iter().enumerate() {
+            for &t in &view.cross_targets {
+                let dest = topo.owner[t as usize] as usize;
+                assert!(topo.in_deps[dest].contains(&q));
+            }
+        }
     }
 
     #[test]

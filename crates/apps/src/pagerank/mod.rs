@@ -21,12 +21,14 @@
 pub mod eager;
 pub mod general;
 pub mod reference;
+pub mod session;
 
 use asyncmr_core::Meterable;
 use asyncmr_graph::NodeId;
 
 pub use eager::run_eager;
 pub use general::run_general;
+pub use session::{run_async, PageRankAsyncOutcome};
 
 /// Configuration shared by all PageRank variants.
 #[derive(Debug, Clone, Copy)]

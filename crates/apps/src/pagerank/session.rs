@@ -1,0 +1,316 @@
+//! Asynchronous PageRank — the barrier-free session formulation.
+//!
+//! [`super::run_eager`] already removed most global iterations via
+//! partial synchronization, but still runs one barrier job per global
+//! iteration: iteration *i+1* of every partition waits for the
+//! *slowest* partition of iteration *i*. Here the same computation —
+//! the identical [`PrLocalAlgorithm`] local solve and the identical
+//! `greduce` arithmetic — is expressed as an
+//! [`AsyncIterative`] so the [`AsyncFixedPointDriver`] can start a
+//! partition's next iteration the moment the boundary contributions it
+//! actually depends on (the partitions with cross edges into it, per
+//! [`PartitionTopology`]) have arrived.
+//!
+//! At `max_lag = 0` the computed ranks, the per-iteration deltas, and
+//! therefore the iteration count are **byte-identical** to
+//! [`super::run_eager`] on the barrier driver (asserted by the
+//! `session_equivalence` integration test): the absorb replays the
+//! engine's `greduce` reduction with message batches consumed in
+//! ascending source-partition order, exactly the shuffle's
+//! map-task-ordered value semantics.
+
+use std::sync::Arc;
+
+use asyncmr_core::prelude::*;
+use asyncmr_core::session::SessionReport;
+use asyncmr_graph::{CsrGraph, NodeId};
+use asyncmr_partition::Partitioning;
+use asyncmr_runtime::ThreadPool;
+
+use super::eager::{PrEagerInput, PrLocalAlgorithm};
+use super::{initial_remote_in, PageRankConfig, PrMsg};
+use crate::common::{GraphPartition, PartitionTopology};
+
+/// Per-partition session state: owned ranks plus the frozen remote
+/// contribution sum per owned vertex (what the barrier formulation
+/// round-trips through the global reduce every iteration).
+#[derive(Debug, Clone)]
+pub struct PrPartitionState {
+    /// Current rank per owned vertex (partition-local order).
+    pub ranks: Vec<f64>,
+    /// Remote contribution sum per owned vertex as of the last absorb.
+    pub remote_in: Vec<f64>,
+}
+
+/// One cross-partition boundary contribution:
+/// `(destination-local vertex index, PR(s)/outdeg(s))`.
+pub type PrAsyncMsg = (u32, f64);
+
+/// PageRank expressed for cross-iteration eager scheduling.
+pub struct PrAsync {
+    partitions: Vec<Arc<GraphPartition>>,
+    topology: PartitionTopology,
+    gmap: EagerMapper<PrLocalAlgorithm>,
+    damping: f64,
+    tolerance: f64,
+    init: Vec<PrPartitionState>,
+}
+
+impl PrAsync {
+    /// Builds the session algorithm (same initial state as
+    /// [`super::run_eager`]: all-ones ranks, frozen initial remote
+    /// contributions).
+    pub fn new(graph: &CsrGraph, parts: &Partitioning, cfg: &PageRankConfig) -> Self {
+        let partitions = GraphPartition::build(graph, parts);
+        let topology = PartitionTopology::build(&partitions, graph.num_nodes());
+        let n = graph.num_nodes();
+        let ranks = vec![1.0f64; n];
+        let remote = initial_remote_in(&partitions, &ranks, n);
+        let init = partitions
+            .iter()
+            .map(|p| PrPartitionState {
+                ranks: p.nodes.iter().map(|&v| ranks[v as usize]).collect(),
+                remote_in: p.nodes.iter().map(|&v| remote[v as usize]).collect(),
+            })
+            .collect();
+        let algo = PrLocalAlgorithm {
+            damping: cfg.damping,
+            // Same inner tolerance derivation as `run_eager` — required
+            // for byte-identity of the local solves.
+            local_tolerance: cfg.tolerance * (1.0 - cfg.damping) * 0.5,
+        };
+        PrAsync {
+            partitions,
+            topology,
+            gmap: EagerMapper::new(algo),
+            damping: cfg.damping,
+            tolerance: cfg.tolerance,
+            init,
+        }
+    }
+
+    /// The partition views (for scattering final states back to a
+    /// global vector).
+    pub fn partitions(&self) -> &[Arc<GraphPartition>] {
+        &self.partitions
+    }
+}
+
+impl AsyncIterative for PrAsync {
+    type State = PrPartitionState;
+    type Update = Vec<f64>; // converged local contribution sum per owned vertex
+    type Msg = PrAsyncMsg;
+
+    fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn dependencies(&self, p: usize) -> Dependence {
+        Dependence::Sparse(self.topology.in_deps[p].clone())
+    }
+
+    fn init_state(&self, p: usize) -> PrPartitionState {
+        self.init[p].clone()
+    }
+
+    fn gmap(
+        &self,
+        p: usize,
+        _iteration: usize,
+        state: &PrPartitionState,
+    ) -> GmapOutput<Vec<f64>, PrAsyncMsg> {
+        // The exact gmap the barrier engine runs: iterate the partition
+        // to its local PageRank fixpoint, then emit the owner's local
+        // sums plus one boundary contribution per cross edge.
+        let input = PrEagerInput {
+            part: Arc::clone(&self.partitions[p]),
+            ranks: state.ranks.clone(),
+            remote_in: state.remote_in.clone(),
+        };
+        let mut ctx: MapContext<NodeId, PrMsg> = MapContext::default();
+        Mapper::map(&self.gmap, p, &input, &mut ctx);
+        let (pairs, meter, records, bytes) = ctx.finish();
+
+        let part = &self.partitions[p];
+        let k = self.partitions.len();
+        let mut update = Vec::with_capacity(part.len());
+        let mut per_dest: Vec<Vec<PrAsyncMsg>> = vec![Vec::new(); k];
+        let mut msg_records = 0u64;
+        let mut msg_bytes = 0u64;
+        for (v, msg) in pairs {
+            match msg {
+                PrMsg::LocalSum(s) => update.push(s), // emitted in local-index order
+                PrMsg::Contrib(c) => {
+                    let dest = self.topology.owner[v as usize] as usize;
+                    per_dest[dest].push((self.topology.local[v as usize], c));
+                    msg_records += 1;
+                    msg_bytes += msg.approx_bytes();
+                }
+            }
+        }
+        let outbox: Vec<(usize, Vec<PrAsyncMsg>)> =
+            per_dest.into_iter().enumerate().filter(|(_, msgs)| !msgs.is_empty()).collect();
+        debug_assert_eq!(update.len(), part.len());
+        let _ = (records, bytes); // cross-partition volume is what the replay bills
+        GmapOutput {
+            update,
+            outbox,
+            ops: meter.ops(),
+            local_syncs: meter.local_syncs(),
+            input_bytes: meter.input_bytes(),
+            msg_records,
+            msg_bytes,
+        }
+    }
+
+    fn absorb(
+        &self,
+        p: usize,
+        _iteration: usize,
+        state: &PrPartitionState,
+        update: Vec<f64>,
+        inbox: &[(usize, &[PrAsyncMsg])],
+    ) -> Absorbed<PrPartitionState> {
+        // The engine's greduce, partition-sliced: remote contributions
+        // accumulate in ascending source order (= the shuffle's
+        // map-task order), then
+        // `PR(d) = (1−χ) + χ·(local sum + remote sum)`. Bitwise the
+        // same reduction tree as the barrier path.
+        let n = self.partitions[p].len();
+        let mut remote = vec![0.0f64; n];
+        let mut msg_count = 0u64;
+        for (_src, msgs) in inbox {
+            for &(li, c) in *msgs {
+                remote[li as usize] += c;
+                msg_count += 1;
+            }
+        }
+        let mut ranks = Vec::with_capacity(n);
+        let mut delta = 0.0f64;
+        for li in 0..n {
+            let rank = (1.0 - self.damping) + self.damping * (update[li] + remote[li]);
+            delta = delta.max((rank - state.ranks[li]).abs());
+            ranks.push(rank);
+        }
+        Absorbed {
+            state: PrPartitionState { ranks, remote_in: remote },
+            delta,
+            // greduce meters values.len() per key: one local sum plus
+            // every remote contribution.
+            ops: n as u64 + msg_count,
+        }
+    }
+
+    fn converged(&self, max_delta: f64) -> bool {
+        max_delta < self.tolerance
+    }
+}
+
+/// Result of an asynchronous PageRank run.
+#[derive(Debug)]
+pub struct PageRankAsyncOutcome {
+    /// Final rank per vertex.
+    pub ranks: Vec<f64>,
+    /// Session scheduling/metering summary (including the recorded
+    /// schedule for simulated replay).
+    pub report: SessionReport,
+}
+
+/// Runs asynchronous PageRank to global convergence.
+///
+/// `max_lag = 0` reproduces [`super::run_eager`]'s results
+/// byte-identically with an asynchronous schedule; `max_lag > 0`
+/// additionally admits bounded-staleness reads of neighbor
+/// contributions.
+pub fn run_async(
+    pool: &ThreadPool,
+    graph: &CsrGraph,
+    parts: &Partitioning,
+    cfg: &PageRankConfig,
+    max_lag: usize,
+) -> PageRankAsyncOutcome {
+    let algo = PrAsync::new(graph, parts, cfg);
+    let driver = AsyncFixedPointDriver::new(cfg.max_iterations).with_max_lag(max_lag);
+    let outcome = driver.run(pool, &algo);
+    let mut ranks = vec![0.0f64; graph.num_nodes()];
+    for (part, state) in algo.partitions().iter().zip(&outcome.states) {
+        for (li, &v) in part.nodes.iter().enumerate() {
+            ranks[v as usize] = state.ranks[li];
+        }
+    }
+    PageRankAsyncOutcome { ranks, report: outcome.report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::reference::pagerank_sequential;
+    use crate::pagerank::{inf_norm_diff, run_eager};
+    use asyncmr_graph::generators;
+    use asyncmr_partition::{MultilevelKWay, Partitioner};
+
+    fn setup(n: usize, k: usize, seed: u64) -> (CsrGraph, Partitioning) {
+        let g = generators::preferential_attachment_crawled(n, 3, 1, 1, 0.95, 40, seed);
+        let parts = MultilevelKWay::default().partition(&g, k);
+        (g, parts)
+    }
+
+    #[test]
+    fn async_matches_sequential_reference() {
+        let (g, parts) = setup(400, 4, 8);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig { tolerance: 1e-7, ..Default::default() };
+        let out = run_async(&pool, &g, &parts, &cfg, 0);
+        let (expected, _) = pagerank_sequential(&g, cfg.damping, 1e-10, 2000);
+        assert!(
+            inf_norm_diff(&out.ranks, &expected) < 1e-4,
+            "async PageRank fixpoint deviates: {}",
+            inf_norm_diff(&out.ranks, &expected)
+        );
+        assert!(out.report.converged);
+        assert!(out.report.local_syncs > 0, "gmap partial syncs must be metered");
+    }
+
+    #[test]
+    fn lag_zero_is_bitwise_identical_to_the_barrier_eager_driver() {
+        let (g, parts) = setup(600, 6, 3);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig::default();
+        let asynchronous = run_async(&pool, &g, &parts, &cfg, 0);
+        let mut engine = Engine::in_process(&pool);
+        let barrier = run_eager(&mut engine, &g, &parts, &cfg);
+        assert_eq!(
+            asynchronous.report.global_iterations, barrier.report.global_iterations,
+            "iteration counts must agree at max_lag = 0"
+        );
+        for (v, (a, b)) in asynchronous.ranks.iter().zip(&barrier.ranks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "vertex {v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bounded_staleness_converges_to_the_same_fixpoint() {
+        let (g, parts) = setup(500, 5, 17);
+        let pool = ThreadPool::new(4);
+        // Tight tolerance: both runs land within ~tol/(1−χ) of the
+        // unique fixpoint, so they agree to well under 1e-6.
+        let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+        let exact = run_async(&pool, &g, &parts, &cfg, 0);
+        let stale = run_async(&pool, &g, &parts, &cfg, 2);
+        assert!(stale.report.converged);
+        assert!(
+            inf_norm_diff(&exact.ranks, &stale.ranks) < 1e-6,
+            "staleness drifted the fixpoint: {}",
+            inf_norm_diff(&exact.ranks, &stale.ranks)
+        );
+    }
+
+    #[test]
+    fn schedule_dependencies_follow_the_partition_topology() {
+        let (g, parts) = setup(300, 3, 5);
+        let pool = ThreadPool::new(2);
+        let out = run_async(&pool, &g, &parts, &PageRankConfig::default(), 0);
+        assert_eq!(out.report.gmap_tasks, out.report.global_iterations * 3);
+        assert!(out.report.schedule.iter().all(|t| t.iteration < out.report.global_iterations));
+    }
+}

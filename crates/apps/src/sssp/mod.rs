@@ -15,11 +15,13 @@
 pub mod eager;
 pub mod general;
 pub mod reference;
+pub mod session;
 
 use asyncmr_graph::NodeId;
 
 pub use eager::run_eager;
 pub use general::run_general;
+pub use session::{run_async, SsspAsyncOutcome};
 
 /// Configuration for both SSSP variants.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,246 @@
+//! Asynchronous SSSP — the barrier-free session formulation.
+//!
+//! Same decomposition as [`crate::pagerank::session`]: the
+//! [`SpLocalAlgorithm`] Bellman-Ford local solve is unchanged, and the
+//! global min-reduce is sliced per owner partition into
+//! [`AsyncIterative::absorb`]. SSSP is the friendliest possible case
+//! for asynchrony — min is monotone, idempotent, and exact in floating
+//! point — so results are bitwise identical to [`super::run_eager`] at
+//! *any* staleness bound that still converges; `max_lag = 0`
+//! additionally reproduces the barrier driver's iteration count.
+
+use std::sync::Arc;
+
+use asyncmr_core::prelude::*;
+use asyncmr_core::session::SessionReport;
+use asyncmr_graph::{NodeId, WeightedGraph};
+use asyncmr_partition::Partitioning;
+use asyncmr_runtime::ThreadPool;
+
+use super::eager::{SpEagerInput, SpLocalAlgorithm};
+use super::{distances_equal, SsspConfig};
+use crate::common::{GraphPartition, PartitionTopology};
+
+/// One cross-partition relaxation:
+/// `(destination-local vertex index, proposed distance)`.
+pub type SpAsyncMsg = (u32, f64);
+
+/// SSSP expressed for cross-iteration eager scheduling.
+pub struct SpAsync {
+    partitions: Vec<Arc<GraphPartition>>,
+    topology: PartitionTopology,
+    gmap: EagerMapper<SpLocalAlgorithm>,
+    init: Vec<Vec<f64>>,
+}
+
+impl SpAsync {
+    /// Builds the session algorithm (source at distance 0, everything
+    /// else unreachable — same as [`super::run_eager`]).
+    pub fn new(graph: &WeightedGraph, parts: &Partitioning, cfg: &SsspConfig) -> Self {
+        let partitions = GraphPartition::build_weighted(graph, parts);
+        let topology = PartitionTopology::build(&partitions, graph.num_nodes());
+        let n = graph.num_nodes();
+        let mut dists = vec![f64::INFINITY; n];
+        if n > 0 {
+            dists[cfg.source as usize] = 0.0;
+        }
+        let init = partitions
+            .iter()
+            .map(|p| p.nodes.iter().map(|&v| dists[v as usize]).collect())
+            .collect();
+        SpAsync { partitions, topology, gmap: EagerMapper::new(SpLocalAlgorithm), init }
+    }
+
+    /// The partition views (for scattering final states back).
+    pub fn partitions(&self) -> &[Arc<GraphPartition>] {
+        &self.partitions
+    }
+}
+
+impl AsyncIterative for SpAsync {
+    type State = Vec<f64>; // owned distances, partition-local order
+    type Update = Vec<f64>; // locally converged own distances
+    type Msg = SpAsyncMsg;
+
+    fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn dependencies(&self, p: usize) -> Dependence {
+        Dependence::Sparse(self.topology.in_deps[p].clone())
+    }
+
+    fn init_state(&self, p: usize) -> Vec<f64> {
+        self.init[p].clone()
+    }
+
+    fn gmap(
+        &self,
+        p: usize,
+        _iteration: usize,
+        state: &Vec<f64>,
+    ) -> GmapOutput<Vec<f64>, SpAsyncMsg> {
+        let input = SpEagerInput { part: Arc::clone(&self.partitions[p]), dists: state.clone() };
+        let mut ctx: MapContext<NodeId, f64> = MapContext::default();
+        Mapper::map(&self.gmap, p, &input, &mut ctx);
+        let (pairs, meter, _records, _bytes) = ctx.finish();
+
+        let part = &self.partitions[p];
+        let k = self.partitions.len();
+        let mut update = Vec::with_capacity(part.len());
+        let mut per_dest: Vec<Vec<SpAsyncMsg>> = vec![Vec::new(); k];
+        let mut msg_records = 0u64;
+        for (v, d) in pairs {
+            let dest = self.topology.owner[v as usize] as usize;
+            if dest == p {
+                update.push(d); // own distances, emitted in local order
+            } else {
+                per_dest[dest].push((self.topology.local[v as usize], d));
+                msg_records += 1;
+            }
+        }
+        let outbox: Vec<(usize, Vec<SpAsyncMsg>)> =
+            per_dest.into_iter().enumerate().filter(|(_, msgs)| !msgs.is_empty()).collect();
+        debug_assert_eq!(update.len(), part.len());
+        GmapOutput {
+            update,
+            outbox,
+            ops: meter.ops(),
+            local_syncs: meter.local_syncs(),
+            input_bytes: meter.input_bytes(),
+            msg_records,
+            msg_bytes: msg_records * 12, // NodeId + f64 per relaxation
+        }
+    }
+
+    fn absorb(
+        &self,
+        _p: usize,
+        _iteration: usize,
+        state: &Vec<f64>,
+        update: Vec<f64>,
+        inbox: &[(usize, &[SpAsyncMsg])],
+    ) -> Absorbed<Vec<f64>> {
+        // The global min-reduce, owner-sliced. Min is exact and
+        // order-insensitive, so folding own distances first is bitwise
+        // equal to the engine's map-task-ordered fold.
+        let mut dists = update;
+        let mut msg_count = 0u64;
+        for (_src, msgs) in inbox {
+            for &(li, d) in *msgs {
+                let slot = &mut dists[li as usize];
+                *slot = slot.min(d);
+                msg_count += 1;
+            }
+        }
+        let delta = if distances_equal(state, &dists) { 0.0 } else { 1.0 };
+        Absorbed { delta, ops: dists.len() as u64 + msg_count, state: dists }
+    }
+
+    fn converged(&self, max_delta: f64) -> bool {
+        max_delta == 0.0
+    }
+}
+
+/// Result of an asynchronous SSSP run.
+#[derive(Debug)]
+pub struct SsspAsyncOutcome {
+    /// Shortest distance from the source per vertex (∞ = unreachable).
+    pub distances: Vec<f64>,
+    /// Session scheduling/metering summary.
+    pub report: SessionReport,
+}
+
+/// Runs asynchronous SSSP to global convergence.
+pub fn run_async(
+    pool: &ThreadPool,
+    graph: &WeightedGraph,
+    parts: &Partitioning,
+    cfg: &SsspConfig,
+    max_lag: usize,
+) -> SsspAsyncOutcome {
+    let algo = SpAsync::new(graph, parts, cfg);
+    let driver = AsyncFixedPointDriver::new(cfg.max_iterations).with_max_lag(max_lag);
+    let outcome = driver.run(pool, &algo);
+    let mut distances = vec![f64::INFINITY; graph.num_nodes()];
+    for (part, state) in algo.partitions().iter().zip(&outcome.states) {
+        for (li, &v) in part.nodes.iter().enumerate() {
+            distances[v as usize] = state[li];
+        }
+    }
+    SsspAsyncOutcome { distances, report: outcome.report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::reference::dijkstra;
+    use crate::sssp::run_eager;
+    use asyncmr_graph::generators;
+    use asyncmr_partition::{MultilevelKWay, Partitioner};
+
+    fn weighted(n: usize, seed: u64) -> WeightedGraph {
+        let g = generators::preferential_attachment_crawled(n, 3, 1, 1, 0.95, 40, seed);
+        WeightedGraph::random_weights(g, 1.0, 10.0, seed ^ 0xFF)
+    }
+
+    #[test]
+    fn async_matches_dijkstra() {
+        let wg = weighted(300, 11);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 5);
+        let pool = ThreadPool::new(4);
+        let out = run_async(&pool, &wg, &parts, &SsspConfig::default(), 0);
+        let expected = dijkstra(&wg, 0);
+        for (v, (got, want)) in out.distances.iter().zip(&expected).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()),
+                "vertex {v}: got {got}, want {want}"
+            );
+        }
+        assert!(out.report.converged);
+    }
+
+    #[test]
+    fn lag_zero_is_bitwise_identical_to_the_barrier_eager_driver() {
+        let wg = weighted(500, 21);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 4);
+        let pool = ThreadPool::new(4);
+        let cfg = SsspConfig::default();
+        let asynchronous = run_async(&pool, &wg, &parts, &cfg, 0);
+        let mut engine = Engine::in_process(&pool);
+        let barrier = run_eager(&mut engine, &wg, &parts, &cfg);
+        assert_eq!(asynchronous.report.global_iterations, barrier.report.global_iterations);
+        for (v, (a, b)) in asynchronous.distances.iter().zip(&barrier.distances).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                "vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_still_finds_exact_distances() {
+        let wg = weighted(400, 9);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 6);
+        let pool = ThreadPool::new(4);
+        let out = run_async(&pool, &wg, &parts, &SsspConfig::default(), 3);
+        let expected = dijkstra(&wg, 0);
+        for (got, want) in out.distances.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        use asyncmr_graph::CsrGraph;
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let wg = WeightedGraph::unit_weights(g);
+        let parts = asyncmr_partition::RangePartitioner.partition(wg.graph(), 2);
+        let pool = ThreadPool::new(2);
+        let out = run_async(&pool, &wg, &parts, &SsspConfig::default(), 0);
+        assert_eq!(out.distances[0], 0.0);
+        assert_eq!(out.distances[1], 1.0);
+        assert!(out.distances[2].is_infinite());
+        assert!(out.distances[3].is_infinite());
+    }
+}

@@ -34,6 +34,11 @@ pub struct IterationReport {
     pub sim_time: Option<SimTime>,
     /// Total real (in-process) execution time of the jobs.
     pub wall_time: Duration,
+    /// Real time of the whole driver loop, including everything the
+    /// step function does *between* jobs (convergence tests, input
+    /// rebuilding, repartitioning). `driver_wall - wall_time` is the
+    /// driver-level overhead invisible to per-job metering.
+    pub driver_wall: Duration,
     /// Total abstract ops (map + reduce) — the paper's "serial
     /// operation count" which partial synchronization deliberately
     /// trades against synchronization cost.
@@ -80,7 +85,7 @@ impl FixedPointDriver {
                 break;
             }
         }
-        let _elapsed = started.elapsed();
+        let driver_wall = started.elapsed();
 
         let new_records = &engine.history()[history_start..];
         let mut local_syncs = 0u64;
@@ -101,6 +106,7 @@ impl FixedPointDriver {
             local_syncs,
             sim_time,
             wall_time,
+            driver_wall,
             total_ops,
             jobs: new_records.len(),
         }
@@ -153,6 +159,29 @@ mod tests {
         assert_eq!(report.jobs, 5);
         assert_eq!(report.total_ops, 5);
         assert!(report.sim_time.is_none());
+        // The driver loop strictly contains the jobs it ran, so its
+        // wall time bounds the summed per-job wall times.
+        assert!(
+            report.driver_wall >= report.wall_time,
+            "driver_wall {:?} < wall_time {:?}",
+            report.driver_wall,
+            report.wall_time
+        );
+    }
+
+    #[test]
+    fn driver_wall_includes_step_overhead_outside_jobs() {
+        let pool = ThreadPool::new(1);
+        let mut engine = Engine::in_process(&pool);
+        let driver = FixedPointDriver::new(3);
+        let report = driver.run(&mut engine, |engine, iter| {
+            let inputs = vec![iter as u32];
+            engine.run("step", &inputs, &Id, &Id, &JobOptions::with_reducers(1));
+            // Driver-level overhead the per-job meters cannot see.
+            std::thread::sleep(Duration::from_millis(2));
+            StepStatus::Continue
+        });
+        assert!(report.driver_wall >= report.wall_time + Duration::from_millis(6));
     }
 
     #[test]

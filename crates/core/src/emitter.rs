@@ -137,7 +137,13 @@ impl<K: Key, V: Value> MapContext<K, V> {
         self.emitter.records()
     }
 
-    pub(crate) fn finish(self) -> (Vec<(K, V)>, TaskMeter, u64, u64) {
+    /// Consumes the context: `(pairs, meter, records, bytes)`.
+    ///
+    /// The engine calls this after every map task; it is public so
+    /// alternative drivers (e.g. [`crate::session`]) can run a
+    /// [`crate::Mapper`] such as [`crate::EagerMapper`] outside an
+    /// [`crate::Engine`] and still harvest the metered emissions.
+    pub fn finish(self) -> (Vec<(K, V)>, TaskMeter, u64, u64) {
         let records = self.emitter.records();
         let bytes = self.emitter.bytes();
         (self.emitter.into_pairs(), self.meter, records, bytes)

@@ -52,6 +52,10 @@ pub struct JobOptions<'c, K, V> {
     /// reduce slots) is therefore safe on tiny inputs — a job with
     /// three distinct keys runs at most three reduce tasks instead of
     /// metering thirteen empty ones.
+    ///
+    /// A value of `0` (constructible through this public field) is
+    /// clamped to `1` once at the top of [`Engine::run`]; the stage
+    /// types in [`crate::plan`] themselves require ≥ 1.
     pub num_reducers: usize,
     /// Optional map-side combiner.
     pub combiner: Option<&'c dyn Combiner<Key = K, Value = V>>,
@@ -204,8 +208,34 @@ impl<'p> Engine<'p> {
 
     /// An engine that additionally replays every job on a simulated
     /// cluster.
+    ///
+    /// Starts on the staged (barrier) strategy; compose with
+    /// [`Engine::pipelined`] to simulate *and* execute under the
+    /// pipelined strategy:
+    ///
+    /// ```
+    /// use asyncmr_core::Engine;
+    /// use asyncmr_runtime::ThreadPool;
+    /// use asyncmr_simcluster::{ClusterSpec, Simulation};
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let sim = Simulation::new(ClusterSpec::ec2_2010(), 42);
+    /// let engine = Engine::with_simulation(&pool, sim).pipelined();
+    /// assert!(engine.simulation().is_some());
+    /// ```
     pub fn with_simulation(pool: &'p ThreadPool, sim: Simulation) -> Self {
         Engine::new(pool, Some(sim), ShufflePath::Staged)
+    }
+
+    /// Switches this engine to the **pipelined** execution strategy,
+    /// keeping everything else (attached simulation, history, scratch)
+    /// intact. Execution strategy and simulated replay are orthogonal:
+    /// the strategies produce byte-identical pairs and meters, so the
+    /// [`JobSpec`]s handed to the simulator — and therefore the
+    /// simulated timings — are identical too.
+    pub fn pipelined(mut self) -> Self {
+        self.path = ShufflePath::Pipelined;
+        self
     }
 
     /// An in-process engine that executes jobs under the **pipelined**
@@ -282,6 +312,11 @@ impl<'p> Engine<'p> {
         R: Reducer<Key = M::Key, ValueIn = M::Value>,
     {
         let started = Instant::now();
+        // Normalize once: `num_reducers: 0` is constructible through the
+        // public fields (only `with_reducers` clamps), and every
+        // downstream stage assumes ≥ 1 partition. This is the single
+        // clamp point for all three strategies.
+        let opts = &JobOptions { num_reducers: opts.num_reducers.max(1), combiner: opts.combiner };
         let (pairs, meter, map_specs, reduce_specs, stages) = match self.path {
             ShufflePath::Staged => self.run_staged(inputs, mapper, reducer, opts),
             ShufflePath::Pipelined => {
@@ -659,6 +694,50 @@ mod tests {
         assert_eq!(stats.map_tasks, 8);
         assert_eq!(sim_engine.history().len(), 1);
         assert_eq!(sim_engine.sim_now(), Some(stats.finished_at));
+    }
+
+    #[test]
+    fn zero_reducers_built_via_public_fields_is_clamped() {
+        // Regression: only `with_reducers` used to clamp; a literal
+        // zero through the public fields reached the stages unclamped.
+        let pool = ThreadPool::new(2);
+        let inputs = splits();
+        let opts: JobOptions<'static, u32, u64> = JobOptions { num_reducers: 0, combiner: None };
+        for mut engine in [
+            Engine::in_process(&pool),
+            Engine::with_pipelined_shuffle(&pool),
+            Engine::with_reference_shuffle(&pool),
+        ] {
+            let out = engine.run("zero", &inputs, &SquareMapper, &SumReducer, &opts);
+            let mut got = out.pairs;
+            got.sort();
+            assert_eq!(got, expected(), "zero reducers must behave as one partition");
+            assert_eq!(out.meter.reduce_tasks, 1);
+        }
+    }
+
+    #[test]
+    fn pipelined_engine_composes_with_simulation() {
+        // Strategy × simulation must be a full matrix: the pipelined
+        // path metered identically, so the simulated replay agrees with
+        // the staged engine's byte-for-byte.
+        let pool = ThreadPool::new(4);
+        let inputs = splits();
+        let opts = JobOptions::with_reducers(4);
+
+        let staged_sim = Simulation::new(ClusterSpec::ec2_2010(), 42);
+        let mut staged = Engine::with_simulation(&pool, staged_sim);
+        let a = staged.run("x", &inputs, &SquareMapper, &SumReducer, &opts);
+
+        let pipelined_sim = Simulation::new(ClusterSpec::ec2_2010(), 42);
+        let mut pipelined = Engine::with_simulation(&pool, pipelined_sim).pipelined();
+        let b = pipelined.run("x", &inputs, &SquareMapper, &SumReducer, &opts);
+
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.meter, b.meter);
+        let (sa, sb) = (a.sim.expect("staged sim"), b.sim.expect("pipelined sim"));
+        assert_eq!(sa, sb, "identical meters must replay to identical simulated stats");
+        assert!(b.stages.overlapped, "the pipelined strategy is actually in effect");
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub mod hash;
 pub mod kv;
 pub mod local;
 pub mod plan;
+pub mod session;
 pub mod shuffle;
 pub mod traits;
 
@@ -99,6 +100,10 @@ pub use engine::{Engine, JobMeter, JobOptions, JobResult};
 pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
 pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
+pub use session::{
+    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionOutcome,
+    SessionReport,
+};
 pub use shuffle::{GroupView, Grouped, ShuffleScratch};
 pub use traits::{Combiner, Mapper, Reducer};
 
@@ -110,6 +115,10 @@ pub mod prelude {
     pub use crate::kv::{Key, Meterable, Value};
     pub use crate::local::{
         EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState,
+    };
+    pub use crate::session::{
+        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionOutcome,
+        SessionReport,
     };
     pub use crate::traits::{Combiner, Mapper, Reducer};
 }

@@ -324,7 +324,9 @@ pub struct ReduceTaskInput<K, V> {
 #[derive(Debug, Clone, Copy)]
 pub struct ShuffleStage {
     /// The shuffle's partition count (see
-    /// [`crate::JobOptions::num_reducers`]).
+    /// [`crate::JobOptions::num_reducers`]). Must be ≥ 1 —
+    /// [`crate::Engine::run`] clamps zero before composing stages;
+    /// direct stage users must do the same.
     pub num_reducers: usize,
 }
 
@@ -343,7 +345,8 @@ impl ShuffleStage {
     ) -> (Vec<MapTaskProfile>, Vec<ReduceTaskInput<K, V>>) {
         /// One task's routed output: its profile plus per-reducer buckets.
         type Routed<K, V> = (MapTaskProfile, Vec<Vec<(K, V)>>);
-        let reducers = self.num_reducers.max(1);
+        debug_assert!(self.num_reducers >= 1, "ShuffleStage requires ≥ 1 partition");
+        let reducers = self.num_reducers;
         let num_tasks = tasks.len();
         let routed: Vec<Routed<K, V>> = pool
             .par_map_vec(tasks, |_task, out| (out.profile, shuffle::route(out.pairs, reducers)));
@@ -711,7 +714,8 @@ pub mod pipelined {
         M: Mapper,
         R: Reducer<Key = M::Key, ValueIn = M::Value>,
     {
-        let reducers = opts.num_reducers.max(1);
+        debug_assert!(opts.num_reducers >= 1, "Engine::run clamps num_reducers before this");
+        let reducers = opts.num_reducers;
         let num_tasks = inputs.len();
         let combiner = opts.combiner;
         let board: BucketBoard<M::Key, M::Value> = BucketBoard::new(reducers, num_tasks);
@@ -920,7 +924,8 @@ pub mod reference {
         M: Mapper,
         R: Reducer<Key = M::Key, ValueIn = M::Value>,
     {
-        let reducers = opts.num_reducers.max(1);
+        debug_assert!(opts.num_reducers >= 1, "Engine::run clamps num_reducers before this");
+        let reducers = opts.num_reducers;
 
         struct MapOut<K, V> {
             buckets: Vec<Vec<(K, V)>>,

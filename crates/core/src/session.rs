@@ -1,0 +1,922 @@
+//! The session layer: **cross-iteration eager scheduling**.
+//!
+//! PR 2's pipelined engine deleted every *intra-job* stage barrier, but
+//! an iterative run still pays the paper's headline cost in full: one
+//! global synchronization per iteration ([`crate::FixedPointDriver`]
+//! runs one [`crate::Engine::run`] job per global iteration, and
+//! iteration *i+1* cannot start until every partition of iteration *i*
+//! has reduced). This module lifts eager scheduling from the stage
+//! level to the **iteration** level:
+//!
+//! * [`AsyncIterative`] re-expresses one global iteration as a
+//!   per-partition `gmap` (the heavy local solve, on the pool) plus a
+//!   per-partition `absorb` (that partition's slice of the global
+//!   reduce, on the scheduler thread), with **declared dependencies**:
+//!   the set of partitions whose messages a partition consumes each
+//!   iteration (derived from cross-partition edges for the graph
+//!   applications; algorithms with genuinely global state — K-Means
+//!   centroids, component relabeling — keep the default
+//!   [`Dependence::Full`] and degrade gracefully to barrier-equivalent
+//!   scheduling).
+//! * [`AsyncFixedPointDriver`] keeps **one long-lived
+//!   [`asyncmr_runtime::ThreadPool::par_multiwave`] scope alive across
+//!   global iterations** and launches iteration *i+1*'s gmap for
+//!   partition *p* the moment the iteration-*i* outputs *p* depends on
+//!   have arrived — no global barrier anywhere.
+//! * A bounded-staleness knob ([`AsyncFixedPointDriver::max_lag`])
+//!   optionally lets a partition proceed on messages up to `max_lag`
+//!   iterations old. At the default `max_lag = 0` every consumed
+//!   message is exactly one iteration fresh, and the computed states —
+//!   and the convergence decision — are **byte-identical** to the
+//!   barrier driver's (asserted by the `session_equivalence`
+//!   integration tests); only the schedule differs.
+//!
+//! Convergence detection stays barrier-equivalent: a partition's delta
+//! counts toward iteration *i* only once it has absorbed *i* against
+//! sufficiently fresh neighbor state, and the session declares
+//! convergence only after `max_lag + 1` *consecutive fully-absorbed*
+//! iterations pass the convergence test — for `max_lag = 0` that is
+//! exactly the barrier rule. Work that was speculatively started beyond
+//! the convergence iteration is discarded (and reported).
+//!
+//! Every executed gmap is metered into an
+//! [`asyncmr_simcluster::AsyncTaskSpec`]; replaying the recorded
+//! schedule with [`asyncmr_simcluster::Simulation::run_async_schedule`]
+//! shows the win in *simulated* cluster time too, not just host
+//! wall-clock.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asyncmr_runtime::{ThreadPool, Wave};
+use asyncmr_simcluster::AsyncTaskSpec;
+
+/// Which partitions' outputs a partition consumes each iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dependence {
+    /// Depends on every other partition. The safe default: scheduling
+    /// degrades to barrier-equivalent order (a partition can only
+    /// advance once all others finished the iteration it consumes).
+    Full,
+    /// Depends only on the listed partitions (self is implicit and
+    /// ignored if listed). For the graph applications this is "the
+    /// partitions with cross edges into mine".
+    Sparse(Vec<usize>),
+}
+
+/// Everything one asynchronous `gmap` invocation produced.
+#[derive(Debug)]
+pub struct GmapOutput<U, M> {
+    /// The owner-side product of the local solve (e.g. converged local
+    /// contribution sums), consumed by the partition's own
+    /// [`AsyncIterative::absorb`].
+    pub update: U,
+    /// Cross-partition messages: `(destination partition, payload)` in
+    /// emission order. Destinations must be partitions that declare
+    /// this partition as a dependency; destinations this task has
+    /// nothing for may be omitted (the session delivers an empty
+    /// message batch on the producer's behalf).
+    pub outbox: Vec<(usize, Vec<M>)>,
+    /// Abstract operations performed by the local solve.
+    pub ops: u64,
+    /// Partial synchronizations (`lreduce` barriers) performed.
+    pub local_syncs: u64,
+    /// The partition's input split size (simulated DFS read at
+    /// iteration 0).
+    pub input_bytes: u64,
+    /// Messages emitted (cross-partition records, for the replay's
+    /// framework overhead accounting).
+    pub msg_records: u64,
+    /// Bytes of cross-partition messages emitted.
+    pub msg_bytes: u64,
+}
+
+/// What one [`AsyncIterative::absorb`] call produced.
+#[derive(Debug)]
+pub struct Absorbed<S> {
+    /// The partition's state entering the next iteration.
+    pub state: S,
+    /// The partition's convergence delta for this iteration (e.g. max
+    /// absolute state change); folded with `max` across partitions and
+    /// tested with [`AsyncIterative::converged`].
+    pub delta: f64,
+    /// Abstract operations performed by the absorb (the partition's
+    /// slice of the global reduce).
+    pub ops: u64,
+}
+
+/// An iterative computation decomposed for cross-iteration eager
+/// scheduling.
+///
+/// One barrier iteration of the classic formulation splits into, per
+/// partition *p*:
+///
+/// 1. [`gmap`](AsyncIterative::gmap) — the heavy local solve on *p*'s
+///    state (runs on the thread pool), emitting the owner-side update
+///    plus per-destination message batches;
+/// 2. [`absorb`](AsyncIterative::absorb) — *p*'s slice of the global
+///    reduce: combine the own update with the dependencies' message
+///    batches into the next state (runs on the session's scheduler
+///    thread; keep it cheap).
+///
+/// The contract that makes `max_lag = 0` byte-identical to the barrier
+/// driver: `absorb` must perform the same floating-point reduction the
+/// barrier `greduce` performs, with message batches consumed in
+/// ascending source-partition order (the engine's map-task-ordered
+/// value semantics) — the session guarantees it presents them that way.
+pub trait AsyncIterative: Sync {
+    /// Per-partition state (e.g. owned ranks + frozen remote inputs).
+    type State: Send + Sync;
+    /// Owner-side gmap product consumed by the partition's own absorb.
+    type Update: Send;
+    /// One cross-partition message payload.
+    type Msg: Send;
+
+    /// Number of partitions (= gmap tasks per global iteration).
+    fn partitions(&self) -> usize;
+
+    /// Partitions whose iteration outputs partition `p` consumes.
+    ///
+    /// The default declares [`Dependence::Full`]: correct for any
+    /// algorithm, and it degrades scheduling to the barrier order —
+    /// which is exactly how algorithms with global coupling (K-Means,
+    /// connected components) should run until someone derives a real
+    /// dependency structure for them.
+    fn dependencies(&self, p: usize) -> Dependence {
+        let _ = p;
+        Dependence::Full
+    }
+
+    /// Initial state of partition `p` (global iteration 0 input).
+    fn init_state(&self, p: usize) -> Self::State;
+
+    /// The local solve for partition `p` at global iteration
+    /// `iteration`, given the state produced by its previous absorb.
+    fn gmap(
+        &self,
+        p: usize,
+        iteration: usize,
+        state: &Self::State,
+    ) -> GmapOutput<Self::Update, Self::Msg>;
+
+    /// Partition `p`'s slice of the global reduce for `iteration`.
+    ///
+    /// `inbox` holds one entry per declared dependency, in **ascending
+    /// source-partition order**, each with the message batch selected
+    /// under the staleness bound (empty if the source had nothing for
+    /// `p` that iteration).
+    fn absorb(
+        &self,
+        p: usize,
+        iteration: usize,
+        state: &Self::State,
+        update: Self::Update,
+        inbox: &[(usize, &[Self::Msg])],
+    ) -> Absorbed<Self::State>;
+
+    /// Whether an iteration whose partition deltas folded to
+    /// `max_delta` has globally converged.
+    fn converged(&self, max_delta: f64) -> bool;
+}
+
+/// Summary of one asynchronous session run.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Global iterations the result is built from (= the barrier
+    /// driver's iteration count at `max_lag = 0`).
+    pub global_iterations: usize,
+    /// Whether the run converged (vs. hit the iteration cap).
+    pub converged: bool,
+    /// Partial synchronizations inside gmaps, over the contributing
+    /// iterations (barrier-comparable).
+    pub local_syncs: u64,
+    /// Abstract ops (gmap + absorb) over the contributing iterations.
+    pub total_ops: u64,
+    /// Gmap tasks that contributed to the result
+    /// (= `global_iterations × partitions`).
+    pub gmap_tasks: usize,
+    /// Gmap tasks whose iteration exceeded the convergence point —
+    /// work the eager schedule started speculatively and discarded.
+    pub speculative_tasks: usize,
+    /// The staleness bound the session ran under.
+    pub max_lag: usize,
+    /// Real time of the whole session (the driver-level wall).
+    pub wall_time: Duration,
+    /// The executed cross-iteration schedule (contributing tasks only,
+    /// topologically ordered), ready for
+    /// [`asyncmr_simcluster::Simulation::run_async_schedule`].
+    pub schedule: Vec<AsyncTaskSpec>,
+}
+
+/// What [`AsyncFixedPointDriver::run`] returns.
+#[derive(Debug)]
+pub struct SessionOutcome<S> {
+    /// Final per-partition states, all at the same global iteration
+    /// (the convergence iteration, or the cap).
+    pub states: Vec<Arc<S>>,
+    /// Scheduling and metering summary.
+    pub report: SessionReport,
+}
+
+/// Runs an [`AsyncIterative`] computation to convergence with
+/// cross-iteration eager scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncFixedPointDriver {
+    /// Upper bound on global iterations.
+    pub max_iterations: usize,
+    /// Bounded staleness: a partition may absorb iteration *i* using a
+    /// dependency's messages from any iteration in `[i - max_lag, i]`
+    /// (the freshest available is used). `0` (the default) means every
+    /// consumed message is exactly fresh — byte-identical results to
+    /// the barrier driver.
+    pub max_lag: usize,
+}
+
+/// How many iterations past the globally-complete frontier a partition
+/// may speculate (on top of `max_lag`). Bounds state/mailbox history
+/// per partition without throttling the overlap that pays for the
+/// schedule: a straggler's *neighbors* are gated by messages, not by
+/// this constant.
+const RUNAHEAD_SLACK: usize = 8;
+
+impl Default for AsyncFixedPointDriver {
+    fn default() -> Self {
+        AsyncFixedPointDriver { max_iterations: 1_000, max_lag: 0 }
+    }
+}
+
+impl AsyncFixedPointDriver {
+    /// A driver capped at `max_iterations`, with `max_lag = 0`
+    /// (barrier-identical results, asynchronous schedule).
+    pub fn new(max_iterations: usize) -> Self {
+        AsyncFixedPointDriver { max_iterations: max_iterations.max(1), max_lag: 0 }
+    }
+
+    /// Sets the bounded-staleness knob.
+    pub fn with_max_lag(mut self, max_lag: usize) -> Self {
+        self.max_lag = max_lag;
+        self
+    }
+
+    /// Runs `algo` until convergence or the iteration cap, keeping one
+    /// multiwave scope alive across all global iterations (see the
+    /// [module docs](self)).
+    pub fn run<A: AsyncIterative>(&self, pool: &ThreadPool, algo: &A) -> SessionOutcome<A::State> {
+        let started = Instant::now();
+        let k = algo.partitions();
+        if k == 0 {
+            return SessionOutcome {
+                states: Vec::new(),
+                report: SessionReport {
+                    global_iterations: 0,
+                    converged: true,
+                    local_syncs: 0,
+                    total_ops: 0,
+                    gmap_tasks: 0,
+                    speculative_tasks: 0,
+                    max_lag: self.max_lag,
+                    wall_time: started.elapsed(),
+                    schedule: Vec::new(),
+                },
+            };
+        }
+
+        let mut sess = Session::new(algo, self.max_iterations.max(1), self.max_lag);
+        let mut initial = Vec::new();
+        for p in 0..k {
+            if let Some(launch) = sess.make_launch(p) {
+                initial.push((p, launch));
+            }
+        }
+        pool.par_multiwave(
+            initial,
+            |_id, launch: Launch<A::State>| {
+                let out = algo.gmap(launch.p, launch.iter, &launch.state);
+                (launch.p, launch.iter, out)
+            },
+            |_id, (p, iter, out), wave| {
+                sess.on_gmap_done(algo, p, iter, out, wave);
+                Vec::new()
+            },
+        );
+        sess.finish(self.max_lag, started.elapsed())
+    }
+}
+
+/// One pool task: partition `p`'s gmap at `iter`, on the state its
+/// previous absorb produced.
+struct Launch<S> {
+    p: usize,
+    iter: usize,
+    state: Arc<S>,
+}
+
+/// Per-partition scheduler state.
+struct Part<S, U, M> {
+    /// Declared dependency sources, ascending.
+    deps: Vec<usize>,
+    /// Partitions that declared *this* partition as a dependency,
+    /// ascending — the destinations every gmap must deliver to (empty
+    /// batches included).
+    out_deps: Vec<usize>,
+    /// States for iterations `[hist_base ..]`; pruned as the globally
+    /// complete frontier advances.
+    history: VecDeque<Arc<S>>,
+    hist_base: usize,
+    /// Iterations absorbed (state index `absorbed` is available).
+    absorbed: usize,
+    /// Gmap iterations launched (∈ {absorbed, absorbed + 1}).
+    launched: usize,
+    /// Own gmap output awaiting dependency messages.
+    parked: Option<(usize, U)>,
+    /// Per dependency (aligned with `deps`): iteration → message batch.
+    mailbox: Vec<BTreeMap<usize, Vec<M>>>,
+    /// Schedule indices the *next* gmap of this partition depends on
+    /// (set by the absorb that enabled it).
+    next_dep_tasks: Vec<usize>,
+    /// Schedule index of each completed gmap, by iteration.
+    sched_of_iter: Vec<usize>,
+}
+
+/// Scheduler state for one session run (lives on the multiwave caller
+/// thread; no locks anywhere).
+struct Session<S, U, M> {
+    parts: Vec<Part<S, U, M>>,
+    k: usize,
+    max_iterations: usize,
+    max_lag: usize,
+    /// Per-iteration: partitions that absorbed it.
+    absorbed_count: Vec<usize>,
+    /// Per-iteration: max absorb delta so far.
+    max_delta: Vec<f64>,
+    iter_ops: Vec<u64>,
+    iter_syncs: Vec<u64>,
+    /// Iterations absorbed by *every* partition.
+    frontier: usize,
+    /// No further launches (converged or capped); in-flight tasks drain.
+    stopped: bool,
+    converged_at: Option<usize>,
+    schedule: Vec<AsyncTaskSpec>,
+    /// Gmap completions observed (including post-stop stragglers).
+    executed: usize,
+}
+
+impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
+    fn new<A>(algo: &A, max_iterations: usize, max_lag: usize) -> Self
+    where
+        A: AsyncIterative<State = S, Update = U, Msg = M>,
+    {
+        let k = algo.partitions();
+        let deps: Vec<Vec<usize>> = (0..k)
+            .map(|p| match algo.dependencies(p) {
+                Dependence::Full => (0..k).filter(|&q| q != p).collect(),
+                Dependence::Sparse(mut v) => {
+                    v.retain(|&q| q != p);
+                    v.sort_unstable();
+                    v.dedup();
+                    assert!(v.iter().all(|&q| q < k), "dependency out of range");
+                    v
+                }
+            })
+            .collect();
+        let mut out_deps: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (p, ds) in deps.iter().enumerate() {
+            for &q in ds {
+                out_deps[q].push(p); // ascending p by construction
+            }
+        }
+        let parts = deps
+            .into_iter()
+            .zip(out_deps)
+            .enumerate()
+            .map(|(p, (deps, out_deps))| Part {
+                mailbox: (0..deps.len()).map(|_| BTreeMap::new()).collect(),
+                deps,
+                out_deps,
+                history: VecDeque::from([Arc::new(algo.init_state(p))]),
+                hist_base: 0,
+                absorbed: 0,
+                launched: 0,
+                parked: None,
+                next_dep_tasks: Vec::new(),
+                sched_of_iter: Vec::new(),
+            })
+            .collect();
+        Session {
+            parts,
+            k,
+            max_iterations,
+            max_lag,
+            absorbed_count: Vec::new(),
+            max_delta: Vec::new(),
+            iter_ops: Vec::new(),
+            iter_syncs: Vec::new(),
+            frontier: 0,
+            stopped: false,
+            converged_at: None,
+            schedule: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    fn ensure_iter(&mut self, iter: usize) {
+        if iter >= self.absorbed_count.len() {
+            self.absorbed_count.resize(iter + 1, 0);
+            self.max_delta.resize(iter + 1, 0.0);
+            self.iter_ops.resize(iter + 1, 0);
+            self.iter_syncs.resize(iter + 1, 0);
+        }
+    }
+
+    /// Launches the partition's next gmap if its state is ready and the
+    /// caps (iteration budget, runahead) allow it.
+    fn make_launch(&mut self, p: usize) -> Option<Launch<S>> {
+        if self.stopped {
+            return None;
+        }
+        let runahead_cap = self.frontier + self.max_lag + RUNAHEAD_SLACK;
+        let part = &mut self.parts[p];
+        if part.launched != part.absorbed
+            || part.launched >= self.max_iterations
+            || part.launched > runahead_cap
+        {
+            return None;
+        }
+        let iter = part.launched;
+        let state = Arc::clone(&part.history[iter - part.hist_base]);
+        part.launched += 1;
+        Some(Launch { p, iter, state })
+    }
+
+    fn push_launch(&mut self, p: usize, wave: &mut Wave<Launch<S>>) {
+        if let Some(launch) = self.make_launch(p) {
+            wave.push(p, launch);
+        }
+    }
+
+    fn on_gmap_done<A>(
+        &mut self,
+        algo: &A,
+        p: usize,
+        iter: usize,
+        out: GmapOutput<U, M>,
+        wave: &mut Wave<Launch<S>>,
+    ) where
+        A: AsyncIterative<State = S, Update = U, Msg = M>,
+    {
+        self.executed += 1;
+        if self.stopped {
+            // A straggler finishing after convergence/cap: its output
+            // can no longer influence the result.
+            return;
+        }
+        self.ensure_iter(iter);
+        self.iter_ops[iter] += out.ops;
+        self.iter_syncs[iter] += out.local_syncs;
+
+        // Record the task for simulated replay; its dependency edges
+        // were fixed by the absorb that launched it.
+        let sched_idx = self.schedule.len();
+        let deps = std::mem::take(&mut self.parts[p].next_dep_tasks);
+        debug_assert_eq!(self.parts[p].sched_of_iter.len(), iter);
+        self.parts[p].sched_of_iter.push(sched_idx);
+        self.schedule.push(AsyncTaskSpec {
+            partition: p,
+            iteration: iter,
+            input_bytes: out.input_bytes,
+            ops: out.ops,
+            output_records: out.msg_records,
+            output_bytes: out.msg_bytes,
+            deps,
+        });
+
+        // Deliver one batch to every declared consumer — empty if this
+        // gmap emitted nothing for it — so consumers never wait on a
+        // message that will never come.
+        let mut outbox = out.outbox;
+        let out_deps = std::mem::take(&mut self.parts[p].out_deps);
+        for &dest in &out_deps {
+            let msgs = outbox
+                .iter_mut()
+                .find(|(d, _)| *d == dest)
+                .map(|(_, m)| std::mem::take(m))
+                .unwrap_or_default();
+            let dest_part = &mut self.parts[dest];
+            let pos = dest_part.deps.binary_search(&p).expect("out_deps is the inverse of deps");
+            dest_part.mailbox[pos].insert(iter, msgs);
+        }
+        // Hard assert (the outbox is tiny, this is once per gmap):
+        // silently dropping a batch for an undeclared consumer would
+        // converge to a *wrong* fixed point, not fail.
+        assert!(
+            outbox.iter().all(|(d, m)| m.is_empty() || out_deps.contains(d)),
+            "gmap of partition {p} emitted to a partition that does not declare it as a dependency"
+        );
+        self.parts[p].out_deps = out_deps;
+
+        debug_assert!(self.parts[p].parked.is_none(), "one gmap in flight per partition");
+        self.parts[p].parked = Some((iter, out.update));
+
+        self.try_absorb(algo, p, wave);
+        let out_deps = std::mem::take(&mut self.parts[p].out_deps);
+        for &dest in &out_deps {
+            self.try_absorb(algo, dest, wave);
+        }
+        self.parts[p].out_deps = out_deps;
+    }
+
+    /// Absorbs the partition's parked iteration if every dependency has
+    /// delivered a fresh-enough batch.
+    fn try_absorb<A>(&mut self, algo: &A, p: usize, wave: &mut Wave<Launch<S>>)
+    where
+        A: AsyncIterative<State = S, Update = U, Msg = M>,
+    {
+        if self.stopped {
+            return;
+        }
+        let Some(i) = self.parts[p].parked.as_ref().map(|&(i, _)| i) else {
+            return;
+        };
+        debug_assert_eq!(i, self.parts[p].absorbed, "absorbs are strictly in iteration order");
+
+        // Staleness bound: per dependency, use the freshest batch of
+        // iteration ≤ i, requiring it be ≥ i − max_lag.
+        let min_fresh = i.saturating_sub(self.max_lag);
+        let mut selected = Vec::with_capacity(self.parts[p].deps.len());
+        for mb in &self.parts[p].mailbox {
+            let Some((&key, _)) = mb.range(..=i).next_back() else {
+                return; // not delivered yet
+            };
+            if key < min_fresh {
+                return; // too stale to consume
+            }
+            selected.push(key);
+        }
+
+        let absorbed = {
+            let part = &mut self.parts[p];
+            let (_, update) = part.parked.take().expect("checked above");
+            let inbox: Vec<(usize, &[M])> = part
+                .deps
+                .iter()
+                .zip(part.mailbox.iter().zip(&selected))
+                .map(|(&q, (mb, sel))| (q, mb[sel].as_slice()))
+                .collect();
+            let state = &part.history[i - part.hist_base];
+            algo.absorb(p, i, state, update, &inbox)
+        };
+
+        // Dependency edges of the gmap this absorb enables: the own
+        // task plus the producers whose batches were consumed.
+        let mut dep_tasks = vec![self.parts[p].sched_of_iter[i]];
+        for (j, &sel) in selected.iter().enumerate() {
+            let q = self.parts[p].deps[j];
+            dep_tasks.push(self.parts[q].sched_of_iter[sel]);
+        }
+        dep_tasks.sort_unstable();
+        dep_tasks.dedup();
+
+        {
+            let part = &mut self.parts[p];
+            part.next_dep_tasks = dep_tasks;
+            part.history.push_back(Arc::new(absorbed.state));
+            part.absorbed = i + 1;
+            // Keep only what absorb(i+1) may still select.
+            let keep_from = (i + 1).saturating_sub(self.max_lag);
+            for mb in &mut part.mailbox {
+                mb.retain(|&key, _| key >= keep_from);
+            }
+        }
+
+        self.ensure_iter(i);
+        self.iter_ops[i] += absorbed.ops;
+        self.max_delta[i] = self.max_delta[i].max(absorbed.delta);
+        self.absorbed_count[i] += 1;
+        self.advance_frontier(algo, wave);
+        self.push_launch(p, wave);
+    }
+
+    /// Advances the globally-complete frontier, evaluating convergence
+    /// and releasing runahead-capped partitions as it moves.
+    fn advance_frontier<A>(&mut self, algo: &A, wave: &mut Wave<Launch<S>>)
+    where
+        A: AsyncIterative<State = S, Update = U, Msg = M>,
+    {
+        while self.absorbed_count.get(self.frontier).is_some_and(|&done| done == self.k) {
+            let f = self.frontier;
+            self.frontier += 1;
+
+            // States below the frontier can never become the final
+            // answer (convergence candidates are ≥ the frontier and
+            // yield state index candidate + 1) nor feed a gmap.
+            for part in &mut self.parts {
+                while part.hist_base < self.frontier && part.history.len() > 1 {
+                    part.history.pop_front();
+                    part.hist_base += 1;
+                }
+            }
+
+            // Barrier-equivalent convergence: max_lag + 1 consecutive
+            // fully-absorbed iterations must pass the test (for
+            // max_lag = 0 this is exactly the barrier rule).
+            let window = self.max_lag + 1;
+            if f + 1 >= window && ((f + 1 - window)..=f).all(|j| algo.converged(self.max_delta[j]))
+            {
+                self.converged_at = Some(f);
+                self.stopped = true;
+                return;
+            }
+            if self.frontier >= self.max_iterations {
+                self.stopped = true;
+                return;
+            }
+            // The frontier moved: runahead-capped partitions may go.
+            for p in 0..self.k {
+                self.push_launch(p, wave);
+            }
+        }
+    }
+
+    /// Builds the outcome: final states at the result iteration, meters
+    /// over contributing iterations only, and the contributing slice of
+    /// the schedule (speculative tasks filtered out, indices remapped).
+    fn finish(mut self, max_lag: usize, wall_time: Duration) -> SessionOutcome<S> {
+        let (iterations, converged) = match self.converged_at {
+            Some(f) => (f + 1, true),
+            None => (self.frontier, false),
+        };
+        let states: Vec<Arc<S>> = self
+            .parts
+            .iter()
+            .map(|part| Arc::clone(&part.history[iterations - part.hist_base]))
+            .collect();
+
+        let mut remap = vec![usize::MAX; self.schedule.len()];
+        let mut kept = Vec::with_capacity(iterations * self.k);
+        for (idx, mut spec) in std::mem::take(&mut self.schedule).into_iter().enumerate() {
+            if spec.iteration < iterations {
+                remap[idx] = kept.len();
+                for d in &mut spec.deps {
+                    debug_assert_ne!(remap[*d], usize::MAX, "deps precede their consumers");
+                    *d = remap[*d];
+                }
+                kept.push(spec);
+            }
+        }
+
+        let report = SessionReport {
+            global_iterations: iterations,
+            converged,
+            local_syncs: self.iter_syncs[..iterations].iter().sum(),
+            total_ops: self.iter_ops[..iterations].iter().sum(),
+            gmap_tasks: kept.len(),
+            speculative_tasks: self.executed - kept.len(),
+            max_lag,
+            wall_time,
+            schedule: kept,
+        };
+        SessionOutcome { states, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring diffusion: partition p owns one scalar; each iteration
+    /// x_p ← 0.4·x_p + 0.2·(x_{p−1} + x_{p+1}) + heat_p. Coefficients
+    /// sum to 0.8 < 1, so the fixpoint is a strict contraction, with a
+    /// sparse (ring) dependency structure.
+    struct Ring {
+        k: usize,
+        heat: Vec<f64>,
+        tolerance: f64,
+        sparse: bool,
+    }
+
+    impl Ring {
+        fn new(k: usize, tolerance: f64, sparse: bool) -> Self {
+            let heat = (0..k).map(|p| (p as f64 * 0.37).sin().abs() * 0.1).collect();
+            Ring { k, heat, tolerance, sparse }
+        }
+
+        fn neighbors(&self, p: usize) -> Vec<usize> {
+            if self.k == 1 {
+                return Vec::new();
+            }
+            let mut v = vec![(p + self.k - 1) % self.k, (p + 1) % self.k];
+            v.sort_unstable();
+            v.dedup();
+            v.retain(|&q| q != p);
+            v
+        }
+    }
+
+    impl AsyncIterative for Ring {
+        type State = f64;
+        type Update = f64;
+        type Msg = f64;
+
+        fn partitions(&self) -> usize {
+            self.k
+        }
+
+        fn dependencies(&self, p: usize) -> Dependence {
+            if self.sparse {
+                Dependence::Sparse(self.neighbors(p))
+            } else {
+                Dependence::Full
+            }
+        }
+
+        fn init_state(&self, p: usize) -> f64 {
+            p as f64
+        }
+
+        fn gmap(&self, p: usize, _iteration: usize, state: &f64) -> GmapOutput<f64, f64> {
+            let outbox = self.neighbors(p).into_iter().map(|q| (q, vec![0.2 * *state])).collect();
+            GmapOutput {
+                update: 0.4 * *state + self.heat[p],
+                outbox,
+                ops: 4,
+                local_syncs: 1,
+                input_bytes: 16,
+                msg_records: 2,
+                msg_bytes: 16,
+            }
+        }
+
+        fn absorb(
+            &self,
+            _p: usize,
+            _iteration: usize,
+            state: &f64,
+            update: f64,
+            inbox: &[(usize, &[f64])],
+        ) -> Absorbed<f64> {
+            let mut x = update;
+            for (_, msgs) in inbox {
+                for m in *msgs {
+                    x += m;
+                }
+            }
+            Absorbed { state: x, delta: (x - *state).abs(), ops: 1 }
+        }
+
+        fn converged(&self, max_delta: f64) -> bool {
+            max_delta < self.tolerance
+        }
+    }
+
+    /// The barrier oracle: the same trait methods driven by a plain
+    /// sequential loop with a global barrier per iteration.
+    fn run_barrier(algo: &Ring, max_iterations: usize) -> (Vec<f64>, usize, bool) {
+        let k = algo.partitions();
+        let mut states: Vec<f64> = (0..k).map(|p| algo.init_state(p)).collect();
+        for i in 0..max_iterations {
+            let outs: Vec<GmapOutput<f64, f64>> =
+                (0..k).map(|p| algo.gmap(p, i, &states[p])).collect();
+            let mut max_delta = 0.0f64;
+            let mut next = Vec::with_capacity(k);
+            for p in 0..k {
+                let deps = match algo.dependencies(p) {
+                    Dependence::Full => (0..k).filter(|&q| q != p).collect::<Vec<_>>(),
+                    Dependence::Sparse(v) => v,
+                };
+                let inbox: Vec<(usize, Vec<f64>)> = deps
+                    .iter()
+                    .map(|&q| {
+                        let msgs = outs[q]
+                            .outbox
+                            .iter()
+                            .find(|(d, _)| *d == p)
+                            .map(|(_, m)| m.clone())
+                            .unwrap_or_default();
+                        (q, msgs)
+                    })
+                    .collect();
+                let borrowed: Vec<(usize, &[f64])> =
+                    inbox.iter().map(|(q, m)| (*q, m.as_slice())).collect();
+                let absorbed = absorb_for_test(algo, p, i, states[p], &outs[p], &borrowed);
+                max_delta = max_delta.max(absorbed.delta);
+                next.push(absorbed.state);
+            }
+            states = next;
+            if algo.converged(max_delta) {
+                return (states, i + 1, true);
+            }
+        }
+        (states, max_iterations, false)
+    }
+
+    fn absorb_for_test(
+        algo: &Ring,
+        p: usize,
+        i: usize,
+        state: f64,
+        out: &GmapOutput<f64, f64>,
+        inbox: &[(usize, &[f64])],
+    ) -> Absorbed<f64> {
+        algo.absorb(p, i, &state, out.update, inbox)
+    }
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn lag_zero_matches_the_barrier_oracle_bitwise() {
+        let algo = Ring::new(9, 1e-10, true);
+        let driver = AsyncFixedPointDriver::new(500);
+        let outcome = driver.run(&pool(), &algo);
+        let (oracle, iters, converged) = run_barrier(&algo, 500);
+        assert!(converged && outcome.report.converged);
+        assert_eq!(outcome.report.global_iterations, iters);
+        for (p, (got, want)) in outcome.states.iter().zip(&oracle).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "partition {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn full_dependence_degrades_to_the_same_fixpoint_bitwise() {
+        // Same arithmetic, denser dependency structure: Full must give
+        // identical states (non-neighbors contribute empty batches) and
+        // identical iteration counts.
+        let sparse = Ring::new(7, 1e-9, true);
+        let full = Ring::new(7, 1e-9, false);
+        let driver = AsyncFixedPointDriver::new(500);
+        let p = pool();
+        let a = driver.run(&p, &sparse);
+        let b = driver.run(&p, &full);
+        assert_eq!(a.report.global_iterations, b.report.global_iterations);
+        for (x, y) in a.states.iter().zip(&b.states) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn bounded_staleness_reaches_the_same_fixpoint() {
+        let algo = Ring::new(8, 1e-12, true);
+        let exact = AsyncFixedPointDriver::new(2_000).run(&pool(), &algo);
+        let stale = AsyncFixedPointDriver::new(2_000).with_max_lag(2).run(&pool(), &algo);
+        assert!(exact.report.converged && stale.report.converged);
+        assert_eq!(stale.report.max_lag, 2);
+        for (x, y) in exact.states.iter().zip(&stale.states) {
+            assert!(
+                (*x.as_ref() - *y.as_ref()).abs() < 1e-9,
+                "lagged fixpoint drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_stops_an_unconverged_run() {
+        let algo = Ring::new(5, 0.0, true); // tolerance 0: never converges
+        let outcome = AsyncFixedPointDriver::new(13).run(&pool(), &algo);
+        assert!(!outcome.report.converged);
+        assert_eq!(outcome.report.global_iterations, 13);
+        let (oracle, _, oracle_conv) = run_barrier(&algo, 13);
+        assert!(!oracle_conv);
+        for (got, want) in outcome.states.iter().zip(&oracle) {
+            assert_eq!(got.to_bits(), want.to_bits(), "capped run must match the barrier cap");
+        }
+    }
+
+    #[test]
+    fn single_partition_session_runs() {
+        let algo = Ring::new(1, 1e-9, true);
+        let outcome = AsyncFixedPointDriver::new(200).run(&pool(), &algo);
+        assert!(outcome.report.converged);
+        assert_eq!(outcome.states.len(), 1);
+    }
+
+    #[test]
+    fn schedule_is_topological_and_covers_contributing_work() {
+        let algo = Ring::new(6, 1e-8, true);
+        let outcome = AsyncFixedPointDriver::new(500).run(&pool(), &algo);
+        let sched = &outcome.report.schedule;
+        assert_eq!(sched.len(), outcome.report.global_iterations * 6);
+        assert_eq!(sched.len(), outcome.report.gmap_tasks);
+        for (i, t) in sched.iter().enumerate() {
+            assert!(t.deps.iter().all(|&d| d < i), "task {i} has a forward dep");
+            assert!(t.iteration < outcome.report.global_iterations);
+            if t.iteration > 0 {
+                // Own previous iteration plus two ring neighbors.
+                assert_eq!(t.deps.len(), 3, "ring deps: {:?}", t.deps);
+            }
+        }
+        // Meters accumulated over contributing iterations.
+        assert_eq!(outcome.report.local_syncs, sched.len() as u64);
+        assert!(outcome.report.total_ops > 0);
+    }
+
+    #[test]
+    fn empty_algorithm_returns_immediately() {
+        let algo = Ring::new(0, 1e-9, true);
+        let outcome = AsyncFixedPointDriver::new(10).run(&pool(), &algo);
+        assert!(outcome.states.is_empty());
+        assert_eq!(outcome.report.global_iterations, 0);
+        assert!(outcome.report.converged);
+    }
+}

@@ -21,6 +21,10 @@
 //!   behind the engine's pipelined execution strategy: phase-1 tasks
 //!   stream their results to a caller-side scheduler that spawns
 //!   follow-up tasks onto the same scope, with no stage barrier;
+//! * [`ThreadPool::par_multiwave`] — the persistent generalization of
+//!   `par_pipeline`: the scheduler can inject new phase-1 [`Wave`]s
+//!   while earlier ones drain, keeping one scope alive across the
+//!   global iterations of an iterative driver;
 //! * cooperative waiting: a thread blocked waiting for its [`Scope`] to
 //!   drain *helps*
 //!   execute queued tasks, so nested scopes cannot deadlock the pool;
@@ -44,6 +48,6 @@ mod pool;
 mod scope;
 
 pub use metrics::PoolMetrics;
-pub use pipeline::FollowUp;
+pub use pipeline::{FollowUp, Wave};
 pub use pool::{ThreadPool, ThreadPoolBuilder};
 pub use scope::Scope;

@@ -17,6 +17,15 @@
 //! their input buckets are complete, with no whole-stage barrier in
 //! between — the intra-job analogue of the paper's partial
 //! synchronizations.
+//!
+//! [`ThreadPool::par_multiwave`] generalizes the same machinery from
+//! one wave of items to *arbitrarily many*: the scheduler closure can
+//! enqueue new phase-1 items (a [`Wave`]) in response to completions,
+//! and the call returns only when no produced item remains in flight
+//! and no wave is pending. One `par_multiwave` invocation can therefore
+//! keep a single scope alive across the *global iterations* of an
+//! iterative algorithm — the cross-iteration analogue of the paper's
+//! eager scheduling, used by `asyncmr_core::session`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -54,6 +63,36 @@ impl<U> Drop for AbortGuard<'_, U> {
         // Pair with the caller's locked condition check, then wake it.
         drop(self.0.queue.lock());
         self.0.ready.notify_one();
+    }
+}
+
+/// New phase-1 items a [`ThreadPool::par_multiwave`] scheduler wants
+/// launched in response to a completion. Each entry is `(id, item)`;
+/// the id is passed back to `produce` and `schedule` verbatim (it need
+/// not be unique — multiwave callers typically encode their own task
+/// identity inside the item and ignore it).
+#[derive(Debug)]
+pub struct Wave<T> {
+    items: Vec<(usize, T)>,
+}
+
+impl<T> Wave<T> {
+    /// Enqueues one new item for the produce phase.
+    #[inline]
+    pub fn push(&mut self, id: usize, item: T) {
+        self.items.push((id, item));
+    }
+
+    /// Items enqueued so far in this scheduler call.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no item has been enqueued in this scheduler call.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
     }
 }
 
@@ -102,8 +141,67 @@ impl ThreadPool {
         F: Fn(usize, T) -> U + Sync + 'env,
         C: FnMut(usize, U) -> Vec<FollowUp<'env>>,
     {
-        let total = items.len();
-        if total == 0 {
+        let initial: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        self.par_multiwave(initial, produce, |i, value, _wave| schedule(i, value));
+    }
+
+    /// The persistent, multi-wave generalization of
+    /// [`ThreadPool::par_pipeline`].
+    ///
+    /// Runs `produce` over the `initial` wave of `(id, item)` pairs (one
+    /// pool task per item) and calls `schedule` on the **calling
+    /// thread** for each completion, in completion order. Besides
+    /// returning [`FollowUp`] tasks, the scheduler may push *new
+    /// phase-1 items* onto the provided [`Wave`]; they are spawned
+    /// immediately and stream their completions back through the same
+    /// scheduler. The call returns once every produced item — initial
+    /// or wave-injected — has been scheduled and every follow-up has
+    /// drained.
+    ///
+    /// This keeps one scope (and therefore one set of borrows) alive
+    /// across arbitrarily many dependent waves: an iterative driver can
+    /// launch iteration *i+1*'s task for a partition the moment the
+    /// completions it depends on have arrived, with no global barrier
+    /// between iterations.
+    ///
+    /// While waiting for completions the calling thread *helps* execute
+    /// queued pool tasks, and panics propagate to the caller after the
+    /// scope drains, exactly as in [`ThreadPool::par_pipeline`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asyncmr_runtime::ThreadPool;
+    ///
+    /// // Three dependent "iterations" of one task: each completion
+    /// // launches the next wave until the value reaches 3.
+    /// let pool = ThreadPool::new(2);
+    /// let mut last = 0u64;
+    /// pool.par_multiwave(
+    ///     vec![(0usize, 0u64)],
+    ///     |_id, x| x + 1,
+    ///     |id, x, wave| {
+    ///         last = x;
+    ///         if x < 3 {
+    ///             wave.push(id, x); // next iteration, same borrow scope
+    ///         }
+    ///         Vec::new()
+    ///     },
+    /// );
+    /// assert_eq!(last, 3);
+    /// ```
+    pub fn par_multiwave<'env, T, U, F, C>(
+        &'env self,
+        initial: Vec<(usize, T)>,
+        produce: F,
+        mut schedule: C,
+    ) where
+        T: Send + 'env,
+        U: Send + 'env,
+        F: Fn(usize, T) -> U + Sync + 'env,
+        C: FnMut(usize, U, &mut Wave<T>) -> Vec<FollowUp<'env>>,
+    {
+        if initial.is_empty() {
             return;
         }
         let inbox: Inbox<U> = Inbox {
@@ -114,28 +212,42 @@ impl ThreadPool {
         let inbox = &inbox;
         let produce = &produce;
         self.scope(|s| {
-            for (i, item) in items.into_iter().enumerate() {
+            let spawn_item = |id: usize, item: T| {
                 s.spawn(move || {
                     let guard = AbortGuard(inbox);
-                    let value = produce(i, item);
+                    let value = produce(id, item);
                     std::mem::forget(guard); // completing normally
-                    inbox.queue.lock().push((i, value));
+                    inbox.queue.lock().push((id, value));
                     inbox.ready.notify_one();
                 });
+            };
+            // Produced items in flight = spawned − received − aborted.
+            // Only the scheduler (this thread) spawns, so `spawned` needs
+            // no synchronization.
+            let mut spawned = 0usize;
+            for (id, item) in initial {
+                spawn_item(id, item);
+                spawned += 1;
             }
-            // Completion loop: batch-drain, dispatch, help, repeat
-            // until every phase-1 task has reported (or aborted).
+            // Completion loop: batch-drain, dispatch (which may grow the
+            // wave set), help, repeat until every produced item has
+            // reported (or aborted).
             let mut received = 0usize;
             let mut batch: Vec<(usize, U)> = Vec::new();
-            while received + inbox.aborted.load(Ordering::SeqCst) < total {
+            let mut wave = Wave { items: Vec::new() };
+            while received + inbox.aborted.load(Ordering::SeqCst) < spawned {
                 // Dispatching queued completions beats helping with
                 // someone else's task.
                 std::mem::swap(&mut *inbox.queue.lock(), &mut batch);
                 if !batch.is_empty() {
                     received += batch.len();
                     for (i, value) in batch.drain(..) {
-                        for follow_up in schedule(i, value) {
+                        for follow_up in schedule(i, value, &mut wave) {
                             s.spawn(follow_up);
+                        }
+                        for (id, item) in wave.items.drain(..) {
+                            spawn_item(id, item);
+                            spawned += 1;
                         }
                     }
                     continue;
@@ -148,7 +260,8 @@ impl ThreadPool {
                     self.shared().run_job(job);
                 } else {
                     let mut queue = inbox.queue.lock();
-                    if queue.is_empty() && received + inbox.aborted.load(Ordering::SeqCst) < total {
+                    if queue.is_empty() && received + inbox.aborted.load(Ordering::SeqCst) < spawned
+                    {
                         inbox.ready.wait_for(&mut queue, Duration::from_micros(200));
                     }
                 }
@@ -350,6 +463,107 @@ mod tests {
             );
         }));
         assert!(caught.is_err(), "follow-up panic must reach the caller");
+    }
+
+    #[test]
+    fn multiwave_chains_dependent_iterations() {
+        // Each of 8 chains runs 50 dependent "iterations"; every
+        // completion schedules the chain's next wave. One call, one
+        // scope, 400 produced tasks.
+        let pool = ThreadPool::new(4);
+        let mut progress = vec![0u32; 8];
+        pool.par_multiwave(
+            (0..8usize).map(|c| (c, 0u32)).collect(),
+            |_c, step| step + 1,
+            |c, step, wave| {
+                progress[c] = step;
+                if step < 50 {
+                    wave.push(c, step);
+                }
+                Vec::new()
+            },
+        );
+        assert_eq!(progress, vec![50; 8]);
+    }
+
+    #[test]
+    fn multiwave_mixes_waves_and_follow_ups() {
+        let pool = ThreadPool::new(3);
+        let follow_ran = AtomicUsize::new(0);
+        let fr = &follow_ran;
+        let mut produced = 0usize;
+        pool.par_multiwave(
+            vec![(0usize, 3u32)],
+            |_id, fanout| fanout,
+            |_id, fanout, wave| {
+                produced += 1;
+                for i in 0..fanout {
+                    wave.push(i as usize, fanout - 1); // geometric fan-out
+                }
+                vec![Box::new(move || {
+                    fr.fetch_add(1, Ordering::SeqCst);
+                }) as FollowUp<'_>]
+            },
+        );
+        // 1 + 3 + 3·2 + 6·1 + 6·0-children = 1 + 3 + 6 + 6 = 16 tasks.
+        assert_eq!(produced, 16);
+        assert_eq!(follow_ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn multiwave_empty_initial_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        let mut called = false;
+        pool.par_multiwave(
+            Vec::<(usize, u32)>::new(),
+            |_i, x| x,
+            |_i, _x, _wave| {
+                called = true;
+                Vec::new()
+            },
+        );
+        assert!(!called);
+    }
+
+    #[test]
+    fn multiwave_single_thread_does_not_deadlock() {
+        let pool = ThreadPool::new(1);
+        let mut total = 0u64;
+        pool.par_multiwave(
+            (0..10usize).map(|i| (i, 1u64)).collect(),
+            |_i, x| x,
+            |i, x, wave| {
+                total += x;
+                if total < 200 && i % 2 == 0 {
+                    wave.push(i, 1);
+                }
+                Vec::new()
+            },
+        );
+        assert!(total >= 10);
+    }
+
+    #[test]
+    fn multiwave_panic_in_wave_task_propagates() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_multiwave(
+                vec![(0usize, 0u32)],
+                |_i, x| {
+                    if x == 1 {
+                        panic!("wave task exploded");
+                    }
+                    x
+                },
+                |i, x, wave| {
+                    if x == 0 {
+                        wave.push(i, 1); // second wave panics
+                    }
+                    Vec::new()
+                },
+            );
+        }));
+        assert!(caught.is_err(), "second-wave panic must reach the caller");
     }
 
     #[test]

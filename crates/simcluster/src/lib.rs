@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod asyncsched;
 pub mod cluster;
 pub mod costmodel;
 pub mod dfs;
@@ -50,6 +51,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use asyncsched::{AsyncScheduleStats, AsyncTaskSpec};
 pub use cluster::{ClusterSpec, NodeSpec};
 pub use costmodel::CostModel;
 pub use dfs::DfsModel;

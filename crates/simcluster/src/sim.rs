@@ -32,14 +32,17 @@ use crate::stats::{JobStats, PhaseBreakdown, RunTotals};
 use crate::time::SimTime;
 
 /// A persistent simulated cluster executing MapReduce jobs.
+///
+/// Fields are `pub(crate)` so the sibling [`crate::asyncsched`] replay
+/// shares the same clock, network, and RNG stream.
 #[derive(Debug)]
 pub struct Simulation {
-    spec: ClusterSpec,
-    failure: FailurePlan,
-    clock: SimTime,
-    net: NetworkState,
-    rng: StdRng,
-    jobs_run: usize,
+    pub(crate) spec: ClusterSpec,
+    pub(crate) failure: FailurePlan,
+    pub(crate) clock: SimTime,
+    pub(crate) net: NetworkState,
+    pub(crate) rng: StdRng,
+    pub(crate) jobs_run: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +94,7 @@ impl Simulation {
     }
 
     /// Samples a mean-1 log-normal straggler multiplier.
-    fn straggler(&mut self) -> f64 {
+    pub(crate) fn straggler(&mut self) -> f64 {
         let sigma = self.spec.straggler_sigma;
         if sigma <= 0.0 {
             return 1.0;

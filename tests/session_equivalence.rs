@@ -1,0 +1,108 @@
+//! The session layer's correctness contract, end to end:
+//!
+//! * at `max_lag = 0` the asynchronous drivers reproduce the barrier
+//!   [`FixedPointDriver`](asyncmr::core::FixedPointDriver) runs
+//!   **byte-identically** — same iteration counts, bitwise-equal final
+//!   ranks/distances — with only the schedule differing;
+//! * at `max_lag > 0` they still land on the same fixed point within
+//!   tolerance;
+//! * the recorded cross-iteration schedule replays on the simulated
+//!   cluster faster than the equivalent barrier job sequence.
+
+use asyncmr::apps::pagerank::{self, PageRankConfig};
+use asyncmr::apps::sssp::{self, SsspConfig};
+use asyncmr::core::Engine;
+use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
+use asyncmr::partition::{MultilevelKWay, Partitioner};
+use asyncmr::runtime::ThreadPool;
+use asyncmr::simcluster::{ClusterSpec, Simulation};
+
+fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
+    generators::preferential_attachment_crawled(n, 3, 1, 1, 0.95, 40, seed)
+}
+
+#[test]
+fn pagerank_async_lag0_is_byte_identical_to_the_barrier_driver() {
+    let g = crawl_graph(1200, 4);
+    let parts = MultilevelKWay::default().partition(&g, 8);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig::default();
+
+    let mut engine = Engine::in_process(&pool);
+    let barrier = pagerank::run_eager(&mut engine, &g, &parts, &cfg);
+    let asynchronous = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+
+    assert_eq!(asynchronous.report.global_iterations, barrier.report.global_iterations);
+    assert_eq!(
+        asynchronous.report.local_syncs, barrier.report.local_syncs,
+        "identical local solves must meter identical partial syncs"
+    );
+    for (v, (a, b)) in asynchronous.ranks.iter().zip(&barrier.ranks).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "vertex {v}: async {a} vs barrier {b}");
+    }
+}
+
+#[test]
+fn sssp_async_lag0_is_byte_identical_to_the_barrier_driver() {
+    let g = crawl_graph(900, 12);
+    let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 5);
+    let parts = MultilevelKWay::default().partition(wg.graph(), 6);
+    let pool = ThreadPool::new(4);
+    let cfg = SsspConfig::default();
+
+    let mut engine = Engine::in_process(&pool);
+    let barrier = sssp::run_eager(&mut engine, &wg, &parts, &cfg);
+    let asynchronous = sssp::run_async(&pool, &wg, &parts, &cfg, 0);
+
+    assert_eq!(asynchronous.report.global_iterations, barrier.report.global_iterations);
+    for (v, (a, b)) in asynchronous.distances.iter().zip(&barrier.distances).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+            "vertex {v}: async {a} vs barrier {b}"
+        );
+    }
+}
+
+#[test]
+fn pagerank_bounded_staleness_reaches_the_same_fixed_point() {
+    let g = crawl_graph(900, 6);
+    let parts = MultilevelKWay::default().partition(&g, 6);
+    let pool = ThreadPool::new(4);
+    // Tight tolerance: both end states are within ~tol/(1−χ) of the
+    // unique fixed point, so they must agree to well under 1e-6.
+    let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+    let exact = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+    for lag in [1usize, 3] {
+        let stale = pagerank::run_async(&pool, &g, &parts, &cfg, lag);
+        assert!(stale.report.converged, "lag {lag} must still converge");
+        let diff = pagerank::inf_norm_diff(&exact.ranks, &stale.ranks);
+        assert!(diff < 1e-6, "lag {lag} drifted the fixed point by {diff}");
+    }
+}
+
+#[test]
+fn async_schedule_replays_faster_than_the_barrier_jobs_in_simulation() {
+    let g = crawl_graph(1200, 4);
+    let parts = MultilevelKWay::default().partition(&g, 8);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig::default();
+
+    // Barrier: every global iteration pays the full job envelope.
+    let sim = Simulation::new(ClusterSpec::ec2_2010(), 7);
+    let mut engine = Engine::with_simulation(&pool, sim);
+    let barrier = pagerank::run_eager(&mut engine, &g, &parts, &cfg);
+    let barrier_secs = barrier.report.sim_time.expect("simulated").as_secs_f64();
+
+    // Async: the recorded cross-iteration schedule, one envelope total.
+    let asynchronous = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+    let mut replay = Simulation::new(ClusterSpec::ec2_2010(), 7);
+    let stats = replay.run_async_schedule(&asynchronous.report.schedule);
+    let async_secs = stats.duration.as_secs_f64();
+
+    assert_eq!(stats.tasks, asynchronous.report.gmap_tasks);
+    assert!(
+        async_secs < barrier_secs / 1.2,
+        "async replay ({async_secs:.1}s) must beat the barrier sequence \
+         ({barrier_secs:.1}s) by ≥1.2x for the same converged result"
+    );
+}
