@@ -229,8 +229,28 @@ pub fn run_async(
     cfg: &PageRankConfig,
     max_lag: usize,
 ) -> PageRankAsyncOutcome {
+    run_async_with_failures(pool, graph, parts, cfg, max_lag, SessionFailurePlan::none())
+}
+
+/// [`run_async`] under injected transient gmap failures.
+///
+/// Failed attempts deliver nothing and are re-executed on the same
+/// partition state (deterministic replay), so the converged ranks —
+/// and, at `max_lag = 0`, the iteration count — are byte-identical to
+/// the failure-free run; only wall-clock and the wasted-attempt
+/// accounting in the report change. Pinned by `tests/chaos_session.rs`.
+pub fn run_async_with_failures(
+    pool: &ThreadPool,
+    graph: &CsrGraph,
+    parts: &Partitioning,
+    cfg: &PageRankConfig,
+    max_lag: usize,
+    failures: SessionFailurePlan,
+) -> PageRankAsyncOutcome {
     let algo = PrAsync::new(graph, parts, cfg);
-    let driver = AsyncFixedPointDriver::new(cfg.max_iterations).with_max_lag(max_lag);
+    let driver = AsyncFixedPointDriver::new(cfg.max_iterations)
+        .with_max_lag(max_lag)
+        .with_failures(failures);
     let outcome = driver.run(pool, &algo);
     let mut ranks = vec![0.0f64; graph.num_nodes()];
     for (part, state) in algo.partitions().iter().zip(&outcome.states) {
@@ -303,6 +323,27 @@ mod tests {
             "staleness drifted the fixpoint: {}",
             inf_norm_diff(&exact.ranks, &stale.ranks)
         );
+    }
+
+    #[test]
+    fn injected_failures_leave_ranks_bitwise_identical() {
+        let (g, parts) = setup(500, 5, 7);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig::default();
+        let clean = run_async(&pool, &g, &parts, &cfg, 0);
+        let faulty = run_async_with_failures(
+            &pool,
+            &g,
+            &parts,
+            &cfg,
+            0,
+            SessionFailurePlan::transient(0.2, 99),
+        );
+        assert!(faulty.report.failed_attempts > 0, "0.2/attempt must fire");
+        assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+        for (v, (a, b)) in clean.ranks.iter().zip(&faulty.ranks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "vertex {v} diverged under failures");
+        }
     }
 
     #[test]

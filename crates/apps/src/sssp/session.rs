@@ -159,8 +159,27 @@ pub fn run_async(
     cfg: &SsspConfig,
     max_lag: usize,
 ) -> SsspAsyncOutcome {
+    run_async_with_failures(pool, graph, parts, cfg, max_lag, SessionFailurePlan::none())
+}
+
+/// [`run_async`] under injected transient gmap failures.
+///
+/// Deterministic re-execution makes recovery invisible in the result:
+/// distances (exact, min-monotone) are bitwise identical to the
+/// failure-free run, and at `max_lag = 0` so is the iteration count.
+/// Pinned by `tests/chaos_session.rs`.
+pub fn run_async_with_failures(
+    pool: &ThreadPool,
+    graph: &WeightedGraph,
+    parts: &Partitioning,
+    cfg: &SsspConfig,
+    max_lag: usize,
+    failures: SessionFailurePlan,
+) -> SsspAsyncOutcome {
     let algo = SpAsync::new(graph, parts, cfg);
-    let driver = AsyncFixedPointDriver::new(cfg.max_iterations).with_max_lag(max_lag);
+    let driver = AsyncFixedPointDriver::new(cfg.max_iterations)
+        .with_max_lag(max_lag)
+        .with_failures(failures);
     let outcome = driver.run(pool, &algo);
     let mut distances = vec![f64::INFINITY; graph.num_nodes()];
     for (part, state) in algo.partitions().iter().zip(&outcome.states) {
@@ -227,6 +246,31 @@ mod tests {
         let expected = dijkstra(&wg, 0);
         for (got, want) in out.distances.iter().zip(&expected) {
             assert!((got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn injected_failures_leave_distances_bitwise_identical() {
+        let wg = weighted(400, 31);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 5);
+        let pool = ThreadPool::new(4);
+        let cfg = SsspConfig::default();
+        let clean = run_async(&pool, &wg, &parts, &cfg, 0);
+        let faulty = run_async_with_failures(
+            &pool,
+            &wg,
+            &parts,
+            &cfg,
+            0,
+            SessionFailurePlan::transient(0.2, 5),
+        );
+        assert!(faulty.report.failed_attempts > 0, "0.2/attempt must fire");
+        assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+        for (v, (a, b)) in clean.distances.iter().zip(&faulty.distances).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                "vertex {v} diverged under failures: {a} vs {b}"
+            );
         }
     }
 

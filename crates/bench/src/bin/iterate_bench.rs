@@ -34,6 +34,14 @@
 //! per-iteration job replay, where per-job setup dominates and the gap
 //! is far larger.
 //!
+//! A **failure-probability sweep** (paper §VI) rides along: the same
+//! headline PageRank workload re-run under injected transient failures
+//! (`SessionFailurePlan` in-process, the matching `FailurePlan` on the
+//! simulated replay, identity-gated bitwise against the failure-free
+//! fixed point), reporting the *wasted gmap-seconds* — discarded
+//! speculative work plus failed-attempt time — and the simulated
+//! recovery cost of async vs. barrier under the same regime.
+//!
 //! Emits machine-readable `BENCH_iterate.json` (working directory) and
 //! prints a table. Wall-clock varies with the host; the speedup *ratio*
 //! is the tracked quantity.
@@ -42,11 +50,11 @@ use std::time::{Duration, Instant};
 
 use asyncmr_apps::pagerank::{self, PageRankConfig};
 use asyncmr_apps::sssp::{self, SsspConfig};
-use asyncmr_core::Engine;
+use asyncmr_core::{Engine, SessionFailurePlan};
 use asyncmr_graph::{generators, CsrGraph, WeightedGraph};
 use asyncmr_partition::{HashPartitioner, MultilevelKWay, Partitioner, Partitioning};
 use asyncmr_runtime::ThreadPool;
-use asyncmr_simcluster::{ClusterSpec, Simulation};
+use asyncmr_simcluster::{ClusterSpec, FailurePlan, Simulation};
 
 const REPS: usize = 5;
 
@@ -63,6 +71,46 @@ struct AppReport {
     barrier_sim_secs: f64,
     async_sim_secs: f64,
     speculative_tasks: usize,
+    /// Wasted gmap-seconds: wall-clock of discarded speculative work
+    /// (failure-free rows have no failed attempts to add).
+    wasted_gmap_secs: f64,
+}
+
+/// One row of the §VI failure sweep: the headline async workload under
+/// injected transient failures, in-process and on the simulated
+/// cluster.
+struct FailureRow {
+    app: &'static str,
+    prob: f64,
+    /// In-process injected attempts that died (and were re-executed).
+    failed_attempts: usize,
+    /// In-process wasted gmap-seconds: failed-attempt time plus
+    /// discarded speculative time.
+    wasted_gmap_secs: f64,
+    /// Simulated replay of the same schedule, failure-free.
+    sim_clean_secs: f64,
+    /// Simulated replay under the failure regime.
+    sim_faulty_secs: f64,
+    /// Dead attempts in the simulated replay.
+    sim_failed_attempts: usize,
+    /// Serialized recovery time metered by the replay.
+    sim_recovery_secs: f64,
+    /// The barrier job sequence under the *same* failure regime.
+    barrier_sim_faulty_secs: f64,
+}
+
+impl FailureRow {
+    /// Total simulated slowdown of the faulty replay vs. the clean
+    /// replay of the same schedule (includes everything failures
+    /// perturb — the *recovery-attributable* serialized cost is
+    /// `sim_recovery_secs`).
+    fn sim_slowdown(&self) -> f64 {
+        self.sim_faulty_secs / self.sim_clean_secs
+    }
+    /// How much faster async completes than barrier under failures.
+    fn faulty_speedup(&self) -> f64 {
+        self.barrier_sim_faulty_secs / self.sim_faulty_secs
+    }
 }
 
 impl AppReport {
@@ -154,7 +202,83 @@ fn bench_app(
         barrier_sim_secs,
         async_sim_secs,
         speculative_tasks: lag0_report.speculative_tasks,
+        wasted_gmap_secs: lag0_report.speculative_time.as_secs_f64()
+            + lag0_report.failed_attempt_time.as_secs_f64(),
     }
+}
+
+/// The §VI failure sweep on the headline (barrier-bound, full-cut)
+/// PageRank workload: in-process chaos identity-gated bitwise, then the
+/// same failure regime replayed on the simulated cluster for both the
+/// async schedule and the barrier job sequence.
+fn failure_sweep(pool: &ThreadPool) -> Vec<FailureRow> {
+    let g = crawl_graph(1_500, 11);
+    let parts = HashPartitioner.partition(&g, 16);
+    let cfg = PageRankConfig::default();
+
+    let clean = pagerank::run_async(pool, &g, &parts, &cfg, 0);
+    let sim_clean_secs = Simulation::new(ClusterSpec::ec2_2010(), 7)
+        .run_async_schedule(&clean.report.schedule)
+        .duration
+        .as_secs_f64();
+
+    [0.05f64, 0.2]
+        .into_iter()
+        .map(|prob| {
+            // ---- In-process: recovery must be invisible in the result ----
+            let faulty = pagerank::run_async_with_failures(
+                pool,
+                &g,
+                &parts,
+                &cfg,
+                0,
+                SessionFailurePlan::transient(prob, 0xC4A05),
+            );
+            assert!(faulty.report.failed_attempts > 0, "p = {prob}: injection must fire");
+            assert_eq!(
+                faulty.report.global_iterations, clean.report.global_iterations,
+                "p = {prob}: iteration count diverged under failures"
+            );
+            for (v, (a, b)) in faulty.ranks.iter().zip(&clean.ranks).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "p = {prob}: rank {v} not bitwise identical under failures ({a} vs {b})"
+                );
+            }
+
+            // ---- Simulated: same regime on both execution styles ----
+            // Replay the SAME recorded schedule the clean figure used:
+            // contributing schedules are recorded in (nondeterministic)
+            // completion order, and the greedy placement is sensitive
+            // to that order among same-iteration tasks — comparing two
+            // different recordings would mix schedule-order noise into
+            // the failure slowdown.
+            let replay = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_failures(FailurePlan::transient(prob))
+                .run_async_schedule(&clean.report.schedule);
+            let sim = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_failures(FailurePlan::transient(prob));
+            let barrier =
+                pagerank::run_eager(&mut Engine::with_simulation(pool, sim), &g, &parts, &cfg);
+
+            FailureRow {
+                app: "pagerank",
+                prob,
+                failed_attempts: faulty.report.failed_attempts,
+                wasted_gmap_secs: faulty.report.failed_attempt_time.as_secs_f64()
+                    + faulty.report.speculative_time.as_secs_f64(),
+                sim_clean_secs,
+                sim_faulty_secs: replay.duration.as_secs_f64(),
+                sim_failed_attempts: replay.failed_attempts,
+                sim_recovery_secs: replay.recovery_time.as_secs_f64(),
+                barrier_sim_faulty_secs: barrier
+                    .report
+                    .sim_time
+                    .expect("simulated run")
+                    .as_secs_f64(),
+            }
+        })
+        .collect()
 }
 
 fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
@@ -241,6 +365,8 @@ fn main() {
         ));
     }
 
+    let sweep = failure_sweep(&pool);
+
     // ---- Table ----
     println!("barrier vs async driver wall-clock ({threads} threads, median of {REPS} reps)");
     println!(
@@ -272,6 +398,35 @@ fn main() {
         );
     }
 
+    println!();
+    println!("failure sweep (transient failures, results identity-gated bitwise)");
+    println!(
+        "  {:<10} {:>6} {:>8} {:>11} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "app",
+        "prob",
+        "failed",
+        "wasted (s)",
+        "sim clean",
+        "sim fail",
+        "slowdown",
+        "barrier f.",
+        "speedup"
+    );
+    for f in &sweep {
+        println!(
+            "  {:<10} {:>6.2} {:>8} {:>11.4} {:>9.1}s {:>9.1}s {:>8.2}x {:>9.1}s {:>8.2}x",
+            f.app,
+            f.prob,
+            f.failed_attempts,
+            f.wasted_gmap_secs,
+            f.sim_clean_secs,
+            f.sim_faulty_secs,
+            f.sim_slowdown(),
+            f.barrier_sim_faulty_secs,
+            f.faulty_speedup(),
+        );
+    }
+
     // ---- JSON ----
     let mut apps_json = String::new();
     for (i, r) in reports.iter().enumerate() {
@@ -279,7 +434,7 @@ fn main() {
             apps_json.push_str(",\n");
         }
         apps_json.push_str(&format!(
-            "    {{\n      \"app\": \"{}\",\n      \"global_iterations\": {},\n      \"partitions\": {},\n      \"cut_percent\": {:.1},\n      \"barrier_median_secs\": {:.6},\n      \"async_lag0_median_secs\": {:.6},\n      \"async_lag1_median_secs\": {:.6},\n      \"speedup\": {:.3},\n      \"speedup_lag1\": {:.3},\n      \"fixpoint_diff_lag0\": {:.3e},\n      \"fixpoint_diff_lag1\": {:.3e},\n      \"barrier_sim_secs\": {:.1},\n      \"async_sim_secs\": {:.1},\n      \"sim_speedup\": {:.3},\n      \"speculative_tasks\": {}\n    }}",
+            "    {{\n      \"app\": \"{}\",\n      \"global_iterations\": {},\n      \"partitions\": {},\n      \"cut_percent\": {:.1},\n      \"barrier_median_secs\": {:.6},\n      \"async_lag0_median_secs\": {:.6},\n      \"async_lag1_median_secs\": {:.6},\n      \"speedup\": {:.3},\n      \"speedup_lag1\": {:.3},\n      \"fixpoint_diff_lag0\": {:.3e},\n      \"fixpoint_diff_lag1\": {:.3e},\n      \"barrier_sim_secs\": {:.1},\n      \"async_sim_secs\": {:.1},\n      \"sim_speedup\": {:.3},\n      \"speculative_tasks\": {},\n      \"wasted_gmap_secs\": {:.6}\n    }}",
             r.name,
             r.iterations,
             r.partitions,
@@ -295,12 +450,33 @@ fn main() {
             r.async_sim_secs,
             r.sim_speedup(),
             r.speculative_tasks,
+            r.wasted_gmap_secs,
+        ));
+    }
+    let mut sweep_json = String::new();
+    for (i, f) in sweep.iter().enumerate() {
+        if i > 0 {
+            sweep_json.push_str(",\n");
+        }
+        sweep_json.push_str(&format!(
+            "    {{\n      \"app\": \"{}\",\n      \"attempt_failure_prob\": {:.2},\n      \"failed_attempts\": {},\n      \"wasted_gmap_secs\": {:.6},\n      \"sim_clean_secs\": {:.1},\n      \"sim_faulty_secs\": {:.1},\n      \"sim_failed_attempts\": {},\n      \"sim_recovery_secs\": {:.1},\n      \"sim_failure_slowdown\": {:.3},\n      \"barrier_sim_faulty_secs\": {:.1},\n      \"faulty_sim_speedup\": {:.3}\n    }}",
+            f.app,
+            f.prob,
+            f.failed_attempts,
+            f.wasted_gmap_secs,
+            f.sim_clean_secs,
+            f.sim_faulty_secs,
+            f.sim_failed_attempts,
+            f.sim_recovery_secs,
+            f.sim_slowdown(),
+            f.barrier_sim_faulty_secs,
+            f.faulty_speedup(),
         ));
     }
     let headline =
         reports.iter().find(|r| r.name == "pagerank").map(AppReport::speedup).unwrap_or(0.0);
     let json = format!(
-        "{{\n  \"bench\": \"async_vs_barrier_driver_wall_clock\",\n  \"config\": {{\n    \"threads\": {threads},\n    \"reps\": {REPS},\n    \"drivers\": [\"FixedPointDriver + staged engine (barrier)\", \"AsyncFixedPointDriver lag 0 (byte-identical results)\", \"AsyncFixedPointDriver lag 1 (bounded staleness)\"],\n    \"identity_gate\": \"lag-0 fixed points pinned byte-identical to the barrier driver before timing; lag-0 iteration counts equal\"\n  }},\n  \"apps\": [\n{apps_json}\n  ],\n  \"pagerank_speedup\": {headline:.3}\n}}\n",
+        "{{\n  \"bench\": \"async_vs_barrier_driver_wall_clock\",\n  \"config\": {{\n    \"threads\": {threads},\n    \"reps\": {REPS},\n    \"drivers\": [\"FixedPointDriver + staged engine (barrier)\", \"AsyncFixedPointDriver lag 0 (byte-identical results)\", \"AsyncFixedPointDriver lag 1 (bounded staleness)\"],\n    \"identity_gate\": \"lag-0 fixed points pinned byte-identical to the barrier driver before timing; lag-0 iteration counts equal; failure-sweep results pinned bitwise against the failure-free run\"\n  }},\n  \"apps\": [\n{apps_json}\n  ],\n  \"failure_sweep\": [\n{sweep_json}\n  ],\n  \"pagerank_speedup\": {headline:.3}\n}}\n",
     );
     std::fs::write("BENCH_iterate.json", &json).expect("write BENCH_iterate.json");
     println!("wrote BENCH_iterate.json");

@@ -101,8 +101,8 @@ pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
 pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
 pub use session::{
-    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionOutcome,
-    SessionReport,
+    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionFailurePlan,
+    SessionOutcome, SessionReport,
 };
 pub use shuffle::{GroupView, Grouped, ShuffleScratch};
 pub use traits::{Combiner, Mapper, Reducer};
@@ -117,8 +117,8 @@ pub mod prelude {
         EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState,
     };
     pub use crate::session::{
-        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionOutcome,
-        SessionReport,
+        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput,
+        SessionFailurePlan, SessionOutcome, SessionReport,
     };
     pub use crate::traits::{Combiner, Mapper, Reducer};
 }

@@ -44,6 +44,34 @@
 //! schedule with [`asyncmr_simcluster::Simulation::run_async_schedule`]
 //! shows the win in *simulated* cluster time too, not just host
 //! wall-clock.
+//!
+//! ## Fault tolerance (deterministic replay)
+//!
+//! The paper's §VI argument is that MapReduce's deterministic-replay
+//! recovery *carries over* to partial synchronization. The session
+//! reproduces it in-process: a [`SessionFailurePlan`] kills individual
+//! gmap *attempts* (each attempt's fate is a pure function of
+//! `(seed, partition, iteration, attempt)`, so chaos runs are
+//! reproducible regardless of thread interleaving), and the driver's
+//! attempt-tracking layer re-executes the task — on the *same*
+//! immutable input state `Arc` — up to
+//! [`SessionFailurePlan::max_attempts`].
+//!
+//! The invalidation rule is structural: message delivery is **atomic**
+//! (a completed gmap delivers its whole outbox in one scheduler step,
+//! or — if the attempt died — nothing at all), so a downstream consumer can
+//! only ever have absorbed *delivered* versions. "Invalidating
+//! speculative consumers back to the last delivered version" is
+//! therefore a no-op by construction: their mailboxes still hold
+//! exactly the last delivered batch per source, and the bounded-
+//! staleness bookkeeping (`max_lag` selection, runahead slack, windowed
+//! convergence) is untouched by a failure — the failed partition simply
+//! cannot absorb (and so cannot launch further) until a retry delivers.
+//! Because `gmap` is a pure function of `(p, iteration, state)`, the
+//! retry emits bitwise-identical output, and the converged result —
+//! pinned by `tests/chaos_session.rs` — is byte-identical to a
+//! failure-free run; only wall-clock (and the wasted attempt time
+//! reported in [`SessionReport::failed_attempt_time`]) changes.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -51,6 +79,89 @@ use std::time::{Duration, Instant};
 
 use asyncmr_runtime::{ThreadPool, Wave};
 use asyncmr_simcluster::AsyncTaskSpec;
+
+/// Transient-failure injection for in-process sessions, mirroring
+/// `asyncmr_simcluster::FailurePlan` for the simulated cluster: each
+/// gmap *attempt* fails independently with a configured probability and
+/// is re-executed up to `max_attempts`.
+///
+/// Whether attempt `a` of partition `p` at iteration `i` fails is a
+/// pure function of `(seed, p, i, a)` (a splitmix64-style hash, not a
+/// shared sequential RNG), so an injected failure pattern is
+/// reproducible no matter how pool threads interleave — the property
+/// the chaos tests rely on. Like Hadoop's re-execution budget (and the
+/// simulator), the *last* admissible attempt never fails, so a session
+/// under injection always terminates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionFailurePlan {
+    /// Probability that any single gmap attempt fails, in `[0, 1)`.
+    pub attempt_failure_prob: f64,
+    /// Attempts before a task would be declared failed (Hadoop's
+    /// `mapred.map.max.attempts` default of 4). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Seed for the per-attempt failure decision.
+    pub seed: u64,
+}
+
+impl SessionFailurePlan {
+    /// No injected failures (the default).
+    pub fn none() -> Self {
+        SessionFailurePlan { attempt_failure_prob: 0.0, max_attempts: 4, seed: 0 }
+    }
+
+    /// A transient-failure regime: `prob` per attempt, Hadoop's default
+    /// attempt budget, failures drawn from `seed`.
+    pub fn transient(prob: f64, seed: u64) -> Self {
+        let plan = SessionFailurePlan { attempt_failure_prob: prob, max_attempts: 4, seed };
+        plan.validate();
+        plan
+    }
+
+    /// Whether this plan can ever fail an attempt.
+    pub fn enabled(&self) -> bool {
+        self.attempt_failure_prob > 0.0
+    }
+
+    /// Panics unless the fields are in range (`prob ∈ [0, 1)`,
+    /// `max_attempts ≥ 1`). The driver calls this once at injection
+    /// time, so a plan constructed literally with out-of-range fields
+    /// is rejected before it can bias a run.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.attempt_failure_prob),
+            "session failure probability must be in [0, 1), got {}",
+            self.attempt_failure_prob
+        );
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+    }
+
+    /// The deterministic per-attempt verdict (see the type docs).
+    fn attempt_fails(&self, p: usize, iteration: usize, attempt: u32) -> bool {
+        if !self.enabled() || attempt + 1 >= self.max_attempts {
+            return false;
+        }
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for v in [p as u64, iteration as u64, u64::from(attempt)] {
+            h = splitmix(h.wrapping_add(v).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        }
+        // 53 uniform bits → [0, 1).
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.attempt_failure_prob
+    }
+}
+
+impl Default for SessionFailurePlan {
+    fn default() -> Self {
+        SessionFailurePlan::none()
+    }
+}
+
+/// One round of splitmix64's output mixing.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Which partitions' outputs a partition consumes each iteration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,6 +310,16 @@ pub struct SessionReport {
     /// Gmap tasks whose iteration exceeded the convergence point —
     /// work the eager schedule started speculatively and discarded.
     pub speculative_tasks: usize,
+    /// Wall-clock burned by those discarded speculative gmaps (wasted
+    /// gmap-seconds from runahead past convergence).
+    pub speculative_time: Duration,
+    /// Injected gmap attempts that died before delivering
+    /// (re-executed by the attempt-tracking layer; 0 without a
+    /// [`SessionFailurePlan`]).
+    pub failed_attempts: usize,
+    /// Wall-clock burned by failed attempts before they died (wasted
+    /// gmap-seconds from transient failures).
+    pub failed_attempt_time: Duration,
     /// The staleness bound the session ran under.
     pub max_lag: usize,
     /// Real time of the whole session (the driver-level wall).
@@ -231,6 +352,10 @@ pub struct AsyncFixedPointDriver {
     /// consumed message is exactly fresh — byte-identical results to
     /// the barrier driver.
     pub max_lag: usize,
+    /// Transient-failure injection (defaults to
+    /// [`SessionFailurePlan::none`]). Validated once at the start of
+    /// [`AsyncFixedPointDriver::run`].
+    pub failures: SessionFailurePlan,
 }
 
 /// How many iterations past the globally-complete frontier a partition
@@ -242,7 +367,11 @@ const RUNAHEAD_SLACK: usize = 8;
 
 impl Default for AsyncFixedPointDriver {
     fn default() -> Self {
-        AsyncFixedPointDriver { max_iterations: 1_000, max_lag: 0 }
+        AsyncFixedPointDriver {
+            max_iterations: 1_000,
+            max_lag: 0,
+            failures: SessionFailurePlan::none(),
+        }
     }
 }
 
@@ -250,7 +379,11 @@ impl AsyncFixedPointDriver {
     /// A driver capped at `max_iterations`, with `max_lag = 0`
     /// (barrier-identical results, asynchronous schedule).
     pub fn new(max_iterations: usize) -> Self {
-        AsyncFixedPointDriver { max_iterations: max_iterations.max(1), max_lag: 0 }
+        AsyncFixedPointDriver {
+            max_iterations: max_iterations.max(1),
+            max_lag: 0,
+            failures: SessionFailurePlan::none(),
+        }
     }
 
     /// Sets the bounded-staleness knob.
@@ -259,11 +392,23 @@ impl AsyncFixedPointDriver {
         self
     }
 
+    /// Enables transient-failure injection (see the
+    /// [module docs](self): failed attempts deliver nothing and are
+    /// re-executed deterministically, so converged results are
+    /// unchanged).
+    pub fn with_failures(mut self, failures: SessionFailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+
     /// Runs `algo` until convergence or the iteration cap, keeping one
     /// multiwave scope alive across all global iterations (see the
     /// [module docs](self)).
     pub fn run<A: AsyncIterative>(&self, pool: &ThreadPool, algo: &A) -> SessionOutcome<A::State> {
         let started = Instant::now();
+        // Injection-time validation: a plan assembled literally with
+        // out-of-range fields is rejected here, before any scheduling.
+        self.failures.validate();
         let k = algo.partitions();
         if k == 0 {
             return SessionOutcome {
@@ -275,6 +420,9 @@ impl AsyncFixedPointDriver {
                     total_ops: 0,
                     gmap_tasks: 0,
                     speculative_tasks: 0,
+                    speculative_time: Duration::ZERO,
+                    failed_attempts: 0,
+                    failed_attempt_time: Duration::ZERO,
                     max_lag: self.max_lag,
                     wall_time: started.elapsed(),
                     schedule: Vec::new(),
@@ -282,6 +430,7 @@ impl AsyncFixedPointDriver {
             };
         }
 
+        let failures = self.failures;
         let mut sess = Session::new(algo, self.max_iterations.max(1), self.max_lag);
         let mut initial = Vec::new();
         for p in 0..k {
@@ -292,11 +441,33 @@ impl AsyncFixedPointDriver {
         pool.par_multiwave(
             initial,
             |_id, launch: Launch<A::State>| {
+                // A doomed attempt still runs: the task process does
+                // real work before dying, and that work — billed to
+                // `failed_attempt_time` — is exactly the wasted
+                // gmap-seconds the accounting reports. Its output is
+                // discarded (never delivered), which is the whole
+                // fault model: deterministic replay re-executes the
+                // pure gmap on the same state and reproduces it.
+                let t0 = Instant::now();
                 let out = algo.gmap(launch.p, launch.iter, &launch.state);
-                (launch.p, launch.iter, out)
+                let died = failures.attempt_fails(launch.p, launch.iter, launch.attempt);
+                AttemptDone {
+                    p: launch.p,
+                    iter: launch.iter,
+                    attempt: launch.attempt,
+                    elapsed: t0.elapsed(),
+                    output: (!died).then_some(out),
+                }
             },
-            |_id, (p, iter, out), wave| {
-                sess.on_gmap_done(algo, p, iter, out, wave);
+            |_id, done: AttemptDone<A::Update, A::Msg>, wave| {
+                match done.output {
+                    Some(out) => {
+                        sess.on_gmap_done(algo, done.p, done.iter, out, done.elapsed, wave)
+                    }
+                    None => {
+                        sess.on_gmap_failed(done.p, done.iter, done.attempt, done.elapsed, wave)
+                    }
+                }
                 Vec::new()
             },
         );
@@ -304,12 +475,24 @@ impl AsyncFixedPointDriver {
     }
 }
 
-/// One pool task: partition `p`'s gmap at `iter`, on the state its
-/// previous absorb produced.
+/// One pool task: attempt `attempt` of partition `p`'s gmap at `iter`,
+/// on the state its previous absorb produced.
 struct Launch<S> {
     p: usize,
     iter: usize,
+    attempt: u32,
     state: Arc<S>,
+}
+
+/// What one pool attempt reported back to the scheduler.
+struct AttemptDone<U, M> {
+    p: usize,
+    iter: usize,
+    attempt: u32,
+    elapsed: Duration,
+    /// `None` = the injected failure killed this attempt before it
+    /// could deliver; the scheduler re-executes it.
+    output: Option<GmapOutput<U, M>>,
 }
 
 /// Per-partition scheduler state.
@@ -358,8 +541,18 @@ struct Session<S, U, M> {
     stopped: bool,
     converged_at: Option<usize>,
     schedule: Vec<AsyncTaskSpec>,
-    /// Gmap completions observed (including post-stop stragglers).
+    /// Successful gmap completions observed (including post-stop
+    /// stragglers; injected failures are counted separately).
     executed: usize,
+    /// Injected attempts that died before delivering.
+    failed_attempts: usize,
+    /// Wall-clock burned by failed attempts.
+    failed_time: Duration,
+    /// Wall-clock of every *successful* gmap (contributing or not).
+    total_gmap_time: Duration,
+    /// Per-iteration successful gmap wall-clock (contributing slice
+    /// subtracted from the total yields the speculative waste).
+    iter_gmap_time: Vec<Duration>,
 }
 
 impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
@@ -417,6 +610,10 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             converged_at: None,
             schedule: Vec::new(),
             executed: 0,
+            failed_attempts: 0,
+            failed_time: Duration::ZERO,
+            total_gmap_time: Duration::ZERO,
+            iter_gmap_time: Vec::new(),
         }
     }
 
@@ -426,6 +623,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             self.max_delta.resize(iter + 1, 0.0);
             self.iter_ops.resize(iter + 1, 0);
             self.iter_syncs.resize(iter + 1, 0);
+            self.iter_gmap_time.resize(iter + 1, Duration::ZERO);
         }
     }
 
@@ -446,7 +644,37 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let iter = part.launched;
         let state = Arc::clone(&part.history[iter - part.hist_base]);
         part.launched += 1;
-        Some(Launch { p, iter, state })
+        Some(Launch { p, iter, attempt: 0, state })
+    }
+
+    /// The attempt-tracking layer's failure path: meter the wasted
+    /// attempt and re-execute the task on the same input state.
+    ///
+    /// Nothing else needs rolling back: the dead attempt delivered no
+    /// messages and no update, so every downstream consumer still sees
+    /// exactly the last *delivered* version per source (see the module
+    /// docs). The partition itself simply stays un-absorbed at `iter`
+    /// until a retry delivers, which also keeps the staleness and
+    /// runahead bookkeeping untouched.
+    fn on_gmap_failed(
+        &mut self,
+        p: usize,
+        iter: usize,
+        attempt: u32,
+        elapsed: Duration,
+        wave: &mut Wave<Launch<S>>,
+    ) {
+        self.failed_attempts += 1;
+        self.failed_time += elapsed;
+        if self.stopped {
+            // A doomed straggler dying after convergence/cap: the
+            // result no longer needs its retry.
+            return;
+        }
+        let part = &self.parts[p];
+        debug_assert_eq!(part.absorbed, iter, "a failed gmap cannot have been absorbed");
+        let state = Arc::clone(&part.history[iter - part.hist_base]);
+        wave.push(p, Launch { p, iter, attempt: attempt + 1, state });
     }
 
     fn push_launch(&mut self, p: usize, wave: &mut Wave<Launch<S>>) {
@@ -461,19 +689,24 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         p: usize,
         iter: usize,
         out: GmapOutput<U, M>,
+        elapsed: Duration,
         wave: &mut Wave<Launch<S>>,
     ) where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
     {
         self.executed += 1;
+        self.total_gmap_time += elapsed;
         if self.stopped {
             // A straggler finishing after convergence/cap: its output
-            // can no longer influence the result.
+            // can no longer influence the result. (Its wall-clock is in
+            // the total but not in any contributing iteration, so it is
+            // billed as speculative waste.)
             return;
         }
         self.ensure_iter(iter);
         self.iter_ops[iter] += out.ops;
         self.iter_syncs[iter] += out.local_syncs;
+        self.iter_gmap_time[iter] += elapsed;
 
         // Record the task for simulated replay; its dependency edges
         // were fixed by the absorb that launched it.
@@ -665,6 +898,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             }
         }
 
+        let contributing_time: Duration = self.iter_gmap_time[..iterations].iter().sum();
         let report = SessionReport {
             global_iterations: iterations,
             converged,
@@ -672,6 +906,9 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             total_ops: self.iter_ops[..iterations].iter().sum(),
             gmap_tasks: kept.len(),
             speculative_tasks: self.executed - kept.len(),
+            speculative_time: self.total_gmap_time.saturating_sub(contributing_time),
+            failed_attempts: self.failed_attempts,
+            failed_attempt_time: self.failed_time,
             max_lag,
             wall_time,
             schedule: kept,
@@ -918,5 +1155,117 @@ mod tests {
         assert!(outcome.states.is_empty());
         assert_eq!(outcome.report.global_iterations, 0);
         assert!(outcome.report.converged);
+    }
+
+    #[test]
+    fn injected_transient_failures_leave_the_fixpoint_bitwise_identical() {
+        let algo = Ring::new(8, 1e-10, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(500).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(500)
+            .with_failures(SessionFailurePlan::transient(0.3, 42))
+            .run(&p, &algo);
+        assert!(faulty.report.failed_attempts > 0, "0.3/attempt over this many tasks must fire");
+        assert_eq!(
+            clean.report.global_iterations, faulty.report.global_iterations,
+            "recovery must not change the iteration count"
+        );
+        assert_eq!(clean.report.gmap_tasks, faulty.report.gmap_tasks);
+        for (i, (x, y)) in clean.states.iter().zip(&faulty.states).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "partition {i} diverged under failures");
+        }
+        assert_eq!(clean.report.failed_attempts, 0);
+    }
+
+    #[test]
+    fn near_certain_failures_still_terminate_via_the_attempt_budget() {
+        // 0.99 per attempt: progress relies on the last-attempt-never-
+        // fails rule (the simulator's rule, Hadoop's bounded budget).
+        let algo = Ring::new(5, 1e-8, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(300).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(300)
+            .with_failures(SessionFailurePlan::transient(0.99, 3))
+            .run(&p, &algo);
+        assert!(faulty.report.converged);
+        // Roughly max_attempts − 1 failures per task at p = 0.99.
+        assert!(
+            faulty.report.failed_attempts > faulty.report.gmap_tasks,
+            "expected ≈3 failures per task, got {} over {} tasks",
+            faulty.report.failed_attempts,
+            faulty.report.gmap_tasks
+        );
+        for (x, y) in clean.states.iter().zip(&faulty.states) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn failure_decision_is_deterministic_and_spares_the_last_attempt() {
+        let plan = SessionFailurePlan::transient(0.9, 7);
+        let mut fired = 0;
+        for p in 0..4 {
+            for i in 0..10 {
+                for a in 0..plan.max_attempts {
+                    assert_eq!(
+                        plan.attempt_fails(p, i, a),
+                        plan.attempt_fails(p, i, a),
+                        "verdict must be a pure function of (seed, p, iter, attempt)"
+                    );
+                    if a + 1 >= plan.max_attempts {
+                        assert!(!plan.attempt_fails(p, i, a), "last attempt must succeed");
+                    } else if plan.attempt_fails(p, i, a) {
+                        fired += 1;
+                    }
+                }
+            }
+        }
+        assert!(fired > 0, "0.9/attempt must fire somewhere in 120 draws");
+        assert!(!SessionFailurePlan::none().enabled());
+        assert!(!SessionFailurePlan::none().attempt_fails(0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn literally_constructed_out_of_range_plan_is_rejected_at_injection() {
+        // The fields are `pub`, so `transient`'s range check can be
+        // bypassed; `run` validates once at injection time instead.
+        let plan = SessionFailurePlan { attempt_failure_prob: 1.5, max_attempts: 4, seed: 0 };
+        let algo = Ring::new(3, 1e-6, true);
+        let _ = AsyncFixedPointDriver::new(10).with_failures(plan).run(&pool(), &algo);
+    }
+
+    #[test]
+    fn bounded_staleness_with_failures_reaches_the_same_fixpoint() {
+        let algo = Ring::new(8, 1e-12, true);
+        let p = pool();
+        let exact = AsyncFixedPointDriver::new(2_000).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(2_000)
+            .with_max_lag(2)
+            .with_failures(SessionFailurePlan::transient(0.2, 11))
+            .run(&p, &algo);
+        assert!(exact.report.converged && faulty.report.converged);
+        for (x, y) in exact.states.iter().zip(&faulty.states) {
+            assert!(
+                (*x.as_ref() - *y.as_ref()).abs() < 1e-9,
+                "stale + faulty fixpoint drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn wasted_work_accounting_splits_failed_from_speculative() {
+        let algo = Ring::new(6, 1e-9, true);
+        let outcome = AsyncFixedPointDriver::new(400)
+            .with_failures(SessionFailurePlan::transient(0.4, 9))
+            .run(&pool(), &algo);
+        assert!(outcome.report.failed_attempts > 0);
+        // Failed attempts are not speculative tasks and vice versa:
+        // contributing + speculative tasks account for every success.
+        assert_eq!(
+            outcome.report.gmap_tasks,
+            outcome.report.global_iterations * 6,
+            "every contributing (p, iter) executes exactly once"
+        );
     }
 }

@@ -164,6 +164,15 @@ impl ThreadPool {
     /// completions it depends on have arrived, with no global barrier
     /// between iterations.
     ///
+    /// The wave mechanism doubles as a **requeue** primitive: a
+    /// completion value may carry a failure marker, and the scheduler
+    /// may push the same logical task back onto the wave to retry it —
+    /// the abort/requeue pattern `asyncmr_core::session`'s
+    /// attempt-tracking fault tolerance is built on. Termination
+    /// accounting is per *produced item*, so a retried task is simply
+    /// one more produced item; nothing special is needed for the call
+    /// to drain.
+    ///
     /// While waiting for completions the calling thread *helps* execute
     /// queued pool tasks, and panics propagate to the caller after the
     /// scope drains, exactly as in [`ThreadPool::par_pipeline`].
@@ -508,6 +517,39 @@ mod tests {
         // 1 + 3 + 3·2 + 6·1 + 6·0-children = 1 + 3 + 6 + 6 = 16 tasks.
         assert_eq!(produced, 16);
         assert_eq!(follow_ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn multiwave_requeues_transiently_failing_items_to_completion() {
+        // The fault-tolerance contract the session layer's attempt
+        // tracking relies on: a completion may report "this attempt
+        // died", and the scheduler re-pushes the same logical task onto
+        // the wave. Every item here fails its first two attempts (the
+        // produce closure sees (id, attempt) and succeeds only at
+        // attempt 2); the call must still drain with every item
+        // eventually succeeding exactly once.
+        let pool = ThreadPool::new(4);
+        let k = 12usize;
+        let mut succeeded = vec![0u32; k];
+        let mut failures_seen = vec![0u32; k];
+        pool.par_multiwave(
+            (0..k).map(|id| (id, 0u32)).collect(),
+            |id, attempt| {
+                let ok = attempt >= 2;
+                (id, attempt, ok)
+            },
+            |_id, (id, attempt, ok), wave| {
+                if ok {
+                    succeeded[id] += 1;
+                } else {
+                    failures_seen[id] += 1;
+                    wave.push(id, attempt + 1); // requeue the attempt
+                }
+                Vec::new()
+            },
+        );
+        assert_eq!(succeeded, vec![1; k], "each item must succeed exactly once");
+        assert_eq!(failures_seen, vec![2; k], "each item must burn its two doomed attempts");
     }
 
     #[test]

@@ -22,6 +22,23 @@
 //! is exactly the cost the paper attributes to global synchronization
 //! (§IV), so the simulated win is visible for the same metered work,
 //! not just in host wall-clock.
+//!
+//! The replay honors the same transient-failure regime the barrier
+//! [`Simulation::run_job`] path injects
+//! ([`Simulation::with_failures`]): each *attempt* fails independently
+//! with the configured probability (never on the last admissible
+//! attempt), dies a uniform fraction of the way through its would-be
+//! runtime, is detected after the TaskTracker delay, and is then
+//! rescheduled onto whichever slot now gives the earliest start — on
+//! the *dependency graph*, so only the failed partition's chain stalls
+//! while the rest of the eager schedule keeps flowing. This makes the
+//! paper's §VI claim — deterministic-replay recovery carries over to
+//! partial synchronization with slightly longer recovery for the
+//! coarser eager tasks — a measurable figure:
+//! [`AsyncScheduleStats::recovery_time`] vs. the barrier path's
+//! failure-lengthened job durations.
+
+use rand::RngExt;
 
 use crate::sim::Simulation;
 use crate::time::SimTime;
@@ -93,6 +110,20 @@ pub struct AsyncScheduleStats {
     /// remote DFS reads are not modeled separately here — message
     /// traffic only).
     pub network_bytes: u64,
+    /// Injected attempts that died and were re-executed.
+    pub failed_attempts: usize,
+    /// Simulated time lost to failures: dead-attempt runtime plus
+    /// detection delays, summed over failed attempts. (Serialized
+    /// recovery cost — slot-level, before any overlap with the rest of
+    /// the eager schedule, which usually hides part of it.)
+    pub recovery_time: SimTime,
+    /// Per-task completion instants, in spec order — the schedule
+    /// itself, exposed so determinism tests can pin "byte-identical
+    /// schedules", not just identical aggregates.
+    pub task_finish: Vec<SimTime>,
+    /// Per-task placement (node id of the successful attempt), in spec
+    /// order.
+    pub task_node: Vec<usize>,
 }
 
 impl Simulation {
@@ -105,7 +136,13 @@ impl Simulation {
     /// = max(slot free, session setup done, every dependency's message
     /// arrival at that slot's node). Ties break toward the
     /// lowest-indexed slot, so the replay is a pure function of
-    /// `(ClusterSpec, seed, tasks)`.
+    /// `(ClusterSpec, FailurePlan, seed, tasks)` — the async analogue
+    /// of the contract [`Simulation::run_job`] documents.
+    ///
+    /// Under an active [`crate::FailurePlan`] each attempt may die (see
+    /// the [module docs](self)); a failed attempt holds its slot until
+    /// it dies, and its retry is dispatched — to the then-best slot —
+    /// only after the detection delay.
     ///
     /// # Panics
     ///
@@ -139,58 +176,87 @@ impl Simulation {
         let mut finish = vec![SimTime::ZERO; tasks.len()];
         let mut node_of = vec![0usize; tasks.len()];
         let mut network_bytes = 0u64;
+        let mut failed_attempts = 0usize;
+        let mut recovery_time = SimTime::ZERO;
         let mut work_end = setup_done;
 
         for (i, task) in tasks.iter().enumerate() {
-            // Earliest-start slot. A dependency's arrival time depends
-            // on whether its producer ran on the same node, so readiness
-            // is evaluated per candidate slot.
-            let mut best: Option<(SimTime, usize)> = None;
-            for (s, &(free, node)) in slots.iter().enumerate() {
-                let mut start = free.max(setup_done);
+            let mut attempt = 0u32;
+            // A retry cannot be dispatched before the previous
+            // attempt's death is detected.
+            let mut retry_gate = setup_done;
+            loop {
+                // Earliest-start slot. A dependency's arrival time
+                // depends on whether its producer ran on the same node,
+                // so readiness is evaluated per candidate slot.
+                let mut best: Option<(SimTime, usize)> = None;
+                for (s, &(free, node)) in slots.iter().enumerate() {
+                    let mut start = free.max(setup_done).max(retry_gate);
+                    for &d in &task.deps {
+                        debug_assert!(d < i, "async schedule must be topologically ordered");
+                        let arrival = if node_of[d] == node {
+                            finish[d]
+                        } else {
+                            let share = tasks[d].output_bytes / u64::from(consumers[d].max(1));
+                            finish[d]
+                                + self.spec.net_latency
+                                + SimTime::from_secs_f64(share as f64 / self.spec.nic_bandwidth)
+                        };
+                        start = start.max(arrival);
+                    }
+                    if best.is_none_or(|(b, _)| start < b) {
+                        best = Some((start, s));
+                    }
+                }
+                let (start, slot) = best.expect("at least one slot");
+                let node = slots[slot].1;
+                // Every attempt refetches its cross-node inputs
+                // (Hadoop re-reads map outputs on re-execution).
                 for &d in &task.deps {
-                    debug_assert!(d < i, "async schedule must be topologically ordered");
-                    let arrival = if node_of[d] == node {
-                        finish[d]
-                    } else {
-                        let share = tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                        finish[d]
-                            + self.spec.net_latency
-                            + SimTime::from_secs_f64(share as f64 / self.spec.nic_bandwidth)
-                    };
-                    start = start.max(arrival);
+                    if node_of[d] != node {
+                        network_bytes += tasks[d].output_bytes / u64::from(consumers[d].max(1));
+                    }
                 }
-                if best.is_none_or(|(b, _)| start < b) {
-                    best = Some((start, s));
-                }
-            }
-            let (start, slot) = best.expect("at least one slot");
-            let node = slots[slot].1;
-            for &d in &task.deps {
-                if node_of[d] != node {
-                    network_bytes += tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                }
-            }
 
-            // Iteration 0 reads its split from the local DFS replica;
-            // later iterations operate on resident state (the async
-            // session never round-trips through the DFS).
-            let read = if task.iteration == 0 {
-                SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
-            } else {
-                SimTime::ZERO
-            };
-            let speed = self.spec.nodes[node].speed;
-            let straggle = self.straggler();
-            let compute =
-                self.spec.cost.compute_time(task.ops, task.output_records, speed).scale(straggle);
-            let sort = self.spec.cost.sort_time(task.output_bytes, speed);
-            let end = start + self.spec.task_launch + read + compute + sort;
+                // Iteration 0 reads its split from the local DFS
+                // replica; later iterations operate on resident state
+                // (the async session never round-trips through the
+                // DFS).
+                let read = if task.iteration == 0 {
+                    SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
+                } else {
+                    SimTime::ZERO
+                };
+                let speed = self.spec.nodes[node].speed;
+                let straggle = self.straggler();
+                let compute = self
+                    .spec
+                    .cost
+                    .compute_time(task.ops, task.output_records, speed)
+                    .scale(straggle);
+                let sort = self.spec.cost.sort_time(task.output_bytes, speed);
+                let end = start + self.spec.task_launch + read + compute + sort;
 
-            finish[i] = end;
-            node_of[i] = node;
-            slots[slot].0 = end;
-            work_end = work_end.max(end);
+                if self.attempt_fails(attempt) {
+                    // Dies a uniform fraction of the way through; the
+                    // slot is occupied until the death, the retry waits
+                    // out the detection delay.
+                    let frac: f64 = self.rng.random_range(0.05..0.95);
+                    let died = start + (end - start).scale(frac);
+                    slots[slot].0 = died;
+                    failed_attempts += 1;
+                    recovery_time += (died - start) + self.failure.detection_delay;
+                    retry_gate = died + self.failure.detection_delay;
+                    attempt += 1;
+                    continue;
+                }
+
+                finish[i] = end;
+                node_of[i] = node;
+                slots[slot].0 = end;
+                work_end = work_end.max(end);
+                break;
+            }
         }
 
         let finished_at = work_end + self.spec.job_cleanup;
@@ -204,6 +270,10 @@ impl Simulation {
             duration: finished_at - submitted_at,
             tasks: tasks.len(),
             network_bytes,
+            failed_attempts,
+            recovery_time,
+            task_finish: finish,
+            task_node: node_of,
         }
     }
 }
@@ -244,6 +314,69 @@ mod tests {
         let a = sim(9).run_async_schedule(&tasks);
         let b = sim(9).run_async_schedule(&tasks);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_under_an_identical_failure_plan() {
+        // The "pure function of (ClusterSpec, FailurePlan, seed, task
+        // graph)" contract, extended to the async replay: two runs with
+        // identical inputs must produce byte-identical schedules
+        // (per-task finish instants and placements) and stats.
+        use crate::failure::FailurePlan;
+        let tasks = ring_schedule(8, 5, 40_000_000);
+        let plan = FailurePlan::transient(0.2);
+        let a = sim(9).with_failures(plan.clone()).run_async_schedule(&tasks);
+        let b = sim(9).with_failures(plan).run_async_schedule(&tasks);
+        assert!(a.failed_attempts > 0, "0.2/attempt over 40 tasks must fire");
+        assert_eq!(a.task_finish, b.task_finish, "schedules must be byte-identical");
+        assert_eq!(a.task_node, b.task_node);
+        assert_eq!(a, b);
+        // A different seed perturbs the failure pattern.
+        let c = sim(10).with_failures(FailurePlan::transient(0.2)).run_async_schedule(&tasks);
+        assert_ne!(a.task_finish, c.task_finish, "seed must drive the injected pattern");
+    }
+
+    #[test]
+    fn failures_lengthen_the_session_and_recovery_is_visible() {
+        use crate::failure::FailurePlan;
+        let tasks = ring_schedule(8, 6, 40_000_000);
+        let clean = sim(5).run_async_schedule(&tasks);
+        let faulty = sim(5).with_failures(FailurePlan::transient(0.2)).run_async_schedule(&tasks);
+        assert_eq!(clean.failed_attempts, 0);
+        assert_eq!(clean.recovery_time, SimTime::ZERO);
+        assert!(faulty.failed_attempts > 0);
+        assert!(faulty.recovery_time > SimTime::ZERO, "recovery must be metered");
+        assert!(
+            faulty.duration > clean.duration,
+            "injected failures must cost simulated time: {} vs {}",
+            faulty.duration,
+            clean.duration
+        );
+        // Recovery never completes tasks out of the dependency order.
+        assert_eq!(faulty.tasks, tasks.len());
+        for (i, t) in tasks.iter().enumerate() {
+            for &d in &t.deps {
+                assert!(
+                    faulty.task_finish[d] < faulty.task_finish[i],
+                    "task {i} finished before its dependency {d} under failures"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_failure_probability_costs_more_recovery() {
+        use crate::failure::FailurePlan;
+        let tasks = ring_schedule(8, 6, 40_000_000);
+        let low = sim(11).with_failures(FailurePlan::transient(0.05)).run_async_schedule(&tasks);
+        let high = sim(11).with_failures(FailurePlan::transient(0.4)).run_async_schedule(&tasks);
+        assert!(
+            high.failed_attempts > low.failed_attempts,
+            "p = 0.4 must kill more attempts than p = 0.05 ({} vs {})",
+            high.failed_attempts,
+            low.failed_attempts
+        );
+        assert!(high.recovery_time > low.recovery_time);
     }
 
     #[test]

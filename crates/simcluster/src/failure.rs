@@ -47,6 +47,26 @@ impl FailurePlan {
     pub fn enabled(&self) -> bool {
         self.attempt_failure_prob > 0.0
     }
+
+    /// Panics unless the fields are in range (`prob ∈ [0, 1)`,
+    /// `max_attempts ≥ 1`).
+    ///
+    /// [`FailurePlan::transient`] checks its argument, but the fields
+    /// are `pub` (the struct is a plain config record), so a plan
+    /// assembled literally can carry an out-of-range probability —
+    /// `prob ≥ 1` would make the injector loop every attempt into the
+    /// bounded budget and `prob < 0` silently disables it.
+    /// [`crate::Simulation::with_failures`] calls this once at
+    /// injection time, so no simulation ever runs under an invalid
+    /// plan.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.attempt_failure_prob),
+            "failure probability must be in [0, 1), got {}",
+            self.attempt_failure_prob
+        );
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+    }
 }
 
 impl Default for FailurePlan {
@@ -76,5 +96,32 @@ mod tests {
     #[should_panic(expected = "failure probability")]
     fn probability_validated() {
         let _ = FailurePlan::transient(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn literally_constructed_plan_is_rejected_at_injection() {
+        // The constructor's range check can be bypassed because the
+        // fields are pub; injection must catch it.
+        let plan = FailurePlan {
+            attempt_failure_prob: 1.0,
+            max_attempts: 4,
+            detection_delay: SimTime::from_secs(6),
+        };
+        let _ = crate::Simulation::new(crate::ClusterSpec::ec2_2010(), 1).with_failures(plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempt_budget_is_rejected_at_injection() {
+        let plan = FailurePlan { max_attempts: 0, ..FailurePlan::transient(0.1) };
+        let _ = crate::Simulation::new(crate::ClusterSpec::ec2_2010(), 1).with_failures(plan);
+    }
+
+    #[test]
+    fn valid_plans_pass_validation() {
+        FailurePlan::none().validate();
+        FailurePlan::transient(0.0).validate();
+        FailurePlan::transient(0.99).validate();
     }
 }

@@ -72,8 +72,17 @@ impl Simulation {
         }
     }
 
-    /// Enables transient-failure injection for subsequent jobs.
+    /// Enables transient-failure injection for subsequent jobs (barrier
+    /// [`Simulation::run_job`] and async
+    /// [`Simulation::run_async_schedule`] alike).
+    ///
+    /// # Panics
+    ///
+    /// If the plan's fields are out of range
+    /// ([`FailurePlan::validate`]) — the single injection-time check
+    /// that covers literally-constructed plans.
     pub fn with_failures(mut self, plan: FailurePlan) -> Self {
+        plan.validate();
         self.failure = plan;
         self
     }
@@ -107,7 +116,9 @@ impl Simulation {
     }
 
     /// Decides whether this attempt fails (never on the last attempt).
-    fn attempt_fails(&mut self, attempt: u32) -> bool {
+    /// Shared with the [`crate::asyncsched`] replay so both paths
+    /// inject the same regime.
+    pub(crate) fn attempt_fails(&mut self, attempt: u32) -> bool {
         self.failure.enabled()
             && attempt + 1 < self.failure.max_attempts
             && self.rng.random_range(0.0..1.0) < self.failure.attempt_failure_prob

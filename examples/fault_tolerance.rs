@@ -5,14 +5,18 @@
 //! recovery because eager tasks are coarser. This example injects
 //! transient task failures into the simulated cluster and shows:
 //! (1) results are bit-identical with and without failures, and
-//! (2) the time overhead of re-execution for both variants.
+//! (2) the time overhead of re-execution for both variants — then does
+//! the same for the *asynchronous session* (`pagerank::run_async`),
+//! where failures are injected in-process (`SessionFailurePlan` kills
+//! real gmap attempts) and the recorded schedule is replayed on the
+//! failing simulated cluster.
 //!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
 use asyncmr::apps::pagerank::{self, PageRankConfig};
-use asyncmr::core::Engine;
+use asyncmr::core::{Engine, SessionFailurePlan};
 use asyncmr::graph::presets;
 use asyncmr::partition::{MultilevelKWay, Partitioner};
 use asyncmr::runtime::ThreadPool;
@@ -64,8 +68,53 @@ fn main() {
             );
         }
     }
+    // The asynchronous session: failures hit real in-process gmap
+    // attempts (deterministically, per (seed, partition, iteration,
+    // attempt)), and the recorded cross-iteration schedule replays on
+    // the same failing cluster.
+    // Two independent injectors, reported separately: "gmap re-exec"
+    // counts real in-process attempts the session re-executed, "sim
+    // re-exec" counts the simulated replay's own injected retries.
+    println!("\nvariant  failure rate  sim time (s)  gmap re-exec  sim re-exec  identical ranks");
+    let mut baseline_ranks: Option<Vec<f64>> = None;
+    for prob in [0.0, 0.02, 0.05] {
+        let session_plan = if prob == 0.0 {
+            SessionFailurePlan::none()
+        } else {
+            SessionFailurePlan::transient(prob, 2026)
+        };
+        let out = pagerank::run_async_with_failures(&pool, &graph, &parts, &cfg, 0, session_plan);
+        let sim_plan = if prob == 0.0 { FailurePlan::none() } else { FailurePlan::transient(prob) };
+        let replay = Simulation::new(ClusterSpec::ec2_2010(), 11)
+            .with_failures(sim_plan)
+            .run_async_schedule(&out.report.schedule);
+        let identical = match &baseline_ranks {
+            None => {
+                baseline_ranks = Some(out.ranks.clone());
+                "(baseline)".to_string()
+            }
+            Some(base) => {
+                let same = base.iter().zip(&out.ranks).all(|(a, b)| a.to_bits() == b.to_bits());
+                if same {
+                    "yes (bitwise)".to_string()
+                } else {
+                    "NO — BUG".to_string()
+                }
+            }
+        };
+        println!(
+            "{:>7}  {:>11}%  {:>12.0}  {:>12}  {:>11}  {identical}",
+            "Async",
+            prob * 100.0,
+            replay.duration.as_secs_f64(),
+            out.report.failed_attempts,
+            replay.failed_attempts,
+        );
+    }
     println!(
         "\nDeterministic replay: failed task attempts are re-executed, results never change; \
-         only completion time does (paper §VI, 'Fault-tolerance')."
+         only completion time does (paper §VI, 'Fault-tolerance'). The async session keeps \
+         the property with in-process attempt tracking — and recovers on the dependency \
+         graph instead of re-entering a per-iteration job envelope."
     );
 }

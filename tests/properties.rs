@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use asyncmr::apps::kmeans;
 use asyncmr::apps::pagerank::{self, PageRankConfig};
 use asyncmr::apps::sssp::{self, SsspConfig};
-use asyncmr::core::Engine;
+use asyncmr::core::{Engine, SessionFailurePlan};
 use asyncmr::graph::{CsrGraph, WeightedGraph};
 use asyncmr::partition::{
     BfsPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RangePartitioner,
@@ -144,6 +144,90 @@ proptest! {
         let stepped = kmeans::reference::lloyd_step(&data.points, &initial);
         let after = kmeans::sse(&data.points, &stepped);
         prop_assert!(after <= before + 1e-6, "SSE rose: {} -> {}", before, after);
+    }
+
+    /// Chaos property: for random partition topologies, failure seeds,
+    /// and every staleness bound in {0, 1, 2, 3}, asynchronous PageRank
+    /// converges to the same fixed point with and without injected
+    /// transient gmap failures — bitwise at `max_lag = 0` (recovery is
+    /// deterministic replay of a pure task), within tolerance beyond.
+    #[test]
+    fn pagerank_chaos_fixed_point_is_failure_invariant(
+        (n, edges) in arb_graph(),
+        k in 1usize..5,
+        max_lag in 0usize..4,
+        fseed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = BfsPartitioner { seed: fseed }.partition(&g, k);
+        let pool = ThreadPool::new(2);
+        let cfg = PageRankConfig { tolerance: 1e-8, ..Default::default() };
+        let clean = pagerank::run_async(&pool, &g, &parts, &cfg, max_lag);
+        let faulty = pagerank::run_async_with_failures(
+            &pool, &g, &parts, &cfg, max_lag,
+            SessionFailurePlan::transient(0.25, fseed),
+        );
+        prop_assert!(clean.report.converged && faulty.report.converged);
+        if max_lag == 0 {
+            prop_assert_eq!(faulty.report.global_iterations, clean.report.global_iterations);
+            for (v, (a, b)) in faulty.ranks.iter().zip(&clean.ranks).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(),
+                    "vertex {}: faulty {} vs clean {}", v, a, b);
+            }
+        } else {
+            let diff = pagerank::inf_norm_diff(&faulty.ranks, &clean.ranks);
+            prop_assert!(diff < 1e-5, "lag {} chaos drifted the fixed point by {}", max_lag, diff);
+        }
+    }
+
+    /// The same chaos property for SSSP, whose min-reduction is exact:
+    /// injected failures never move a single distance bit at any
+    /// staleness bound (oracle: Dijkstra).
+    #[test]
+    fn sssp_chaos_distances_are_failure_invariant(
+        (n, edges) in arb_graph(),
+        k in 1usize..5,
+        max_lag in 0usize..4,
+        fseed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let wg = WeightedGraph::random_weights(g, 0.5, 20.0, fseed);
+        let parts = BfsPartitioner { seed: fseed }.partition(wg.graph(), k);
+        let truth = sssp::reference::dijkstra(&wg, 0);
+        let pool = ThreadPool::new(2);
+        let cfg = SsspConfig::default();
+        let faulty = sssp::run_async_with_failures(
+            &pool, &wg, &parts, &cfg, max_lag,
+            SessionFailurePlan::transient(0.25, fseed ^ 0xC0FFEE),
+        );
+        prop_assert!(faulty.report.converged);
+        for (v, (&d, &t)) in faulty.distances.iter().zip(&truth).enumerate() {
+            prop_assert!((d - t).abs() < 1e-9 || (d.is_infinite() && t.is_infinite()),
+                "vertex {} got {} want {}", v, d, t);
+        }
+    }
+
+    /// Failure-free staleness sweep, pinned as its own case: every
+    /// `max_lag` lands on the same fixed point (the knob trades
+    /// schedule freshness for slack, never the answer).
+    #[test]
+    fn failure_free_max_lag_sweep_is_equivalent(
+        (n, edges) in arb_graph(),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = BfsPartitioner { seed }.partition(&g, k);
+        let pool = ThreadPool::new(2);
+        let cfg = PageRankConfig { tolerance: 1e-8, ..Default::default() };
+        let exact = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+        prop_assert!(exact.report.converged);
+        for lag in [1usize, 2, 3] {
+            let stale = pagerank::run_async(&pool, &g, &parts, &cfg, lag);
+            prop_assert!(stale.report.converged, "lag {} failed to converge", lag);
+            let diff = pagerank::inf_norm_diff(&exact.ranks, &stale.ranks);
+            prop_assert!(diff < 1e-5, "lag {} drifted by {}", lag, diff);
+        }
     }
 
     /// `nearest` really returns the closest centroid.
