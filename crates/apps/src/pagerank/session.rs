@@ -204,6 +204,12 @@ impl AsyncIterative for PrAsync {
     fn converged(&self, max_delta: f64) -> bool {
         max_delta < self.tolerance
     }
+
+    fn state_bytes(&self, state: &PrPartitionState) -> u64 {
+        // Owned ranks + frozen remote contributions, one f64 each —
+        // what a durable checkpoint of this partition would write.
+        (state.ranks.len() + state.remote_in.len()) as u64 * 8
+    }
 }
 
 /// Result of an asynchronous PageRank run.
@@ -247,10 +253,57 @@ pub fn run_async_with_failures(
     max_lag: usize,
     failures: SessionFailurePlan,
 ) -> PageRankAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations)
+            .with_max_lag(max_lag)
+            .with_failures(failures),
+    )
+}
+
+/// [`run_async`] under injected correlated *node* failures with
+/// checkpoint/rollback recovery: a dying virtual node takes its
+/// partitions' in-flight attempts and delivered contributions past the
+/// last checkpoint with it, and the session rolls the contaminated
+/// partitions back to the checkpoint and re-executes.
+///
+/// Because gmaps are pure and the checkpoint cut is coordinated, the
+/// converged ranks — and, at `max_lag = 0`, the iteration count — are
+/// byte-identical to the failure-free run (and to the barrier driver);
+/// only wall-clock and the rollback/checkpoint accounting in the
+/// report change. Pinned by `tests/chaos_session.rs`.
+pub fn run_async_with_node_failures(
+    pool: &ThreadPool,
+    graph: &CsrGraph,
+    parts: &Partitioning,
+    cfg: &PageRankConfig,
+    max_lag: usize,
+    checkpoints: CheckpointPolicy,
+    node_failures: NodeFailurePlan,
+) -> PageRankAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations)
+            .with_max_lag(max_lag)
+            .with_checkpoints(checkpoints)
+            .with_node_failures(node_failures),
+    )
+}
+
+fn run_async_driver(
+    pool: &ThreadPool,
+    graph: &CsrGraph,
+    parts: &Partitioning,
+    cfg: &PageRankConfig,
+    driver: AsyncFixedPointDriver,
+) -> PageRankAsyncOutcome {
     let algo = PrAsync::new(graph, parts, cfg);
-    let driver = AsyncFixedPointDriver::new(cfg.max_iterations)
-        .with_max_lag(max_lag)
-        .with_failures(failures);
     let outcome = driver.run(pool, &algo);
     let mut ranks = vec![0.0f64; graph.num_nodes()];
     for (part, state) in algo.partitions().iter().zip(&outcome.states) {
@@ -344,6 +397,40 @@ mod tests {
         for (v, (a, b)) in clean.ranks.iter().zip(&faulty.ranks).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "vertex {v} diverged under failures");
         }
+    }
+
+    #[test]
+    fn node_failure_rollback_leaves_ranks_bitwise_identical() {
+        let (g, parts) = setup(500, 6, 13);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig::default();
+        let clean = run_async(&pool, &g, &parts, &cfg, 0);
+        let faulty = run_async_with_node_failures(
+            &pool,
+            &g,
+            &parts,
+            &cfg,
+            0,
+            CheckpointPolicy::EveryK(2),
+            NodeFailurePlan::correlated(0.2, 3, 71),
+        );
+        assert!(faulty.report.rollbacks > 0, "0.2/(node, epoch) must fire");
+        assert!(faulty.report.checkpoint_bytes > 0, "checkpoints must be metered");
+        assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+        assert_eq!(clean.report.gmap_tasks, faulty.report.gmap_tasks);
+        for (v, (a, b)) in clean.ranks.iter().zip(&faulty.ranks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "vertex {v} diverged under node failures");
+        }
+    }
+
+    #[test]
+    fn peak_state_bytes_meters_held_history() {
+        let (g, parts) = setup(400, 4, 19);
+        let pool = ThreadPool::new(4);
+        let out = run_async(&pool, &g, &parts, &PageRankConfig::default(), 0);
+        // At minimum the four partitions' initial states (owned ranks +
+        // remote contributions, 8 bytes each) are held at once.
+        assert!(out.report.peak_state_bytes >= g.num_nodes() as u64 * 16);
     }
 
     #[test]

@@ -140,6 +140,11 @@ impl AsyncIterative for SpAsync {
     fn converged(&self, max_delta: f64) -> bool {
         max_delta == 0.0
     }
+
+    fn state_bytes(&self, state: &Vec<f64>) -> u64 {
+        // Owned distances, one f64 each.
+        state.len() as u64 * 8
+    }
 }
 
 /// Result of an asynchronous SSSP run.
@@ -176,10 +181,52 @@ pub fn run_async_with_failures(
     max_lag: usize,
     failures: SessionFailurePlan,
 ) -> SsspAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations)
+            .with_max_lag(max_lag)
+            .with_failures(failures),
+    )
+}
+
+/// [`run_async`] under injected correlated *node* failures with
+/// checkpoint/rollback recovery (see
+/// `crate::pagerank::session::run_async_with_node_failures` — same
+/// regime, same byte-identity contract; min is exact, so distances are
+/// bitwise stable at any staleness bound that converges). Pinned by
+/// `tests/chaos_session.rs`.
+pub fn run_async_with_node_failures(
+    pool: &ThreadPool,
+    graph: &WeightedGraph,
+    parts: &Partitioning,
+    cfg: &SsspConfig,
+    max_lag: usize,
+    checkpoints: CheckpointPolicy,
+    node_failures: NodeFailurePlan,
+) -> SsspAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations)
+            .with_max_lag(max_lag)
+            .with_checkpoints(checkpoints)
+            .with_node_failures(node_failures),
+    )
+}
+
+fn run_async_driver(
+    pool: &ThreadPool,
+    graph: &WeightedGraph,
+    parts: &Partitioning,
+    cfg: &SsspConfig,
+    driver: AsyncFixedPointDriver,
+) -> SsspAsyncOutcome {
     let algo = SpAsync::new(graph, parts, cfg);
-    let driver = AsyncFixedPointDriver::new(cfg.max_iterations)
-        .with_max_lag(max_lag)
-        .with_failures(failures);
     let outcome = driver.run(pool, &algo);
     let mut distances = vec![f64::INFINITY; graph.num_nodes()];
     for (part, state) in algo.partitions().iter().zip(&outcome.states) {
@@ -270,6 +317,32 @@ mod tests {
             assert!(
                 a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
                 "vertex {v} diverged under failures: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_failure_rollback_leaves_distances_bitwise_identical() {
+        let wg = weighted(400, 17);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 5);
+        let pool = ThreadPool::new(4);
+        let cfg = SsspConfig::default();
+        let clean = run_async(&pool, &wg, &parts, &cfg, 0);
+        let faulty = run_async_with_node_failures(
+            &pool,
+            &wg,
+            &parts,
+            &cfg,
+            0,
+            CheckpointPolicy::EveryK(1),
+            NodeFailurePlan::correlated(0.25, 3, 3),
+        );
+        assert!(faulty.report.rollbacks > 0, "0.25/(node, epoch) must fire");
+        assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+        for (v, (a, b)) in clean.distances.iter().zip(&faulty.distances).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                "vertex {v} diverged under node failures: {a} vs {b}"
             );
         }
     }

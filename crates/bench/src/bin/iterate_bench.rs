@@ -50,11 +50,13 @@ use std::time::{Duration, Instant};
 
 use asyncmr_apps::pagerank::{self, PageRankConfig};
 use asyncmr_apps::sssp::{self, SsspConfig};
-use asyncmr_core::{Engine, SessionFailurePlan};
+use asyncmr_core::{CheckpointPolicy, Engine, NodeFailurePlan, SessionFailurePlan};
 use asyncmr_graph::{generators, CsrGraph, WeightedGraph};
 use asyncmr_partition::{HashPartitioner, MultilevelKWay, Partitioner, Partitioning};
 use asyncmr_runtime::ThreadPool;
-use asyncmr_simcluster::{ClusterSpec, FailurePlan, Simulation};
+use asyncmr_simcluster::{
+    ClusterSpec, FailurePlan, NodeFailurePlan as SimNodeFailurePlan, Simulation,
+};
 
 const REPS: usize = 5;
 
@@ -281,6 +283,114 @@ fn failure_sweep(pool: &ThreadPool) -> Vec<FailureRow> {
         .collect()
 }
 
+/// One cell of the checkpoint-interval × node-failure-probability
+/// sweep: the headline async PageRank workload under correlated node
+/// deaths with checkpoint/rollback recovery, in-process (identity-gated
+/// bitwise) and on the simulated cluster.
+struct NodeFailureRow {
+    app: &'static str,
+    prob: f64,
+    checkpoint_interval: usize,
+    /// In-process node-failure events (each triggered a rollback).
+    rollbacks: usize,
+    /// Absorbed iterations undone and re-executed in-process.
+    rolled_back_iterations: usize,
+    /// Bytes a durable checkpoint store would have written.
+    checkpoint_bytes: u64,
+    /// High-water mark of history + mailbox bytes held (the cost of
+    /// retaining rollback history at this interval).
+    peak_state_bytes: u64,
+    /// Simulated replay of the same schedule, failure-free.
+    sim_clean_secs: f64,
+    /// Simulated replay under the node-death regime.
+    sim_faulty_secs: f64,
+    /// Node deaths in the simulated replay.
+    sim_node_failures: usize,
+    /// Serialized rollback cost metered by the replay (lost task
+    /// durations + detection delays).
+    sim_rollback_secs: f64,
+}
+
+impl NodeFailureRow {
+    fn sim_slowdown(&self) -> f64 {
+        self.sim_faulty_secs / self.sim_clean_secs
+    }
+}
+
+/// The checkpoint-interval × node-failure-probability sweep on the
+/// headline PageRank workload. In-process runs are identity-gated
+/// bitwise against the failure-free fixed point before anything is
+/// reported; simulated replays are run twice and asserted
+/// byte-identical (the determinism contract).
+fn node_failure_sweep(pool: &ThreadPool) -> Vec<NodeFailureRow> {
+    let g = crawl_graph(1_500, 11);
+    let parts = HashPartitioner.partition(&g, 16);
+    let cfg = PageRankConfig::default();
+    let clean = pagerank::run_async(pool, &g, &parts, &cfg, 0);
+    let sim_clean_secs = Simulation::new(ClusterSpec::ec2_2010(), 7)
+        .run_async_schedule(&clean.report.schedule)
+        .duration
+        .as_secs_f64();
+
+    let mut rows = Vec::new();
+    for k in [1usize, 4] {
+        for prob in [0.05f64, 0.2] {
+            // ---- In-process: rollback recovery must be invisible ----
+            let faulty = pagerank::run_async_with_node_failures(
+                pool,
+                &g,
+                &parts,
+                &cfg,
+                0,
+                CheckpointPolicy::EveryK(k),
+                NodeFailurePlan::correlated(prob, 8, 0xC4A05),
+            );
+            assert!(
+                faulty.report.rollbacks > 0,
+                "k = {k}, p = {prob}: node-failure injection must fire"
+            );
+            assert_eq!(
+                faulty.report.global_iterations, clean.report.global_iterations,
+                "k = {k}, p = {prob}: iteration count diverged under node failures"
+            );
+            for (v, (a, b)) in faulty.ranks.iter().zip(&clean.ranks).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "k = {k}, p = {prob}: rank {v} not bitwise identical after rollback ({a} vs {b})"
+                );
+            }
+
+            // ---- Simulated: same regime on the recorded schedule ----
+            let sim_plan = SimNodeFailurePlan::correlated(prob, k, 0xC4A05);
+            let replay = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_node_failures(sim_plan.clone())
+                .run_async_schedule(&clean.report.schedule);
+            let again = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_node_failures(sim_plan)
+                .run_async_schedule(&clean.report.schedule);
+            assert_eq!(
+                replay, again,
+                "k = {k}, p = {prob}: node-death replay must be deterministic"
+            );
+
+            rows.push(NodeFailureRow {
+                app: "pagerank",
+                prob,
+                checkpoint_interval: k,
+                rollbacks: faulty.report.rollbacks,
+                rolled_back_iterations: faulty.report.rolled_back_iterations,
+                checkpoint_bytes: faulty.report.checkpoint_bytes,
+                peak_state_bytes: faulty.report.peak_state_bytes,
+                sim_clean_secs,
+                sim_faulty_secs: replay.duration.as_secs_f64(),
+                sim_node_failures: replay.node_failures,
+                sim_rollback_secs: replay.rollback_time.as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
 fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
     generators::preferential_attachment_crawled(n, 3, 2, 1, 0.95, 40, seed)
 }
@@ -366,6 +476,7 @@ fn main() {
     }
 
     let sweep = failure_sweep(&pool);
+    let node_sweep = node_failure_sweep(&pool);
 
     // ---- Table ----
     println!("barrier vs async driver wall-clock ({threads} threads, median of {REPS} reps)");
@@ -427,6 +538,37 @@ fn main() {
         );
     }
 
+    println!();
+    println!("node-failure sweep (correlated node death, checkpoint/rollback, bitwise-gated)");
+    println!(
+        "  {:<10} {:>4} {:>6} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "app",
+        "k",
+        "prob",
+        "rollbacks",
+        "rb iters",
+        "ckpt KiB",
+        "peak KiB",
+        "sim clean",
+        "sim fail",
+        "slowdown"
+    );
+    for r in &node_sweep {
+        println!(
+            "  {:<10} {:>4} {:>6.2} {:>9} {:>10} {:>10.1} {:>10.1} {:>9.1}s {:>9.1}s {:>8.2}x",
+            r.app,
+            r.checkpoint_interval,
+            r.prob,
+            r.rollbacks,
+            r.rolled_back_iterations,
+            r.checkpoint_bytes as f64 / 1024.0,
+            r.peak_state_bytes as f64 / 1024.0,
+            r.sim_clean_secs,
+            r.sim_faulty_secs,
+            r.sim_slowdown(),
+        );
+    }
+
     // ---- JSON ----
     let mut apps_json = String::new();
     for (i, r) in reports.iter().enumerate() {
@@ -480,4 +622,33 @@ fn main() {
     );
     std::fs::write("BENCH_iterate.json", &json).expect("write BENCH_iterate.json");
     println!("wrote BENCH_iterate.json");
+
+    // ---- Node-failure sweep artifact (its own file, CI-uploaded) ----
+    let mut node_json = String::new();
+    for (i, r) in node_sweep.iter().enumerate() {
+        if i > 0 {
+            node_json.push_str(",\n");
+        }
+        node_json.push_str(&format!(
+            "    {{\n      \"app\": \"{}\",\n      \"checkpoint_interval\": {},\n      \"node_failure_prob\": {:.2},\n      \"rollbacks\": {},\n      \"rolled_back_iterations\": {},\n      \"checkpoint_bytes\": {},\n      \"peak_state_bytes\": {},\n      \"sim_clean_secs\": {:.1},\n      \"sim_faulty_secs\": {:.1},\n      \"sim_node_failures\": {},\n      \"sim_rollback_secs\": {:.1},\n      \"sim_failure_slowdown\": {:.3}\n    }}",
+            r.app,
+            r.checkpoint_interval,
+            r.prob,
+            r.rollbacks,
+            r.rolled_back_iterations,
+            r.checkpoint_bytes,
+            r.peak_state_bytes,
+            r.sim_clean_secs,
+            r.sim_faulty_secs,
+            r.sim_node_failures,
+            r.sim_rollback_secs,
+            r.sim_slowdown(),
+        ));
+    }
+    let node_json = format!(
+        "{{\n  \"bench\": \"node_failure_checkpoint_rollback_sweep\",\n  \"config\": {{\n    \"threads\": {threads},\n    \"workload\": \"pagerank, full-cut hash partitioning, 16 partitions, max_lag 0\",\n    \"virtual_nodes\": 8,\n    \"identity_gate\": \"ranks and iteration counts pinned bitwise against the failure-free run for every (checkpoint interval, probability) cell; simulated node-death replays run twice and asserted byte-identical\"\n  }},\n  \"node_failure_sweep\": [\n{node_json}\n  ]\n}}\n",
+    );
+    std::fs::write("BENCH_node_failure_sweep.json", &node_json)
+        .expect("write BENCH_node_failure_sweep.json");
+    println!("wrote BENCH_node_failure_sweep.json");
 }

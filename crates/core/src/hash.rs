@@ -1,12 +1,27 @@
-//! Run-stable hashing for shuffle partitioning.
+//! Run-stable hashing: shuffle partitioning and failure-injection
+//! verdicts.
 //!
 //! `std::collections::HashMap`'s default hasher is seeded per process,
 //! so `hash(key) % reducers` would route keys differently on every run
 //! — fatal for reproducible figures. This FNV-1a implementation is
 //! deterministic across runs and platforms, and fast on the short keys
 //! (node ids, centroid ids) the applications shuffle.
+//!
+//! The module is also the workspace-wide home of the **splitmix64
+//! verdict hashing** every failure injector shares: whether a gmap
+//! attempt dies ([`crate::session::SessionFailurePlan`]), or a virtual
+//! node dies at an epoch ([`crate::checkpoint::NodeFailurePlan`] and
+//! the simulator's `asyncmr_simcluster::NodeFailurePlan`), is
+//! `verdict_unit(seed, &[...]) < prob` — a pure function of its
+//! inputs, so injected patterns are reproducible under any thread
+//! interleaving. There is exactly one implementation: it lives in
+//! `asyncmr_simcluster::failure` (this crate depends on `simcluster`,
+//! not the other way around, so the shared helper must sit on that
+//! side of the edge) and is re-exported here as the canonical name.
 
 use std::hash::{BuildHasherDefault, Hasher};
+
+pub use asyncmr_simcluster::failure::{splitmix64, verdict_unit};
 
 /// FNV-1a, 64-bit.
 #[derive(Debug, Clone, Copy)]
@@ -93,5 +108,40 @@ mod tests {
         for k in 0..100u64 {
             assert!(reducer_for(&k, 7) < 7);
         }
+    }
+
+    #[test]
+    fn splitmix_mixing_avalanches() {
+        // Neighboring inputs land far apart (golden regression for the
+        // shared verdict hashing — a weakened mix would correlate
+        // failure verdicts across partitions/iterations).
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(0) >> 32, splitmix64(1) >> 32);
+        assert_eq!(splitmix64(42), splitmix64(42), "pure function");
+    }
+
+    #[test]
+    fn verdict_unit_matches_the_attempt_verdict_formula() {
+        // The extraction contract: verdict_unit(seed, [p, i, a]) must
+        // reproduce the inline hash SessionFailurePlan historically
+        // computed, so chaos seeds pinned in tests and CI keep firing
+        // the same patterns.
+        for (seed, p, i, a) in [(42u64, 3u64, 7u64, 1u64), (1007, 0, 0, 0), (7, 12, 99, 3)] {
+            let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+            for v in [p, i, a] {
+                h = splitmix64(h.wrapping_add(v).wrapping_mul(0xff51_afd7_ed55_8ccd));
+            }
+            let inline = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            assert_eq!(verdict_unit(seed, &[p, i, a]), inline);
+        }
+    }
+
+    #[test]
+    fn verdict_unit_is_in_range_and_seed_sensitive() {
+        for s in 0..50u64 {
+            let u = verdict_unit(s, &[1, 2, 3]);
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_ne!(verdict_unit(1, &[5]), verdict_unit(2, &[5]));
     }
 }

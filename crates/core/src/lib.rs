@@ -82,6 +82,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bucket_board;
+pub mod checkpoint;
 pub mod driver;
 pub mod emitter;
 pub mod engine;
@@ -94,6 +95,7 @@ pub mod shuffle;
 pub mod traits;
 
 pub use bucket_board::BucketBoard;
+pub use checkpoint::{CheckpointPolicy, NodeFailurePlan};
 pub use driver::{FixedPointDriver, IterationReport, StepStatus};
 pub use emitter::{Emitter, MapContext, ReduceContext, TaskMeter};
 pub use engine::{Engine, JobMeter, JobOptions, JobResult};
@@ -109,6 +111,7 @@ pub use traits::{Combiner, Mapper, Reducer};
 
 /// Glob import for application code.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointPolicy, NodeFailurePlan};
     pub use crate::driver::{FixedPointDriver, IterationReport, StepStatus};
     pub use crate::emitter::{MapContext, ReduceContext};
     pub use crate::engine::{Engine, JobOptions, JobResult};

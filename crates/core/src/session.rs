@@ -72,6 +72,51 @@
 //! pinned by `tests/chaos_session.rs` — is byte-identical to a
 //! failure-free run; only wall-clock (and the wasted attempt time
 //! reported in [`SessionReport::failed_attempt_time`]) changes.
+//!
+//! ## Checkpoint/rollback (correlated node failures)
+//!
+//! Attempt-level recovery leans on delivery atomicity: a dead attempt
+//! delivered nothing, so nothing downstream needs undoing. A **node**
+//! failure breaks that: a dying virtual node
+//! ([`crate::checkpoint::NodeFailurePlan`], partitions mapped
+//! `p % num_nodes`) takes every resident in-flight attempt *and every
+//! output its partitions already delivered past the last checkpoint*
+//! with it — so consumers that absorbed those outputs hold state
+//! derived from data that no longer exists, and the session must
+//! perform real **rollback** rather than re-execution:
+//!
+//! 1. **Checkpoints** ([`crate::checkpoint::CheckpointPolicy`],
+//!    every-k-iterations or byte-budgeted) are declared at frontier
+//!    advances, so they are *coordinated*: the same iteration for every
+//!    partition. The retained history `Arc`s at the checkpoint
+//!    iteration are the snapshot; what a durable store would write is
+//!    metered into [`SessionReport::checkpoint_bytes`].
+//! 2. **Node death** is evaluated once per frontier advance (an
+//!    *epoch*) with a pure `(seed, node, epoch)` verdict, capped per
+//!    node so sessions terminate. The dead node's partitions rewind to
+//!    the last checkpoint `C`; their delivered batches with source
+//!    iteration ≥ `C` are revoked from every consumer mailbox.
+//! 3. **Transitive invalidation**: any partition that *absorbed* a
+//!    revoked batch holds contaminated state and rewinds to `C` too —
+//!    a closure over the declared dependency topology (the
+//!    [`Dependence`] graph the apps derive from
+//!    `PartitionTopology`), using the per-iteration consumption log.
+//!    Rewound partitions discard parked work, orphan their in-flight
+//!    attempts (stale-generation completions are dropped and billed as
+//!    failed attempts), and relaunch from the checkpoint state.
+//!
+//! Because gmaps are pure and the checkpoint cut is consistent,
+//! re-execution regenerates byte-identical messages and states: at
+//! `max_lag = 0` the converged result under injected node failures is
+//! **byte-identical** to the failure-free barrier driver (the headline
+//! contract, pinned by `tests/chaos_session.rs`), while the recovery
+//! cost shows up in [`SessionReport::rollbacks`],
+//! [`SessionReport::rolled_back_iterations`], and the wasted-work
+//! meters. Bounded history is what makes this tractable: the session
+//! retains states back to the last checkpoint only (plus mailbox
+//! batches back to `C − max_lag` when node failures are enabled), and
+//! [`SessionReport::peak_state_bytes`] meters the high-water mark of
+//! everything held.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -79,6 +124,9 @@ use std::time::{Duration, Instant};
 
 use asyncmr_runtime::{ThreadPool, Wave};
 use asyncmr_simcluster::AsyncTaskSpec;
+
+use crate::checkpoint::{CheckpointPolicy, CheckpointTracker, NodeFailurePlan};
+use crate::hash::verdict_unit;
 
 /// Transient-failure injection for in-process sessions, mirroring
 /// `asyncmr_simcluster::FailurePlan` for the simulated cluster: each
@@ -135,18 +183,15 @@ impl SessionFailurePlan {
         assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
     }
 
-    /// The deterministic per-attempt verdict (see the type docs).
+    /// The deterministic per-attempt verdict (see the type docs), a
+    /// [`crate::hash::verdict_unit`] draw over
+    /// `(seed, p, iteration, attempt)`.
     fn attempt_fails(&self, p: usize, iteration: usize, attempt: u32) -> bool {
         if !self.enabled() || attempt + 1 >= self.max_attempts {
             return false;
         }
-        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
-        for v in [p as u64, iteration as u64, u64::from(attempt)] {
-            h = splitmix(h.wrapping_add(v).wrapping_mul(0xff51_afd7_ed55_8ccd));
-        }
-        // 53 uniform bits → [0, 1).
-        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        unit < self.attempt_failure_prob
+        verdict_unit(self.seed, &[p as u64, iteration as u64, u64::from(attempt)])
+            < self.attempt_failure_prob
     }
 }
 
@@ -154,13 +199,6 @@ impl Default for SessionFailurePlan {
     fn default() -> Self {
         SessionFailurePlan::none()
     }
-}
-
-/// One round of splitmix64's output mixing.
-fn splitmix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Which partitions' outputs a partition consumes each iteration.
@@ -289,6 +327,20 @@ pub trait AsyncIterative: Sync {
     /// Whether an iteration whose partition deltas folded to
     /// `max_delta` has globally converged.
     fn converged(&self, max_delta: f64) -> bool;
+
+    /// Approximate serialized bytes of one partition state — what a
+    /// durable checkpoint of it would write, and what holding it in
+    /// history costs. Drives [`SessionReport::checkpoint_bytes`],
+    /// [`SessionReport::peak_state_bytes`], and the
+    /// [`crate::checkpoint::CheckpointPolicy::ByteBudget`] trigger.
+    ///
+    /// The default is the shallow `size_of` — exact for plain-data
+    /// states (the common trait-test case); override it for states
+    /// with heap payloads (the graph apps report their owned vectors).
+    fn state_bytes(&self, state: &Self::State) -> u64 {
+        let _ = state;
+        std::mem::size_of::<Self::State>() as u64
+    }
 }
 
 /// Summary of one asynchronous session run.
@@ -313,13 +365,37 @@ pub struct SessionReport {
     /// Wall-clock burned by those discarded speculative gmaps (wasted
     /// gmap-seconds from runahead past convergence).
     pub speculative_time: Duration,
-    /// Injected gmap attempts that died before delivering
-    /// (re-executed by the attempt-tracking layer; 0 without a
-    /// [`SessionFailurePlan`]).
+    /// Injected gmap attempts that died before delivering —
+    /// transient deaths re-executed by the attempt-tracking layer,
+    /// plus in-flight attempts orphaned by a node-failure rollback
+    /// (0 without a [`SessionFailurePlan`] or
+    /// [`crate::checkpoint::NodeFailurePlan`]).
     pub failed_attempts: usize,
     /// Wall-clock burned by failed attempts before they died (wasted
-    /// gmap-seconds from transient failures).
+    /// gmap-seconds from transient failures and orphaned attempts).
     pub failed_attempt_time: Duration,
+    /// Injected node-failure events (each fired node death triggers
+    /// one rollback of its resident partitions and their transitive
+    /// dependents; 0 without a
+    /// [`crate::checkpoint::NodeFailurePlan`]).
+    pub rollbacks: usize,
+    /// Absorbed iterations undone by rollbacks, summed over affected
+    /// partitions — the re-execution debt node failures created. How
+    /// far past the checkpoint each partition had run is
+    /// timing-dependent, so (unlike `rollbacks`) this meter can vary
+    /// run to run; the *results* never do.
+    pub rolled_back_iterations: usize,
+    /// Bytes a durable checkpoint store would have written over the
+    /// run (declared snapshots × per-partition
+    /// [`AsyncIterative::state_bytes`]); 0 with
+    /// [`crate::checkpoint::CheckpointPolicy::Off`].
+    pub checkpoint_bytes: u64,
+    /// High-water mark of bytes the session held at once: state
+    /// history (all retained iterations, all partitions) plus mailbox
+    /// message batches. The measurement behind any cost-aware
+    /// runahead/memory policy — checkpoint retention makes this grow
+    /// with the checkpoint interval.
+    pub peak_state_bytes: u64,
     /// The staleness bound the session ran under.
     pub max_lag: usize,
     /// Real time of the whole session (the driver-level wall).
@@ -356,6 +432,14 @@ pub struct AsyncFixedPointDriver {
     /// [`SessionFailurePlan::none`]). Validated once at the start of
     /// [`AsyncFixedPointDriver::run`].
     pub failures: SessionFailurePlan,
+    /// Checkpoint policy (defaults to
+    /// [`CheckpointPolicy::Off`]). Required (and validated) when node
+    /// failures are injected — rollback needs a target.
+    pub checkpoints: CheckpointPolicy,
+    /// Correlated node-failure injection (defaults to
+    /// [`NodeFailurePlan::none`]). Validated once at the start of
+    /// [`AsyncFixedPointDriver::run`].
+    pub node_failures: NodeFailurePlan,
 }
 
 /// How many iterations past the globally-complete frontier a partition
@@ -371,6 +455,8 @@ impl Default for AsyncFixedPointDriver {
             max_iterations: 1_000,
             max_lag: 0,
             failures: SessionFailurePlan::none(),
+            checkpoints: CheckpointPolicy::Off,
+            node_failures: NodeFailurePlan::none(),
         }
     }
 }
@@ -379,11 +465,7 @@ impl AsyncFixedPointDriver {
     /// A driver capped at `max_iterations`, with `max_lag = 0`
     /// (barrier-identical results, asynchronous schedule).
     pub fn new(max_iterations: usize) -> Self {
-        AsyncFixedPointDriver {
-            max_iterations: max_iterations.max(1),
-            max_lag: 0,
-            failures: SessionFailurePlan::none(),
-        }
+        AsyncFixedPointDriver { max_iterations: max_iterations.max(1), ..Default::default() }
     }
 
     /// Sets the bounded-staleness knob.
@@ -401,6 +483,28 @@ impl AsyncFixedPointDriver {
         self
     }
 
+    /// Sets the checkpoint policy (see the
+    /// [module docs](self#checkpointrollback-correlated-node-failures)):
+    /// state history is retained back to the last declared checkpoint
+    /// and the snapshot bytes are metered. Results are unaffected —
+    /// checkpoints only bound how far a node-failure rollback rewinds.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = policy;
+        self
+    }
+
+    /// Enables correlated node-failure injection (see the
+    /// [module docs](self#checkpointrollback-correlated-node-failures)).
+    /// Requires a checkpoint policy
+    /// ([`AsyncFixedPointDriver::with_checkpoints`]) — enforced at the
+    /// start of [`AsyncFixedPointDriver::run`]. Converged results stay
+    /// byte-identical at `max_lag = 0`; only the rollback/wasted-work
+    /// accounting and wall-clock change.
+    pub fn with_node_failures(mut self, plan: NodeFailurePlan) -> Self {
+        self.node_failures = plan;
+        self
+    }
+
     /// Runs `algo` until convergence or the iteration cap, keeping one
     /// multiwave scope alive across all global iterations (see the
     /// [module docs](self)).
@@ -409,6 +513,12 @@ impl AsyncFixedPointDriver {
         // Injection-time validation: a plan assembled literally with
         // out-of-range fields is rejected here, before any scheduling.
         self.failures.validate();
+        self.checkpoints.validate();
+        self.node_failures.validate();
+        assert!(
+            !self.node_failures.enabled() || self.checkpoints.enabled(),
+            "node-failure injection requires a checkpoint policy (nothing to roll back to)"
+        );
         let k = algo.partitions();
         if k == 0 {
             return SessionOutcome {
@@ -423,6 +533,10 @@ impl AsyncFixedPointDriver {
                     speculative_time: Duration::ZERO,
                     failed_attempts: 0,
                     failed_attempt_time: Duration::ZERO,
+                    rollbacks: 0,
+                    rolled_back_iterations: 0,
+                    checkpoint_bytes: 0,
+                    peak_state_bytes: 0,
                     max_lag: self.max_lag,
                     wall_time: started.elapsed(),
                     schedule: Vec::new(),
@@ -431,7 +545,13 @@ impl AsyncFixedPointDriver {
         }
 
         let failures = self.failures;
-        let mut sess = Session::new(algo, self.max_iterations.max(1), self.max_lag);
+        let mut sess = Session::new(
+            algo,
+            self.max_iterations.max(1),
+            self.max_lag,
+            self.checkpoints,
+            self.node_failures,
+        );
         let mut initial = Vec::new();
         for p in 0..k {
             if let Some(launch) = sess.make_launch(p) {
@@ -455,17 +575,28 @@ impl AsyncFixedPointDriver {
                     p: launch.p,
                     iter: launch.iter,
                     attempt: launch.attempt,
+                    generation: launch.generation,
                     elapsed: t0.elapsed(),
                     output: (!died).then_some(out),
                 }
             },
             |_id, done: AttemptDone<A::Update, A::Msg>, wave| {
-                match done.output {
-                    Some(out) => {
-                        sess.on_gmap_done(algo, done.p, done.iter, out, done.elapsed, wave)
-                    }
-                    None => {
-                        sess.on_gmap_failed(done.p, done.iter, done.attempt, done.elapsed, wave)
+                if done.generation != sess.parts[done.p].generation {
+                    // An attempt orphaned by a node-failure rollback:
+                    // its input state was rewound, so its output — even
+                    // a successful one — describes a version of the
+                    // computation that no longer exists. Bill the
+                    // wasted time and drop it; the rollback already
+                    // relaunched the partition from the checkpoint.
+                    sess.on_orphaned(done.elapsed);
+                } else {
+                    match done.output {
+                        Some(out) => {
+                            sess.on_gmap_done(algo, done.p, done.iter, out, done.elapsed, wave)
+                        }
+                        None => {
+                            sess.on_gmap_failed(done.p, done.iter, done.attempt, done.elapsed, wave)
+                        }
                     }
                 }
                 Vec::new()
@@ -481,6 +612,10 @@ struct Launch<S> {
     p: usize,
     iter: usize,
     attempt: u32,
+    /// The partition's rollback generation at launch time: a completion
+    /// whose generation is stale was orphaned by a node-failure
+    /// rollback and is discarded (billed as a failed attempt).
+    generation: u64,
     state: Arc<S>,
 }
 
@@ -489,10 +624,28 @@ struct AttemptDone<U, M> {
     p: usize,
     iter: usize,
     attempt: u32,
+    generation: u64,
     elapsed: Duration,
     /// `None` = the injected failure killed this attempt before it
     /// could deliver; the scheduler re-executes it.
     output: Option<GmapOutput<U, M>>,
+}
+
+/// Meters of one recorded gmap, kept per iteration so a rollback can
+/// subtract exactly what it undoes (the re-execution re-adds it).
+struct GmapRec {
+    ops: u64,
+    syncs: u64,
+    elapsed: Duration,
+}
+
+/// What one absorb consumed and contributed, kept per iteration: the
+/// selected source iteration per dependency (the rollback engine's
+/// consumption log — how transitive invalidation decides whether a
+/// partition touched revoked data) and the absorb's op count.
+struct AbsorbRec {
+    selected: Vec<usize>,
+    ops: u64,
 }
 
 /// Per-partition scheduler state.
@@ -504,13 +657,20 @@ struct Part<S, U, M> {
     /// batches included).
     out_deps: Vec<usize>,
     /// States for iterations `[hist_base ..]`; pruned as the globally
-    /// complete frontier advances.
+    /// complete frontier advances — or, with checkpoints enabled, only
+    /// up to the last declared checkpoint (the rollback target).
     history: VecDeque<Arc<S>>,
+    /// `state_bytes` of each retained state, aligned with `history`
+    /// (held-bytes accounting).
+    hist_bytes: VecDeque<u64>,
     hist_base: usize,
     /// Iterations absorbed (state index `absorbed` is available).
     absorbed: usize,
     /// Gmap iterations launched (∈ {absorbed, absorbed + 1}).
     launched: usize,
+    /// Bumped by every rollback of this partition; completions carrying
+    /// an older generation are orphaned.
+    generation: u64,
     /// Own gmap output awaiting dependency messages.
     parked: Option<(usize, U)>,
     /// Per dependency (aligned with `deps`): iteration → message batch.
@@ -518,8 +678,14 @@ struct Part<S, U, M> {
     /// Schedule indices the *next* gmap of this partition depends on
     /// (set by the absorb that enabled it).
     next_dep_tasks: Vec<usize>,
-    /// Schedule index of each completed gmap, by iteration.
+    /// Schedule index of each completed gmap, by iteration (truncated
+    /// and re-filled across rollbacks).
     sched_of_iter: Vec<usize>,
+    /// Meters of each completed gmap, aligned with `sched_of_iter`.
+    gmap_log: Vec<GmapRec>,
+    /// Consumption/op log of each absorbed iteration
+    /// (`absorb_log.len() == absorbed`).
+    absorb_log: Vec<AbsorbRec>,
 }
 
 /// Scheduler state for one session run (lives on the multiwave caller
@@ -553,10 +719,42 @@ struct Session<S, U, M> {
     /// Per-iteration successful gmap wall-clock (contributing slice
     /// subtracted from the total yields the speculative waste).
     iter_gmap_time: Vec<Duration>,
+    /// Checkpoint bookkeeping (last declared checkpoint = rollback
+    /// target and retention floor; snapshot byte metering).
+    ckpt: CheckpointTracker,
+    /// Correlated node-failure injection.
+    node_plan: NodeFailurePlan,
+    /// Deaths fired per virtual node (the termination budget).
+    node_deaths: Vec<u32>,
+    /// Frontier-advance counter — the node-failure verdict epoch.
+    /// Counts *advances*, not iteration values, so re-advancing over
+    /// rolled-back ground draws fresh verdicts instead of looping on
+    /// the same one.
+    epoch: u64,
+    /// Node-failure events fired.
+    rollbacks: usize,
+    /// Absorbed iterations undone across all rollbacks.
+    rolled_back_iterations: usize,
+    /// Dead entries of `schedule` (rolled back; superseded by a
+    /// re-execution), filtered out of the report.
+    dead: Vec<bool>,
+    /// Currently held state-history bytes, all partitions.
+    held_state_bytes: u64,
+    /// Currently held mailbox bytes, all partitions (shallow message
+    /// sizes).
+    held_msg_bytes: u64,
+    /// High-water mark of `held_state_bytes + held_msg_bytes`.
+    peak_state_bytes: u64,
 }
 
 impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
-    fn new<A>(algo: &A, max_iterations: usize, max_lag: usize) -> Self
+    fn new<A>(
+        algo: &A,
+        max_iterations: usize,
+        max_lag: usize,
+        checkpoints: CheckpointPolicy,
+        node_plan: NodeFailurePlan,
+    ) -> Self
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
     {
@@ -579,23 +777,34 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                 out_deps[q].push(p); // ascending p by construction
             }
         }
-        let parts = deps
+        let mut held_state_bytes = 0u64;
+        let parts: Vec<Part<S, U, M>> = deps
             .into_iter()
             .zip(out_deps)
             .enumerate()
-            .map(|(p, (deps, out_deps))| Part {
-                mailbox: (0..deps.len()).map(|_| BTreeMap::new()).collect(),
-                deps,
-                out_deps,
-                history: VecDeque::from([Arc::new(algo.init_state(p))]),
-                hist_base: 0,
-                absorbed: 0,
-                launched: 0,
-                parked: None,
-                next_dep_tasks: Vec::new(),
-                sched_of_iter: Vec::new(),
+            .map(|(p, (deps, out_deps))| {
+                let init = algo.init_state(p);
+                let bytes = algo.state_bytes(&init);
+                held_state_bytes += bytes;
+                Part {
+                    mailbox: (0..deps.len()).map(|_| BTreeMap::new()).collect(),
+                    deps,
+                    out_deps,
+                    history: VecDeque::from([Arc::new(init)]),
+                    hist_bytes: VecDeque::from([bytes]),
+                    hist_base: 0,
+                    absorbed: 0,
+                    launched: 0,
+                    generation: 0,
+                    parked: None,
+                    next_dep_tasks: Vec::new(),
+                    sched_of_iter: Vec::new(),
+                    gmap_log: Vec::new(),
+                    absorb_log: Vec::new(),
+                }
             })
             .collect();
+        let node_deaths = vec![0u32; node_plan.num_nodes.max(1)];
         Session {
             parts,
             k,
@@ -614,7 +823,32 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             failed_time: Duration::ZERO,
             total_gmap_time: Duration::ZERO,
             iter_gmap_time: Vec::new(),
+            ckpt: CheckpointTracker::new(checkpoints),
+            node_plan,
+            node_deaths,
+            epoch: 0,
+            rollbacks: 0,
+            rolled_back_iterations: 0,
+            dead: Vec::new(),
+            peak_state_bytes: held_state_bytes,
+            held_state_bytes,
+            held_msg_bytes: 0,
         }
+    }
+
+    /// Updates the held-bytes high-water mark.
+    fn note_peak(&mut self) {
+        self.peak_state_bytes =
+            self.peak_state_bytes.max(self.held_state_bytes + self.held_msg_bytes);
+    }
+
+    /// Bills an attempt orphaned by a rollback (its completion carries
+    /// a stale generation): the work is wasted exactly like a
+    /// transiently failed attempt, and the partition was already
+    /// relaunched from the checkpoint.
+    fn on_orphaned(&mut self, elapsed: Duration) {
+        self.failed_attempts += 1;
+        self.failed_time += elapsed;
     }
 
     fn ensure_iter(&mut self, iter: usize) {
@@ -644,7 +878,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let iter = part.launched;
         let state = Arc::clone(&part.history[iter - part.hist_base]);
         part.launched += 1;
-        Some(Launch { p, iter, attempt: 0, state })
+        Some(Launch { p, iter, attempt: 0, generation: part.generation, state })
     }
 
     /// The attempt-tracking layer's failure path: meter the wasted
@@ -674,7 +908,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let part = &self.parts[p];
         debug_assert_eq!(part.absorbed, iter, "a failed gmap cannot have been absorbed");
         let state = Arc::clone(&part.history[iter - part.hist_base]);
-        wave.push(p, Launch { p, iter, attempt: attempt + 1, state });
+        wave.push(p, Launch { p, iter, attempt: attempt + 1, generation: part.generation, state });
     }
 
     fn push_launch(&mut self, p: usize, wave: &mut Wave<Launch<S>>) {
@@ -714,6 +948,8 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let deps = std::mem::take(&mut self.parts[p].next_dep_tasks);
         debug_assert_eq!(self.parts[p].sched_of_iter.len(), iter);
         self.parts[p].sched_of_iter.push(sched_idx);
+        self.parts[p].gmap_log.push(GmapRec { ops: out.ops, syncs: out.local_syncs, elapsed });
+        self.dead.push(false);
         self.schedule.push(AsyncTaskSpec {
             partition: p,
             iteration: iter,
@@ -727,6 +963,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         // Deliver one batch to every declared consumer — empty if this
         // gmap emitted nothing for it — so consumers never wait on a
         // message that will never come.
+        let msg_size = std::mem::size_of::<M>() as u64;
         let mut outbox = out.outbox;
         let out_deps = std::mem::take(&mut self.parts[p].out_deps);
         for &dest in &out_deps {
@@ -737,8 +974,14 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                 .unwrap_or_default();
             let dest_part = &mut self.parts[dest];
             let pos = dest_part.deps.binary_search(&p).expect("out_deps is the inverse of deps");
-            dest_part.mailbox[pos].insert(iter, msgs);
+            self.held_msg_bytes += msgs.len() as u64 * msg_size;
+            if let Some(old) = dest_part.mailbox[pos].insert(iter, msgs) {
+                // A rollback re-delivery replacing a surviving batch
+                // of identical content.
+                self.held_msg_bytes -= old.len() as u64 * msg_size;
+            }
         }
+        self.note_peak();
         // Hard assert (the outbox is tiny, this is once per gmap):
         // silently dropping a batch for an undeclared consumer would
         // converge to a *wrong* fixed point, not fail.
@@ -752,11 +995,16 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         self.parts[p].parked = Some((iter, out.update));
 
         self.try_absorb(algo, p, wave);
-        let out_deps = std::mem::take(&mut self.parts[p].out_deps);
-        for &dest in &out_deps {
+        // Index-based fan-out, NOT a take/restore of `out_deps`: an
+        // absorb can advance the frontier and fire a node-failure
+        // rollback, whose contamination scan and revocation walk every
+        // partition's `out_deps` — a temporarily emptied list would
+        // silently exempt this partition from the rollback.
+        let mut idx = 0;
+        while let Some(&dest) = self.parts[p].out_deps.get(idx) {
             self.try_absorb(algo, dest, wave);
+            idx += 1;
         }
-        self.parts[p].out_deps = out_deps;
     }
 
     /// Absorbs the partition's parked iteration if every dependency has
@@ -810,17 +1058,37 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         dep_tasks.sort_unstable();
         dep_tasks.dedup();
 
+        // Mailbox retention floor: absorb(i+1) selects keys ≥
+        // i+1 − max_lag, but with node failures enabled a rollback may
+        // rewind this partition to the last checkpoint C and re-absorb
+        // from there — which needs surviving producers' batches back to
+        // C − max_lag, so those must outlive the ordinary pruning.
+        let mut keep_from = (i + 1).saturating_sub(self.max_lag);
+        if self.node_plan.enabled() {
+            keep_from = keep_from.min(self.ckpt.last_checkpoint().saturating_sub(self.max_lag));
+        }
+        let state_bytes = algo.state_bytes(&absorbed.state);
+        let msg_size = std::mem::size_of::<M>() as u64;
         {
             let part = &mut self.parts[p];
             part.next_dep_tasks = dep_tasks;
             part.history.push_back(Arc::new(absorbed.state));
+            part.hist_bytes.push_back(state_bytes);
             part.absorbed = i + 1;
-            // Keep only what absorb(i+1) may still select.
-            let keep_from = (i + 1).saturating_sub(self.max_lag);
+            part.absorb_log.push(AbsorbRec { selected, ops: absorbed.ops });
+            debug_assert_eq!(part.absorb_log.len(), part.absorbed);
             for mb in &mut part.mailbox {
-                mb.retain(|&key, _| key >= keep_from);
+                while let Some((&key, _)) = mb.first_key_value() {
+                    if key >= keep_from {
+                        break;
+                    }
+                    let batch = mb.remove(&key).expect("first key exists");
+                    self.held_msg_bytes -= batch.len() as u64 * msg_size;
+                }
             }
         }
+        self.held_state_bytes += state_bytes;
+        self.note_peak();
 
         self.ensure_iter(i);
         self.iter_ops[i] += absorbed.ops;
@@ -830,8 +1098,9 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         self.push_launch(p, wave);
     }
 
-    /// Advances the globally-complete frontier, evaluating convergence
-    /// and releasing runahead-capped partitions as it moves.
+    /// Advances the globally-complete frontier, declaring checkpoints,
+    /// evaluating convergence and node-failure epochs, and releasing
+    /// runahead-capped partitions as it moves.
     fn advance_frontier<A>(&mut self, algo: &A, wave: &mut Wave<Launch<S>>)
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
@@ -840,12 +1109,31 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             let f = self.frontier;
             self.frontier += 1;
 
-            // States below the frontier can never become the final
-            // answer (convergence candidates are ≥ the frontier and
-            // yield state index candidate + 1) nor feed a gmap.
+            // Coordinated checkpoint declaration: every partition has
+            // absorbed iteration f, so every state entering
+            // `self.frontier` exists — the policy decides whether this
+            // iteration becomes the new rollback target.
+            if self.ckpt.enabled() {
+                let snapshot: u64 = self
+                    .parts
+                    .iter()
+                    .map(|part| part.hist_bytes[self.frontier - part.hist_base])
+                    .sum();
+                self.ckpt.on_frontier_advance(self.frontier, snapshot);
+            }
+
+            // States below the retention floor can never become the
+            // final answer (convergence candidates are ≥ the frontier
+            // and yield state index candidate + 1), feed a gmap, or be
+            // a rollback target — with checkpoints enabled the floor is
+            // the last declared checkpoint, not the frontier (that
+            // retained tail IS the snapshot).
+            let retain =
+                if self.ckpt.enabled() { self.ckpt.last_checkpoint() } else { self.frontier };
             for part in &mut self.parts {
-                while part.hist_base < self.frontier && part.history.len() > 1 {
+                while part.hist_base < retain && part.history.len() > 1 {
                     part.history.pop_front();
+                    self.held_state_bytes -= part.hist_bytes.pop_front().expect("aligned");
                     part.hist_base += 1;
                 }
             }
@@ -864,10 +1152,177 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                 self.stopped = true;
                 return;
             }
+
+            // Node-failure epoch: one deterministic verdict per node
+            // per frontier advance (the epoch counts advances, so a
+            // re-advance over rolled-back ground draws fresh verdicts
+            // and the session cannot livelock on one fatal epoch).
+            if self.node_plan.enabled() {
+                let epoch = self.epoch;
+                self.epoch += 1;
+                let fired: Vec<usize> = (0..self.node_plan.num_nodes)
+                    .filter(|&n| {
+                        self.node_deaths[n] < self.node_plan.max_node_failures
+                            && self.node_plan.node_fails(n, epoch)
+                    })
+                    .collect();
+                if !fired.is_empty() {
+                    for &n in &fired {
+                        self.node_deaths[n] += 1;
+                    }
+                    self.rollbacks += fired.len();
+                    self.rollback(&fired, wave);
+                    return;
+                }
+            }
+
             // The frontier moved: runahead-capped partitions may go.
             for p in 0..self.k {
                 self.push_launch(p, wave);
             }
+        }
+    }
+
+    /// The rollback engine: rewinds everything a set of dying virtual
+    /// nodes contaminated back to the last declared checkpoint `C` and
+    /// relaunches it from the checkpointed states.
+    ///
+    /// The affected set starts with the dead nodes' resident partitions
+    /// and closes transitively over the dependency topology: a
+    /// partition that *absorbed* a batch whose producer is affected and
+    /// whose source iteration is ≥ `C` (per its consumption log) holds
+    /// contaminated state and is rewound too. Affected partitions'
+    /// delivered batches ≥ `C` are revoked from consumer mailboxes
+    /// (re-execution re-delivers byte-identical ones); their recorded
+    /// schedule entries ≥ `C` are marked dead and their meter
+    /// contributions subtracted (re-execution re-records them); their
+    /// in-flight attempts are orphaned by a generation bump. Stale
+    /// `max_delta` maxima are deliberately left in place: at
+    /// `max_lag = 0` re-absorption reproduces them bitwise, and at
+    /// `max_lag > 0` a stale maximum can only delay convergence, never
+    /// fake it.
+    fn rollback(&mut self, fired: &[usize], wave: &mut Wave<Launch<S>>) {
+        let c = self.ckpt.last_checkpoint();
+        debug_assert!(c <= self.frontier, "checkpoints are declared at frontier advances");
+        // Delivered-bytes accounting restarts at the checkpoint the
+        // frontier rewinds to (byte-budget policies would otherwise
+        // double-count the re-advanced ground).
+        self.ckpt.on_rollback();
+
+        // Seed: partitions resident on a dead node.
+        let mut affected = vec![false; self.k];
+        let mut queue: Vec<usize> = Vec::new();
+        for (p, hit) in affected.iter_mut().enumerate() {
+            if fired.contains(&self.node_plan.node_of(p)) {
+                *hit = true;
+                queue.push(p);
+            }
+        }
+        // Transitive closure over consumed-revoked-batch edges.
+        while let Some(x) = queue.pop() {
+            let out = std::mem::take(&mut self.parts[x].out_deps);
+            for &q in &out {
+                if affected[q] {
+                    continue;
+                }
+                let pos =
+                    self.parts[q].deps.binary_search(&x).expect("out_deps is the inverse of deps");
+                let part = &self.parts[q];
+                let contaminated = part.absorb_log[c.min(part.absorbed)..]
+                    .iter()
+                    .any(|rec| rec.selected[pos] >= c);
+                if contaminated {
+                    affected[q] = true;
+                    queue.push(q);
+                }
+            }
+            self.parts[x].out_deps = out;
+        }
+
+        let rewound: Vec<usize> = (0..self.k).filter(|&x| affected[x]).collect();
+
+        // Revoke affected producers' delivered batches ≥ C from every
+        // consumer (the dead node's stored outputs are gone; rewound
+        // survivors will re-deliver identical ones anyway).
+        let msg_size = std::mem::size_of::<M>() as u64;
+        for &x in &rewound {
+            let out = std::mem::take(&mut self.parts[x].out_deps);
+            for &q in &out {
+                let pos =
+                    self.parts[q].deps.binary_search(&x).expect("out_deps is the inverse of deps");
+                let mb = &mut self.parts[q].mailbox[pos];
+                while let Some((&key, _)) = mb.last_key_value() {
+                    if key < c {
+                        break;
+                    }
+                    let batch = mb.remove(&key).expect("last key exists");
+                    self.held_msg_bytes -= batch.len() as u64 * msg_size;
+                }
+            }
+            self.parts[x].out_deps = out;
+        }
+
+        // Rewind each affected partition to the checkpoint state,
+        // unwinding its meter contributions so re-execution re-adds
+        // them exactly once.
+        for &x in &rewound {
+            let part = &mut self.parts[x];
+            if part.absorbed > c {
+                self.rolled_back_iterations += part.absorbed - c;
+            }
+            for i in c..part.absorbed {
+                self.absorbed_count[i] -= 1;
+                self.iter_ops[i] -= part.absorb_log[i].ops;
+            }
+            for i in c..part.sched_of_iter.len() {
+                let rec = &part.gmap_log[i];
+                self.iter_ops[i] -= rec.ops;
+                self.iter_syncs[i] -= rec.syncs;
+                self.iter_gmap_time[i] = self.iter_gmap_time[i].saturating_sub(rec.elapsed);
+                self.dead[part.sched_of_iter[i]] = true;
+            }
+            part.sched_of_iter.truncate(c);
+            part.gmap_log.truncate(c);
+            part.absorb_log.truncate(c);
+            debug_assert!(part.hist_base <= c, "retention keeps the checkpoint state");
+            while part.hist_base + part.history.len() > c + 1 {
+                part.history.pop_back();
+                self.held_state_bytes -= part.hist_bytes.pop_back().expect("aligned");
+            }
+            part.parked = None;
+            part.generation += 1; // orphan anything still in flight
+            part.absorbed = c;
+            part.launched = c;
+        }
+
+        // Rebuild the re-executed gmap's dependency edges (normally set
+        // by the absorb that enabled it; that absorb is below the
+        // checkpoint and its consumption log survived). Needs
+        // cross-partition reads, hence the second pass.
+        for &x in &rewound {
+            let dep_tasks = if c == 0 {
+                Vec::new()
+            } else {
+                let selected = &self.parts[x].absorb_log[c - 1];
+                let mut d = vec![self.parts[x].sched_of_iter[c - 1]];
+                for (j, &sel) in selected.selected.iter().enumerate() {
+                    let q = self.parts[x].deps[j];
+                    d.push(self.parts[q].sched_of_iter[sel]);
+                }
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            self.parts[x].next_dep_tasks = dep_tasks;
+        }
+
+        // Rewind the frontier to the checkpoint and relaunch the
+        // affected partitions from it; unaffected partitions keep
+        // their in-flight work and re-drive the frontier as deliveries
+        // resume.
+        self.frontier = self.frontier.min(c);
+        for &x in &rewound {
+            self.push_launch(x, wave);
         }
     }
 
@@ -888,7 +1343,9 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let mut remap = vec![usize::MAX; self.schedule.len()];
         let mut kept = Vec::with_capacity(iterations * self.k);
         for (idx, mut spec) in std::mem::take(&mut self.schedule).into_iter().enumerate() {
-            if spec.iteration < iterations {
+            // Dead entries were rolled back past a checkpoint; their
+            // surviving re-execution is recorded further down the list.
+            if spec.iteration < iterations && !self.dead[idx] {
                 remap[idx] = kept.len();
                 for d in &mut spec.deps {
                     debug_assert_ne!(remap[*d], usize::MAX, "deps precede their consumers");
@@ -909,6 +1366,10 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             speculative_time: self.total_gmap_time.saturating_sub(contributing_time),
             failed_attempts: self.failed_attempts,
             failed_attempt_time: self.failed_time,
+            rollbacks: self.rollbacks,
+            rolled_back_iterations: self.rolled_back_iterations,
+            checkpoint_bytes: self.ckpt.checkpoint_bytes(),
+            peak_state_bytes: self.peak_state_bytes,
             max_lag,
             wall_time,
             schedule: kept,
@@ -1251,6 +1712,145 @@ mod tests {
                 "stale + faulty fixpoint drifted: {x} vs {y}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoints_meter_bytes_without_changing_results() {
+        let algo = Ring::new(8, 1e-10, true);
+        let p = pool();
+        let plain = AsyncFixedPointDriver::new(500).run(&p, &algo);
+        let ckpt = AsyncFixedPointDriver::new(500)
+            .with_checkpoints(CheckpointPolicy::EveryK(2))
+            .run(&p, &algo);
+        assert_eq!(plain.report.global_iterations, ckpt.report.global_iterations);
+        for (x, y) in plain.states.iter().zip(&ckpt.states) {
+            assert_eq!(x.to_bits(), y.to_bits(), "checkpointing must not touch results");
+        }
+        assert_eq!(plain.report.checkpoint_bytes, 0);
+        assert_eq!(plain.report.rollbacks, 0);
+        // Ring state is one f64: every-2 checkpoints over n iterations
+        // write ~n/2 × 8 × 8 bytes.
+        let iters = ckpt.report.global_iterations as u64;
+        assert_eq!(ckpt.report.checkpoint_bytes, (iters / 2) * 8 * 8);
+        assert!(plain.report.peak_state_bytes >= 8 * 8, "holds at least one state per partition");
+        assert!(
+            ckpt.report.peak_state_bytes >= plain.report.peak_state_bytes,
+            "checkpoint retention cannot hold less than frontier pruning"
+        );
+    }
+
+    #[test]
+    fn byte_budget_checkpoints_declare_and_meter() {
+        let algo = Ring::new(6, 1e-10, true);
+        // 6 partitions × 8 bytes = 48 bytes/iteration; a 100-byte
+        // budget declares roughly every 3rd frontier advance.
+        let out = AsyncFixedPointDriver::new(500)
+            .with_checkpoints(CheckpointPolicy::ByteBudget(100))
+            .run(&pool(), &algo);
+        assert!(out.report.converged);
+        assert!(out.report.checkpoint_bytes > 0, "the budget must trigger checkpoints");
+        assert_eq!(out.report.checkpoint_bytes % 48, 0, "whole snapshots only");
+    }
+
+    #[test]
+    fn node_failure_rollback_leaves_the_fixpoint_bitwise_identical() {
+        let algo = Ring::new(8, 1e-10, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(500).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(500)
+            .with_checkpoints(CheckpointPolicy::EveryK(2))
+            .with_node_failures(NodeFailurePlan::correlated(0.2, 3, 42))
+            .run(&p, &algo);
+        assert!(faulty.report.rollbacks > 0, "0.2/(node, epoch) must fire");
+        assert!(
+            faulty.report.rolled_back_iterations > 0,
+            "a mid-interval death must undo absorbed work"
+        );
+        assert_eq!(
+            clean.report.global_iterations, faulty.report.global_iterations,
+            "rollback recovery must not change the iteration count"
+        );
+        assert_eq!(clean.report.gmap_tasks, faulty.report.gmap_tasks);
+        assert_eq!(clean.report.local_syncs, faulty.report.local_syncs);
+        assert_eq!(clean.report.total_ops, faulty.report.total_ops);
+        for (i, (x, y)) in clean.states.iter().zip(&faulty.states).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "partition {i} diverged under node failures");
+        }
+    }
+
+    #[test]
+    fn node_failures_compose_with_transient_attempt_failures() {
+        let algo = Ring::new(7, 1e-9, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(400).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(400)
+            .with_failures(SessionFailurePlan::transient(0.2, 5))
+            .with_checkpoints(CheckpointPolicy::EveryK(1))
+            .with_node_failures(NodeFailurePlan::correlated(0.15, 2, 11))
+            .run(&p, &algo);
+        assert!(faulty.report.failed_attempts > 0);
+        assert!(faulty.report.rollbacks > 0);
+        assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+        for (x, y) in clean.states.iter().zip(&faulty.states) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn node_failure_rollback_under_staleness_still_converges() {
+        let algo = Ring::new(8, 1e-12, true);
+        let p = pool();
+        let exact = AsyncFixedPointDriver::new(2_000).run(&p, &algo);
+        let faulty = AsyncFixedPointDriver::new(2_000)
+            .with_max_lag(2)
+            .with_checkpoints(CheckpointPolicy::EveryK(4))
+            .with_node_failures(NodeFailurePlan::correlated(0.15, 3, 9))
+            .run(&p, &algo);
+        assert!(exact.report.converged && faulty.report.converged);
+        for (x, y) in exact.states.iter().zip(&faulty.states) {
+            assert!(
+                (*x.as_ref() - *y.as_ref()).abs() < 1e-9,
+                "stale + node-faulty fixpoint drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_certain_node_failures_terminate_via_the_death_budget() {
+        let algo = Ring::new(6, 1e-8, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(300).run(&p, &algo);
+        let plan =
+            NodeFailurePlan { node_failure_prob: 0.9, num_nodes: 2, max_node_failures: 3, seed: 4 };
+        let faulty = AsyncFixedPointDriver::new(300)
+            .with_checkpoints(CheckpointPolicy::EveryK(1))
+            .with_node_failures(plan)
+            .run(&p, &algo);
+        assert!(faulty.report.converged, "the per-node budget must guarantee termination");
+        assert!(faulty.report.rollbacks <= 2 * 3, "budget: ≤ max_node_failures per node");
+        for (x, y) in clean.states.iter().zip(&faulty.states) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a checkpoint policy")]
+    fn node_failures_without_checkpoints_are_rejected() {
+        let algo = Ring::new(3, 1e-6, true);
+        let _ = AsyncFixedPointDriver::new(10)
+            .with_node_failures(NodeFailurePlan::correlated(0.1, 2, 0))
+            .run(&pool(), &algo);
+    }
+
+    #[test]
+    #[should_panic(expected = "node failure probability")]
+    fn literally_constructed_node_plan_is_rejected_at_injection() {
+        let plan = NodeFailurePlan { node_failure_prob: 2.0, ..NodeFailurePlan::none() };
+        let algo = Ring::new(3, 1e-6, true);
+        let _ = AsyncFixedPointDriver::new(10)
+            .with_checkpoints(CheckpointPolicy::EveryK(1))
+            .with_node_failures(plan)
+            .run(&pool(), &algo);
     }
 
     #[test]

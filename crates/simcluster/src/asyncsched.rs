@@ -37,6 +37,38 @@
 //! coarser eager tasks — a measurable figure:
 //! [`AsyncScheduleStats::recovery_time`] vs. the barrier path's
 //! failure-lengthened job durations.
+//!
+//! ## Correlated node death (checkpoint/rollback)
+//!
+//! With a [`crate::NodeFailurePlan`] installed
+//! ([`Simulation::with_node_failures`]), the replay additionally models
+//! the failure mode transient retries cannot absorb: a whole node
+//! dying, taking **every resident task attempt and its stored outputs**
+//! with it. Epochs advance with the schedule's global iterations; at
+//! each epoch every node draws a deterministic death verdict
+//! (`verdict_unit(seed, node, epoch)`, capped per node). When node *n*
+//! dies at epoch *e*:
+//!
+//! 1. every *completed* task placed on *n* whose iteration is at or
+//!    past the last checkpoint (iteration multiples of
+//!    `checkpoint_interval`) loses its stored outputs and returns to
+//!    the pending set;
+//! 2. every completed task that transitively consumed a lost output is
+//!    invalidated too (its inputs can no longer be refetched) — the
+//!    rollback closure over the dependency graph;
+//! 3. the lost work re-executes after the node-death
+//!    `detection_delay`, re-placed on the earliest-start slot
+//!    **excluding the dead node**; the dead node itself rejoins (fresh
+//!    slots) once the death is detected.
+//!
+//! [`AsyncScheduleStats::node_failures`] counts the deaths and
+//! [`AsyncScheduleStats::rollback_time`] meters the serialized cost:
+//! the executed durations of every rolled-back task plus the detection
+//! delays. The replay remains a pure function of
+//! `(ClusterSpec, FailurePlan, NodeFailurePlan, seed, tasks)` —
+//! identical inputs produce byte-identical schedules, which is what
+//! lets `iterate_bench` sweep checkpoint interval × node-failure
+//! probability reproducibly.
 
 use rand::RngExt;
 
@@ -117,6 +149,15 @@ pub struct AsyncScheduleStats {
     /// recovery cost — slot-level, before any overlap with the rest of
     /// the eager schedule, which usually hides part of it.)
     pub recovery_time: SimTime,
+    /// Injected correlated node deaths (0 without a
+    /// [`crate::NodeFailurePlan`]).
+    pub node_failures: usize,
+    /// Simulated time lost to node deaths: the executed durations of
+    /// every task rolled back past a checkpoint (directly resident on
+    /// the dead node, or transitively dependent on a lost output) plus
+    /// the node-death detection delays. Serialized cost, like
+    /// [`AsyncScheduleStats::recovery_time`].
+    pub rollback_time: SimTime,
     /// Per-task completion instants, in spec order — the schedule
     /// itself, exposed so determinism tests can pin "byte-identical
     /// schedules", not just identical aggregates.
@@ -126,7 +167,125 @@ pub struct AsyncScheduleStats {
     pub task_node: Vec<usize>,
 }
 
+/// Mutable placement state threaded through [`Simulation::place_async_task`]
+/// — the arrays one task dispatch reads (dependency finishes/placements)
+/// and updates (slot occupancy, accounting).
+struct Placement {
+    /// (free time, node) per map slot.
+    slots: Vec<(SimTime, usize)>,
+    finish: Vec<SimTime>,
+    node_of: Vec<usize>,
+    /// Duration of the successful attempt, per task (rollback billing).
+    dur: Vec<SimTime>,
+    network_bytes: u64,
+    failed_attempts: usize,
+    recovery_time: SimTime,
+    work_end: SimTime,
+}
+
 impl Simulation {
+    /// Dispatches task `i` (attempt loop included) onto the
+    /// earliest-start slot and records its finish/node/duration.
+    ///
+    /// Start = max(slot free, `gate`, every dependency's message
+    /// arrival at that slot's node); ties break toward the
+    /// lowest-indexed slot. Slots on `exclude_node` are skipped (the
+    /// re-placement rule after a node death). Under an active
+    /// [`crate::FailurePlan`] each attempt may die a uniform fraction
+    /// of the way through, holding its slot until the death; the retry
+    /// waits out the detection delay.
+    fn place_async_task(
+        &mut self,
+        tasks: &[AsyncTaskSpec],
+        i: usize,
+        consumers: &[u32],
+        gate: SimTime,
+        exclude_node: Option<usize>,
+        pl: &mut Placement,
+    ) {
+        // On a single-node cluster there is nowhere else to go: the
+        // rebooted node must take its own lost work back (the gate
+        // already delays it past the detection).
+        let exclude_node = exclude_node.filter(|&n| pl.slots.iter().any(|&(_, node)| node != n));
+        let task = &tasks[i];
+        let mut attempt = 0u32;
+        // A retry cannot be dispatched before the previous attempt's
+        // death is detected.
+        let mut retry_gate = gate;
+        loop {
+            // Earliest-start slot. A dependency's arrival time depends
+            // on whether its producer ran on the same node, so
+            // readiness is evaluated per candidate slot.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (s, &(free, node)) in pl.slots.iter().enumerate() {
+                if exclude_node == Some(node) {
+                    continue;
+                }
+                let mut start = free.max(gate).max(retry_gate);
+                for &d in &task.deps {
+                    debug_assert!(d < i, "async schedule must be topologically ordered");
+                    let arrival = if pl.node_of[d] == node {
+                        pl.finish[d]
+                    } else {
+                        let share = tasks[d].output_bytes / u64::from(consumers[d].max(1));
+                        pl.finish[d]
+                            + self.spec.net_latency
+                            + SimTime::from_secs_f64(share as f64 / self.spec.nic_bandwidth)
+                    };
+                    start = start.max(arrival);
+                }
+                if best.is_none_or(|(b, _)| start < b) {
+                    best = Some((start, s));
+                }
+            }
+            let (start, slot) = best.expect("at least one admissible slot");
+            let node = pl.slots[slot].1;
+            // Every attempt refetches its cross-node inputs (Hadoop
+            // re-reads map outputs on re-execution).
+            for &d in &task.deps {
+                if pl.node_of[d] != node {
+                    pl.network_bytes += tasks[d].output_bytes / u64::from(consumers[d].max(1));
+                }
+            }
+
+            // Iteration 0 reads its split from the local DFS replica;
+            // later iterations operate on resident state (the async
+            // session never round-trips through the DFS).
+            let read = if task.iteration == 0 {
+                SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
+            } else {
+                SimTime::ZERO
+            };
+            let speed = self.spec.nodes[node].speed;
+            let straggle = self.straggler();
+            let compute =
+                self.spec.cost.compute_time(task.ops, task.output_records, speed).scale(straggle);
+            let sort = self.spec.cost.sort_time(task.output_bytes, speed);
+            let end = start + self.spec.task_launch + read + compute + sort;
+
+            if self.attempt_fails(attempt) {
+                // Dies a uniform fraction of the way through; the slot
+                // is occupied until the death, the retry waits out the
+                // detection delay.
+                let frac: f64 = self.rng.random_range(0.05..0.95);
+                let died = start + (end - start).scale(frac);
+                pl.slots[slot].0 = died;
+                pl.failed_attempts += 1;
+                pl.recovery_time += (died - start) + self.failure.detection_delay;
+                retry_gate = died + self.failure.detection_delay;
+                attempt += 1;
+                continue;
+            }
+
+            pl.finish[i] = end;
+            pl.node_of[i] = node;
+            pl.dur[i] = end - start;
+            pl.slots[slot].0 = end;
+            pl.work_end = pl.work_end.max(end);
+            return;
+        }
+    }
+
     /// Replays an eager cross-iteration schedule, advancing the cluster
     /// clock. See the [module docs](self) for the model.
     ///
@@ -136,13 +295,22 @@ impl Simulation {
     /// = max(slot free, session setup done, every dependency's message
     /// arrival at that slot's node). Ties break toward the
     /// lowest-indexed slot, so the replay is a pure function of
-    /// `(ClusterSpec, FailurePlan, seed, tasks)` — the async analogue
-    /// of the contract [`Simulation::run_job`] documents.
+    /// `(ClusterSpec, FailurePlan, NodeFailurePlan, seed, tasks)` — the
+    /// async analogue of the contract [`Simulation::run_job`]
+    /// documents.
     ///
     /// Under an active [`crate::FailurePlan`] each attempt may die (see
     /// the [module docs](self)); a failed attempt holds its slot until
     /// it dies, and its retry is dispatched — to the then-best slot —
     /// only after the detection delay.
+    ///
+    /// Under an active [`crate::NodeFailurePlan`]
+    /// ([`Simulation::with_node_failures`]) the replay additionally
+    /// injects correlated node deaths with checkpoint-bounded rollback
+    /// (see the [module docs](self)): dispatch proceeds epoch by epoch
+    /// (one epoch per global iteration) so a death can take completed
+    /// resident work past the last checkpoint — and everything that
+    /// transitively consumed it — back into the pending set.
     ///
     /// # Panics
     ///
@@ -163,8 +331,7 @@ impl Simulation {
             }
         }
 
-        // (free time, node) per map slot.
-        let mut slots: Vec<(SimTime, usize)> = self
+        let slots: Vec<(SimTime, usize)> = self
             .spec
             .nodes
             .iter()
@@ -173,93 +340,35 @@ impl Simulation {
             .collect();
         assert!(!slots.is_empty(), "cluster must have at least one map slot");
 
-        let mut finish = vec![SimTime::ZERO; tasks.len()];
-        let mut node_of = vec![0usize; tasks.len()];
-        let mut network_bytes = 0u64;
-        let mut failed_attempts = 0usize;
-        let mut recovery_time = SimTime::ZERO;
-        let mut work_end = setup_done;
+        let mut pl = Placement {
+            slots,
+            finish: vec![SimTime::ZERO; tasks.len()],
+            node_of: vec![0usize; tasks.len()],
+            dur: vec![SimTime::ZERO; tasks.len()],
+            network_bytes: 0,
+            failed_attempts: 0,
+            recovery_time: SimTime::ZERO,
+            work_end: setup_done,
+        };
+        let mut node_failures = 0usize;
+        let mut rollback_time = SimTime::ZERO;
 
-        for (i, task) in tasks.iter().enumerate() {
-            let mut attempt = 0u32;
-            // A retry cannot be dispatched before the previous
-            // attempt's death is detected.
-            let mut retry_gate = setup_done;
-            loop {
-                // Earliest-start slot. A dependency's arrival time
-                // depends on whether its producer ran on the same node,
-                // so readiness is evaluated per candidate slot.
-                let mut best: Option<(SimTime, usize)> = None;
-                for (s, &(free, node)) in slots.iter().enumerate() {
-                    let mut start = free.max(setup_done).max(retry_gate);
-                    for &d in &task.deps {
-                        debug_assert!(d < i, "async schedule must be topologically ordered");
-                        let arrival = if node_of[d] == node {
-                            finish[d]
-                        } else {
-                            let share = tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                            finish[d]
-                                + self.spec.net_latency
-                                + SimTime::from_secs_f64(share as f64 / self.spec.nic_bandwidth)
-                        };
-                        start = start.max(arrival);
-                    }
-                    if best.is_none_or(|(b, _)| start < b) {
-                        best = Some((start, s));
-                    }
-                }
-                let (start, slot) = best.expect("at least one slot");
-                let node = slots[slot].1;
-                // Every attempt refetches its cross-node inputs
-                // (Hadoop re-reads map outputs on re-execution).
-                for &d in &task.deps {
-                    if node_of[d] != node {
-                        network_bytes += tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                    }
-                }
-
-                // Iteration 0 reads its split from the local DFS
-                // replica; later iterations operate on resident state
-                // (the async session never round-trips through the
-                // DFS).
-                let read = if task.iteration == 0 {
-                    SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
-                } else {
-                    SimTime::ZERO
-                };
-                let speed = self.spec.nodes[node].speed;
-                let straggle = self.straggler();
-                let compute = self
-                    .spec
-                    .cost
-                    .compute_time(task.ops, task.output_records, speed)
-                    .scale(straggle);
-                let sort = self.spec.cost.sort_time(task.output_bytes, speed);
-                let end = start + self.spec.task_launch + read + compute + sort;
-
-                if self.attempt_fails(attempt) {
-                    // Dies a uniform fraction of the way through; the
-                    // slot is occupied until the death, the retry waits
-                    // out the detection delay.
-                    let frac: f64 = self.rng.random_range(0.05..0.95);
-                    let died = start + (end - start).scale(frac);
-                    slots[slot].0 = died;
-                    failed_attempts += 1;
-                    recovery_time += (died - start) + self.failure.detection_delay;
-                    retry_gate = died + self.failure.detection_delay;
-                    attempt += 1;
-                    continue;
-                }
-
-                finish[i] = end;
-                node_of[i] = node;
-                slots[slot].0 = end;
-                work_end = work_end.max(end);
-                break;
+        if !self.node_failure.enabled() {
+            for i in 0..tasks.len() {
+                self.place_async_task(tasks, i, &consumers, setup_done, None, &mut pl);
             }
+        } else {
+            self.replay_with_node_deaths(
+                tasks,
+                &consumers,
+                setup_done,
+                &mut pl,
+                &mut node_failures,
+                &mut rollback_time,
+            );
         }
 
-        let finished_at = work_end + self.spec.job_cleanup;
+        let finished_at = pl.work_end + self.spec.job_cleanup;
         self.clock = finished_at;
         self.net.advance_to(finished_at);
         self.jobs_run += 1;
@@ -269,11 +378,104 @@ impl Simulation {
             finished_at,
             duration: finished_at - submitted_at,
             tasks: tasks.len(),
-            network_bytes,
-            failed_attempts,
-            recovery_time,
-            task_finish: finish,
-            task_node: node_of,
+            network_bytes: pl.network_bytes,
+            failed_attempts: pl.failed_attempts,
+            recovery_time: pl.recovery_time,
+            node_failures,
+            rollback_time,
+            task_finish: pl.finish,
+            task_node: pl.node_of,
+        }
+    }
+
+    /// The node-death replay loop (see the [module docs](self)):
+    /// dispatch epoch by epoch, drawing per-node death verdicts at each
+    /// epoch boundary and rolling lost work — resident completions past
+    /// the last checkpoint plus their transitive consumers — back into
+    /// the pending set for re-placement off the dead node.
+    fn replay_with_node_deaths(
+        &mut self,
+        tasks: &[AsyncTaskSpec],
+        consumers: &[u32],
+        setup_done: SimTime,
+        pl: &mut Placement,
+        node_failures: &mut usize,
+        rollback_time: &mut SimTime,
+    ) {
+        let plan = self.node_failure.clone();
+        let n_nodes = self.spec.num_nodes();
+        // Consumer adjacency for the transitive rollback closure.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            for &d in &t.deps {
+                dependents[d].push(i);
+            }
+        }
+
+        let mut done = vec![false; tasks.len()];
+        // Per-task dispatch gate (death detection delays re-executions)
+        // and placement exclusion (the node that lost the task).
+        let mut gate = vec![setup_done; tasks.len()];
+        let mut excluded: Vec<Option<usize>> = vec![None; tasks.len()];
+        let mut deaths = vec![0u32; n_nodes];
+        let max_epoch = tasks.iter().map(|t| t.iteration).max().unwrap_or(0);
+
+        for epoch in 0..=max_epoch {
+            // Death verdicts at the epoch boundary — before this
+            // epoch's tasks dispatch, so a death can only take work of
+            // earlier epochs (what is actually resident by now).
+            #[allow(clippy::needless_range_loop)] // `node` indexes three parallel per-node views
+            for node in 0..n_nodes {
+                if deaths[node] >= plan.max_node_failures || !plan.node_fails(node, epoch) {
+                    continue;
+                }
+                deaths[node] += 1;
+                *node_failures += 1;
+                let ckpt = plan.last_checkpoint(epoch);
+                let died_at = pl.work_end;
+                let redispatch = died_at + plan.detection_delay;
+
+                // Directly lost: completed tasks resident on the dead
+                // node whose outputs post-date the last checkpoint.
+                let mut lost: Vec<usize> = (0..tasks.len())
+                    .filter(|&t| done[t] && pl.node_of[t] == node && tasks[t].iteration >= ckpt)
+                    .collect();
+                // Transitively lost: completed consumers of a lost
+                // output, to a fixpoint over the dependency graph.
+                let mut queue = lost.clone();
+                while let Some(t) = queue.pop() {
+                    for &c in &dependents[t] {
+                        if done[c] && !lost.contains(&c) {
+                            lost.push(c);
+                            queue.push(c);
+                        }
+                    }
+                }
+                for &t in &lost {
+                    done[t] = false;
+                    *rollback_time += pl.dur[t];
+                    gate[t] = gate[t].max(redispatch);
+                    excluded[t] = Some(node);
+                }
+                *rollback_time += plan.detection_delay;
+                // The node reboots with clean state: its slots rejoin
+                // once the death is detected.
+                for slot in pl.slots.iter_mut().filter(|(_, sn)| *sn == node) {
+                    slot.0 = slot.0.max(redispatch);
+                }
+            }
+
+            // (Re-)dispatch everything pending up to this epoch, in
+            // index order — deps always point to lower indices, so a
+            // rolled-back producer is re-placed before any consumer
+            // that needs its fresh finish time.
+            for i in 0..tasks.len() {
+                if done[i] || tasks[i].iteration > epoch {
+                    continue;
+                }
+                self.place_async_task(tasks, i, consumers, gate[i], excluded[i], pl);
+                done[i] = true;
+            }
         }
     }
 }
@@ -444,6 +646,119 @@ mod tests {
         let tasks = ring_schedule(16, 3, 10_000_000);
         let stats = sim(5).run_async_schedule(&tasks);
         assert!(stats.network_bytes > 0, "ring messages must cross nodes");
+    }
+
+    #[test]
+    fn node_deaths_roll_back_completed_work_and_meter_it() {
+        use crate::failure::NodeFailurePlan;
+        let tasks = ring_schedule(8, 8, 40_000_000);
+        let clean = sim(9).run_async_schedule(&tasks);
+        assert_eq!(clean.node_failures, 0);
+        assert_eq!(clean.rollback_time, SimTime::ZERO);
+
+        let faulty = sim(9)
+            .with_node_failures(NodeFailurePlan::correlated(0.05, 2, 5))
+            .run_async_schedule(&tasks);
+        assert!(faulty.node_failures > 0, "0.05/(node, epoch) over 8 epochs x 8 nodes must fire");
+        // More than the bare detection delays: real executed work was
+        // lost and re-run. (A death that lands exactly on a checkpoint
+        // boundary loses nothing — that is the point of checkpoints —
+        // so the seed is chosen to hit a mid-interval death.)
+        let detection_floor = SimTime::from_secs(30).scale(faulty.node_failures as f64);
+        assert!(faulty.rollback_time > detection_floor, "rolled-back work must be metered");
+        assert!(
+            faulty.duration > clean.duration,
+            "node deaths must cost simulated time: {} vs {}",
+            faulty.duration,
+            clean.duration
+        );
+        // The same dependency graph still completes, in order.
+        assert_eq!(faulty.tasks, tasks.len());
+        for (i, t) in tasks.iter().enumerate() {
+            for &d in &t.deps {
+                assert!(
+                    faulty.task_finish[d] < faulty.task_finish[i],
+                    "task {i} finished before its dependency {d} under node deaths"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_death_replay_is_a_pure_function_of_its_inputs() {
+        use crate::failure::NodeFailurePlan;
+        let tasks = ring_schedule(8, 8, 40_000_000);
+        let plan = NodeFailurePlan::correlated(0.08, 4, 21);
+        let a = sim(3).with_node_failures(plan.clone()).run_async_schedule(&tasks);
+        let b = sim(3).with_node_failures(plan).run_async_schedule(&tasks);
+        assert!(a.node_failures > 0, "the regime must actually fire");
+        assert_eq!(a.task_finish, b.task_finish, "schedules must be byte-identical");
+        assert_eq!(a.task_node, b.task_node);
+        assert_eq!(a, b);
+        // A different verdict seed perturbs the death pattern.
+        let c = sim(3)
+            .with_node_failures(NodeFailurePlan::correlated(0.08, 4, 22))
+            .run_async_schedule(&tasks);
+        assert_ne!(a.task_finish, c.task_finish, "seed must drive the injected deaths");
+    }
+
+    #[test]
+    fn node_deaths_compose_with_transient_attempt_failures() {
+        use crate::failure::{FailurePlan, NodeFailurePlan};
+        let tasks = ring_schedule(8, 6, 40_000_000);
+        let stats = sim(5)
+            .with_failures(FailurePlan::transient(0.15))
+            .with_node_failures(NodeFailurePlan::correlated(0.05, 2, 7))
+            .run_async_schedule(&tasks);
+        assert!(stats.failed_attempts > 0, "attempt deaths must fire");
+        assert!(stats.node_failures > 0, "node deaths must fire");
+        assert!(stats.recovery_time > SimTime::ZERO);
+        assert!(stats.rollback_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn per_node_death_budget_caps_the_injection() {
+        use crate::failure::NodeFailurePlan;
+        // Near-certain deaths with a budget of 1 per node: exactly
+        // n_nodes deaths fire, and the replay still terminates.
+        let tasks = ring_schedule(4, 12, 10_000_000);
+        let plan = NodeFailurePlan {
+            node_failure_prob: 0.9,
+            max_node_failures: 1,
+            checkpoint_interval: 1,
+            detection_delay: SimTime::from_secs(30),
+            seed: 2,
+        };
+        let mut s = sim(1).with_node_failures(plan);
+        let n_nodes = s.spec().num_nodes();
+        let stats = s.run_async_schedule(&tasks);
+        assert!(stats.node_failures <= n_nodes, "budget of 1 per node must bound deaths");
+        assert!(stats.node_failures > n_nodes / 2, "0.9 per epoch should exhaust most budgets");
+        assert_eq!(stats.tasks, tasks.len());
+    }
+
+    #[test]
+    fn single_node_cluster_survives_its_own_death() {
+        use crate::failure::NodeFailurePlan;
+        // test_local is a 1-node cluster: the dead node is the only
+        // possible re-placement target, so the exclusion must yield
+        // rather than leave the lost work unplaceable.
+        let tasks = ring_schedule(2, 6, 5_000_000);
+        let plan =
+            NodeFailurePlan { node_failure_prob: 0.9, ..NodeFailurePlan::correlated(0.5, 3, 1) };
+        let stats = Simulation::new(ClusterSpec::test_local(4, 2), 1)
+            .with_node_failures(plan)
+            .run_async_schedule(&tasks);
+        assert!(stats.node_failures > 0, "0.9 per epoch must fire");
+        assert_eq!(stats.tasks, tasks.len(), "all work must still complete");
+    }
+
+    #[test]
+    #[should_panic(expected = "node failure probability")]
+    fn literally_constructed_node_plan_is_rejected_at_injection() {
+        use crate::failure::NodeFailurePlan;
+        let plan = NodeFailurePlan { node_failure_prob: 1.5, ..NodeFailurePlan::none() };
+        let _ = Simulation::new(ClusterSpec::ec2_2010(), 1).with_node_failures(plan);
     }
 
     #[test]

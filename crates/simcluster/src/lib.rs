@@ -55,7 +55,7 @@ pub use asyncsched::{AsyncScheduleStats, AsyncTaskSpec};
 pub use cluster::{ClusterSpec, NodeSpec};
 pub use costmodel::CostModel;
 pub use dfs::DfsModel;
-pub use failure::FailurePlan;
+pub use failure::{splitmix64, verdict_unit, FailurePlan, NodeFailurePlan};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
 pub use sim::Simulation;
 pub use stats::{JobStats, PhaseBreakdown, RunTotals};

@@ -25,7 +25,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::cluster::ClusterSpec;
 use crate::events::EventQueue;
-use crate::failure::FailurePlan;
+use crate::failure::{FailurePlan, NodeFailurePlan};
 use crate::job::JobSpec;
 use crate::network::NetworkState;
 use crate::stats::{JobStats, PhaseBreakdown, RunTotals};
@@ -39,6 +39,7 @@ use crate::time::SimTime;
 pub struct Simulation {
     pub(crate) spec: ClusterSpec,
     pub(crate) failure: FailurePlan,
+    pub(crate) node_failure: NodeFailurePlan,
     pub(crate) clock: SimTime,
     pub(crate) net: NetworkState,
     pub(crate) rng: StdRng,
@@ -65,6 +66,7 @@ impl Simulation {
         Simulation {
             spec,
             failure: FailurePlan::none(),
+            node_failure: NodeFailurePlan::none(),
             clock: SimTime::ZERO,
             net,
             rng: StdRng::seed_from_u64(seed),
@@ -84,6 +86,24 @@ impl Simulation {
     pub fn with_failures(mut self, plan: FailurePlan) -> Self {
         plan.validate();
         self.failure = plan;
+        self
+    }
+
+    /// Enables correlated node-failure injection for subsequent
+    /// [`Simulation::run_async_schedule`] replays: a dying node takes
+    /// every resident task and its stored outputs with it, rolling the
+    /// schedule back to the last checkpoint (see
+    /// [`crate::asyncsched`]). Composes with
+    /// [`Simulation::with_failures`] — both regimes can be active.
+    ///
+    /// # Panics
+    ///
+    /// If the plan's fields are out of range
+    /// ([`NodeFailurePlan::validate`]) — the same injection-time check
+    /// [`Simulation::with_failures`] performs.
+    pub fn with_node_failures(mut self, plan: NodeFailurePlan) -> Self {
+        plan.validate();
+        self.node_failure = plan;
         self
     }
 

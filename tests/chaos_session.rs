@@ -23,17 +23,23 @@
 
 use asyncmr::apps::pagerank::{self, PageRankConfig};
 use asyncmr::apps::sssp::{self, SsspConfig};
-use asyncmr::core::{Engine, SessionFailurePlan};
+use asyncmr::core::{CheckpointPolicy, Engine, NodeFailurePlan, SessionFailurePlan};
 use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
 use asyncmr::partition::{MultilevelKWay, Partitioner};
 use asyncmr::runtime::ThreadPool;
-use asyncmr::simcluster::{ClusterSpec, FailurePlan, Simulation};
+use asyncmr::simcluster::{
+    ClusterSpec, FailurePlan, NodeFailurePlan as SimNodeFailurePlan, SimTime, Simulation,
+};
 
 /// The fixed seed matrix CI's chaos smoke step runs under: every
 /// (probability, seed) cell must both *trigger* failures and *hide*
 /// them from the result.
 const CHAOS_PROBS: [f64; 2] = [0.05, 0.2];
 const CHAOS_SEEDS: [u64; 2] = [42, 1007];
+/// Checkpoint intervals the node-failure cells sweep (paired with
+/// `CHAOS_PROBS`): every-iteration vs every-4-iterations rollback
+/// targets.
+const CHAOS_CKPT_INTERVALS: [usize; 2] = [1, 4];
 
 fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
     generators::preferential_attachment_crawled(n, 3, 1, 1, 0.95, 40, seed)
@@ -206,6 +212,193 @@ fn simulated_async_replay_completes_the_same_graph_under_failures() {
             .with_failures(FailurePlan::transient(prob))
             .run_async_schedule(&schedule);
         assert_eq!(faulty, again, "p = {prob}: failure replay must be deterministic");
+    }
+}
+
+#[test]
+fn pagerank_node_failure_rollback_matches_the_failure_free_barrier_driver_bitwise() {
+    // The PR-5 headline: node-level correlated failures force *real
+    // rollback* — delivered iterations are re-executed from the last
+    // checkpoint — and recovery is still invisible in the result. The
+    // oracle is the failure-free *barrier* driver, so the assertion
+    // spans the async schedule, the checkpoint subsystem, and the
+    // rollback engine at once, across every (interval, probability)
+    // cell of the CI matrix.
+    let g = crawl_graph(900, 4);
+    let parts = MultilevelKWay::default().partition(&g, 6);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig::default();
+
+    let mut engine = Engine::in_process(&pool);
+    let barrier = pagerank::run_eager(&mut engine, &g, &parts, &cfg);
+
+    for k in CHAOS_CKPT_INTERVALS {
+        for prob in CHAOS_PROBS {
+            for seed in CHAOS_SEEDS {
+                let faulty = pagerank::run_async_with_node_failures(
+                    &pool,
+                    &g,
+                    &parts,
+                    &cfg,
+                    0,
+                    CheckpointPolicy::EveryK(k),
+                    NodeFailurePlan::correlated(prob, 3, seed),
+                );
+                assert!(
+                    faulty.report.rollbacks > 0,
+                    "k = {k}, p = {prob}, seed {seed}: node deaths must actually fire"
+                );
+                assert!(
+                    faulty.report.checkpoint_bytes > 0,
+                    "k = {k}: checkpoints must be declared and metered"
+                );
+                assert_eq!(
+                    faulty.report.global_iterations, barrier.report.global_iterations,
+                    "k = {k}, p = {prob}, seed {seed}: rollback must not change the iteration count"
+                );
+                assert_eq!(
+                    faulty.report.local_syncs, barrier.report.local_syncs,
+                    "contributing-work meters must exclude rolled-back executions"
+                );
+                for (v, (a, b)) in faulty.ranks.iter().zip(&barrier.ranks).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "k = {k}, p = {prob}, seed {seed}, vertex {v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_node_failure_rollback_matches_the_failure_free_barrier_driver_bitwise() {
+    let g = crawl_graph(800, 12);
+    let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 5);
+    let parts = MultilevelKWay::default().partition(wg.graph(), 6);
+    let pool = ThreadPool::new(4);
+    let cfg = SsspConfig::default();
+
+    let mut engine = Engine::in_process(&pool);
+    let barrier = sssp::run_eager(&mut engine, &wg, &parts, &cfg);
+
+    for k in CHAOS_CKPT_INTERVALS {
+        for prob in CHAOS_PROBS {
+            let faulty = sssp::run_async_with_node_failures(
+                &pool,
+                &wg,
+                &parts,
+                &cfg,
+                0,
+                CheckpointPolicy::EveryK(k),
+                NodeFailurePlan::correlated(prob, 3, 42),
+            );
+            assert!(faulty.report.rollbacks > 0, "k = {k}, p = {prob}: must fire");
+            assert_eq!(faulty.report.global_iterations, barrier.report.global_iterations);
+            for (v, (a, b)) in faulty.distances.iter().zip(&barrier.distances).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                    "k = {k}, p = {prob}, vertex {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn node_failure_rollback_under_staleness_still_reaches_the_fixed_point() {
+    let g = crawl_graph(700, 6);
+    let parts = MultilevelKWay::default().partition(&g, 5);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+    let exact = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+    for lag in [1usize, 3] {
+        let faulty = pagerank::run_async_with_node_failures(
+            &pool,
+            &g,
+            &parts,
+            &cfg,
+            lag,
+            CheckpointPolicy::EveryK(2),
+            NodeFailurePlan::correlated(0.15, 3, 17),
+        );
+        assert!(faulty.report.converged, "lag {lag} under node failures must still converge");
+        let diff = pagerank::inf_norm_diff(&exact.ranks, &faulty.ranks);
+        assert!(diff < 1e-6, "lag {lag} under node failures drifted the fixed point by {diff}");
+    }
+}
+
+#[test]
+fn byte_budget_checkpoints_recover_like_interval_checkpoints() {
+    // The second policy flavor, end to end: a byte-budgeted policy
+    // declares checkpoints off delivered state volume instead of a
+    // fixed interval, and rollback recovery is just as invisible.
+    let g = crawl_graph(800, 9);
+    let parts = MultilevelKWay::default().partition(&g, 6);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig::default();
+    let clean = pagerank::run_async(&pool, &g, &parts, &cfg, 0);
+    // ~800 vertices × 16 bytes/vertex ≈ 12.8 KB per iteration: a 40 KB
+    // budget declares roughly every 3rd iteration.
+    let faulty = pagerank::run_async_with_node_failures(
+        &pool,
+        &g,
+        &parts,
+        &cfg,
+        0,
+        CheckpointPolicy::ByteBudget(40 << 10),
+        NodeFailurePlan::correlated(0.2, 3, 1007),
+    );
+    assert!(faulty.report.rollbacks > 0, "node deaths must fire");
+    assert!(faulty.report.checkpoint_bytes > 0, "the budget must declare checkpoints");
+    assert_eq!(clean.report.global_iterations, faulty.report.global_iterations);
+    for (v, (a, b)) in clean.ranks.iter().zip(&faulty.ranks).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "vertex {v} diverged under byte-budget rollback");
+    }
+}
+
+#[test]
+fn simulated_node_death_replay_is_deterministic_and_meters_rollback() {
+    let g = crawl_graph(900, 4);
+    let parts = MultilevelKWay::default().partition(&g, 6);
+    let pool = ThreadPool::new(4);
+    let cfg = PageRankConfig::default();
+    let schedule = pagerank::run_async(&pool, &g, &parts, &cfg, 0).report.schedule;
+
+    let clean = Simulation::new(ClusterSpec::ec2_2010(), 7).run_async_schedule(&schedule);
+    assert_eq!(clean.node_failures, 0);
+    assert_eq!(clean.rollback_time, SimTime::ZERO);
+
+    for k in CHAOS_CKPT_INTERVALS {
+        for prob in CHAOS_PROBS {
+            let plan = SimNodeFailurePlan::correlated(prob, k, 42);
+            let faulty = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_node_failures(plan.clone())
+                .run_async_schedule(&schedule);
+            // Same dependency graph, fully completed, in order.
+            assert_eq!(faulty.tasks, schedule.len());
+            for (i, t) in schedule.iter().enumerate() {
+                for &d in &t.deps {
+                    assert!(
+                        faulty.task_finish[d] < faulty.task_finish[i],
+                        "k = {k}, p = {prob}: task {i} outran its dependency {d}"
+                    );
+                }
+            }
+            assert!(faulty.node_failures > 0, "k = {k}, p = {prob}: deaths must fire");
+            assert!(faulty.rollback_time > SimTime::ZERO, "rollback must be metered");
+            assert!(
+                faulty.duration >= clean.duration,
+                "k = {k}, p = {prob}: node deaths cannot make the replay faster"
+            );
+            // Byte-identical schedules on identical inputs — the
+            // determinism contract the acceptance criteria pin.
+            let again = Simulation::new(ClusterSpec::ec2_2010(), 7)
+                .with_node_failures(plan)
+                .run_async_schedule(&schedule);
+            assert_eq!(faulty, again, "k = {k}, p = {prob}: replay must be deterministic");
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use asyncmr::apps::kmeans;
 use asyncmr::apps::pagerank::{self, PageRankConfig};
 use asyncmr::apps::sssp::{self, SsspConfig};
-use asyncmr::core::{Engine, SessionFailurePlan};
+use asyncmr::core::{CheckpointPolicy, Engine, NodeFailurePlan, SessionFailurePlan};
 use asyncmr::graph::{CsrGraph, WeightedGraph};
 use asyncmr::partition::{
     BfsPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RangePartitioner,
@@ -199,6 +199,79 @@ proptest! {
         let faulty = sssp::run_async_with_failures(
             &pool, &wg, &parts, &cfg, max_lag,
             SessionFailurePlan::transient(0.25, fseed ^ 0xC0FFEE),
+        );
+        prop_assert!(faulty.report.converged);
+        for (v, (&d, &t)) in faulty.distances.iter().zip(&truth).enumerate() {
+            prop_assert!((d - t).abs() < 1e-9 || (d.is_infinite() && t.is_infinite()),
+                "vertex {} got {} want {}", v, d, t);
+        }
+    }
+
+    /// Node-failure chaos property: for random partition topologies,
+    /// checkpoint intervals, node-failure seeds, and every staleness
+    /// bound in {0, 1, 2, 3}, asynchronous PageRank under correlated
+    /// node death + checkpoint/rollback recovery converges to the same
+    /// fixed point as the failure-free run — and at `max_lag = 0`,
+    /// **byte-identically to the failure-free barrier driver** (the
+    /// rollback engine re-executes pure gmaps from a coordinated
+    /// checkpoint cut, so recovery is invisible in the result).
+    #[test]
+    fn pagerank_node_failure_rollback_recovers_byte_identically(
+        (n, edges) in arb_graph(),
+        k in 1usize..5,
+        max_lag in 0usize..4,
+        ckpt_k in 1usize..5,
+        fseed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let parts = BfsPartitioner { seed: fseed }.partition(&g, k);
+        let pool = ThreadPool::new(2);
+        let cfg = PageRankConfig { tolerance: 1e-8, ..Default::default() };
+        let clean = pagerank::run_async(&pool, &g, &parts, &cfg, max_lag);
+        let faulty = pagerank::run_async_with_node_failures(
+            &pool, &g, &parts, &cfg, max_lag,
+            CheckpointPolicy::EveryK(ckpt_k),
+            NodeFailurePlan::correlated(0.25, 1 + (fseed as usize % 4), fseed),
+        );
+        prop_assert!(clean.report.converged && faulty.report.converged);
+        if max_lag == 0 {
+            // The barrier driver is the oracle: recovery must leave the
+            // async session indistinguishable from a clean barrier run.
+            let mut engine = Engine::in_process(&pool);
+            let barrier = pagerank::run_eager(&mut engine, &g, &parts, &cfg);
+            prop_assert_eq!(faulty.report.global_iterations, barrier.report.global_iterations);
+            for (v, (a, b)) in faulty.ranks.iter().zip(&barrier.ranks).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(),
+                    "vertex {}: faulty {} vs barrier {}", v, a, b);
+            }
+        } else {
+            let diff = pagerank::inf_norm_diff(&faulty.ranks, &clean.ranks);
+            prop_assert!(diff < 1e-5,
+                "lag {} node-failure rollback drifted the fixed point by {}", max_lag, diff);
+        }
+    }
+
+    /// The same node-failure property for SSSP against Dijkstra: min is
+    /// exact, so rollback recovery never moves a distance bit at any
+    /// staleness bound or checkpoint interval.
+    #[test]
+    fn sssp_node_failure_rollback_distances_stay_exact(
+        (n, edges) in arb_graph(),
+        k in 1usize..5,
+        max_lag in 0usize..4,
+        ckpt_k in 1usize..5,
+        fseed in 0u64..1000,
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let wg = WeightedGraph::random_weights(g, 0.5, 20.0, fseed);
+        let parts = BfsPartitioner { seed: fseed }.partition(wg.graph(), k);
+        let truth = sssp::reference::dijkstra(&wg, 0);
+        let pool = ThreadPool::new(2);
+        let cfg = SsspConfig::default();
+        let faulty = sssp::run_async_with_node_failures(
+            &pool, &wg, &parts, &cfg, max_lag,
+            CheckpointPolicy::EveryK(ckpt_k),
+            NodeFailurePlan::correlated(0.25, 1 + (fseed as usize % 3), fseed ^ 0xBEEF),
         );
         prop_assert!(faulty.report.converged);
         for (v, (&d, &t)) in faulty.distances.iter().zip(&truth).enumerate() {
