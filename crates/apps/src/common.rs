@@ -14,6 +14,13 @@ use asyncmr_core::hash::StableHashMap;
 use asyncmr_graph::{CsrGraph, NodeId, WeightedGraph};
 use asyncmr_partition::Partitioning;
 
+/// Local-iteration cap for the flat session kernels — must equal
+/// [`asyncmr_core::local::LocalAlgorithm::max_local_iterations`]'s
+/// default (which the eager formulations use) for the session drivers
+/// to stay byte-identical to the barrier path. Pinned by the
+/// `session_equivalence` integration tests.
+pub(crate) const MAX_LOCAL_PASSES: usize = 10_000;
+
 /// One partition's view of the graph.
 #[derive(Debug, Clone)]
 pub struct GraphPartition {

@@ -26,19 +26,25 @@ use asyncmr_core::prelude::*;
 use asyncmr_graph::{CsrGraph, NodeId};
 use asyncmr_partition::Partitioning;
 
-use super::{initial_remote_in, slice_by_partition, PageRankConfig, PageRankOutcome, PrMsg};
+use super::{initial_remote_in, PageRankConfig, PageRankOutcome, PrMsg};
 use crate::common::GraphPartition;
 
 /// `gmap` input: the partition view plus this global iteration's state.
+///
+/// The state vectors are *global* (indexed by vertex id) and shared
+/// across all partition inputs via `Arc`, so building one iteration's
+/// inputs is O(k) pointer bumps rather than O(n) copies; each task
+/// reads only its owned slots.
 #[derive(Debug, Clone)]
 pub struct PrEagerInput {
     /// The partition.
     pub part: Arc<GraphPartition>,
-    /// Current ranks of `part.nodes` (same order).
-    pub ranks: Vec<f64>,
-    /// Frozen remote contribution sum per owned vertex: `Σ_{(s,d)∈E,
-    /// s ∉ part} PR(s)/outdeg(s)` as of the last global sync.
-    pub remote_in: Vec<f64>,
+    /// Current ranks, indexed by global vertex id, shared read-only.
+    pub ranks: Arc<Vec<f64>>,
+    /// Frozen remote contribution sum, indexed by global vertex id:
+    /// `Σ_{(s,d)∈E, s ∉ part(d)} PR(s)/outdeg(s)` as of the last
+    /// global sync. Shared read-only.
+    pub remote_in: Arc<Vec<f64>>,
 }
 
 /// The paper's `lmap`/`lreduce` pair for PageRank.
@@ -65,8 +71,7 @@ impl LocalAlgorithm for PrLocalAlgorithm {
             .part
             .nodes
             .iter()
-            .zip(&input.ranks)
-            .map(|(&v, &r)| (v, PrMsg::Contrib(r))) // state stores ranks
+            .map(|&v| (v, PrMsg::Contrib(input.ranks[v as usize]))) // state stores ranks
             .collect()
     }
 
@@ -106,8 +111,7 @@ impl LocalAlgorithm for PrLocalAlgorithm {
         values: &[PrMsg],
         ctx: &mut LocalReduceContext<NodeId, PrMsg>,
     ) {
-        let li = input.part.local_index[key];
-        let mut sum = input.remote_in[li as usize];
+        let mut sum = input.remote_in[*key as usize];
         for msg in values {
             if let PrMsg::Contrib(c) = msg {
                 sum += c;
@@ -147,7 +151,7 @@ impl LocalAlgorithm for PrLocalAlgorithm {
             // Converged local contribution sum, recovered from Eq. 1:
             // rank = (1−χ) + χ·(S_local + remote_in)  ⇒  S_local = …
             let s_local =
-                (rank - (1.0 - self.damping)) / self.damping - input.remote_in[li as usize];
+                (rank - (1.0 - self.damping)) / self.damping - input.remote_in[v as usize];
             ctx.emit_intermediate(v, PrMsg::LocalSum(s_local));
             let deg = part.out_degree[li as usize];
             ctx.add_ops(1 + (deg - part.internal_degree(li)) as u64);
@@ -205,8 +209,9 @@ pub fn run_eager(
 ) -> PageRankOutcome {
     let partitions = GraphPartition::build(graph, parts);
     let n = graph.num_nodes();
-    let mut ranks = vec![1.0f64; n];
-    let mut remote_in = initial_remote_in(&partitions, &ranks, n);
+    let init = vec![1.0f64; n];
+    let mut remote_in = Arc::new(initial_remote_in(&partitions, &init, n));
+    let mut ranks = Arc::new(init);
     let algo = PrLocalAlgorithm {
         damping: cfg.damping,
         // The inner solve stops when successive local iterates differ
@@ -218,24 +223,30 @@ pub fn run_eager(
     };
     let gmap = EagerMapper::new(algo);
     let greduce = PrEagerReducer { damping: cfg.damping };
-    let opts = JobOptions::with_reducers(cfg.num_reducers);
+    let opts = JobOptions::with_reducers(cfg.num_reducers).with_grouping(cfg.grouping);
 
     let driver = FixedPointDriver::new(cfg.max_iterations);
     let report = driver.run(engine, |engine, iter| {
-        let rank_slices = slice_by_partition(&ranks, &partitions);
-        let remote_slices = slice_by_partition(&remote_in, &partitions);
         let inputs: Vec<PrEagerInput> = partitions
             .iter()
-            .zip(rank_slices.into_iter().zip(remote_slices))
-            .map(|(part, (r, m))| PrEagerInput { part: Arc::clone(part), ranks: r, remote_in: m })
+            .map(|part| PrEagerInput {
+                part: Arc::clone(part),
+                ranks: Arc::clone(&ranks),
+                remote_in: Arc::clone(&remote_in),
+            })
             .collect();
         let out =
             engine.run(&format!("pagerank-eager-iter{iter}"), &inputs, &gmap, &greduce, &opts);
+        // Dropping the inputs makes the state vectors unique again, so
+        // the refresh below mutates in place instead of copying.
+        drop(inputs);
+        let cur_ranks = Arc::make_mut(&mut ranks);
+        let cur_remote = Arc::make_mut(&mut remote_in);
         let mut diff = 0.0f64;
         for (v, (rank, remote)) in out.pairs {
-            diff = diff.max((rank - ranks[v as usize]).abs());
-            ranks[v as usize] = rank;
-            remote_in[v as usize] = remote;
+            diff = diff.max((rank - cur_ranks[v as usize]).abs());
+            cur_ranks[v as usize] = rank;
+            cur_remote[v as usize] = remote;
         }
         if diff < cfg.tolerance {
             StepStatus::Converged
@@ -243,7 +254,7 @@ pub fn run_eager(
             StepStatus::Continue
         }
     });
-    PageRankOutcome { ranks, report }
+    PageRankOutcome { ranks: Arc::try_unwrap(ranks).unwrap_or_else(|a| (*a).clone()), report }
 }
 
 #[cfg(test)]

@@ -104,7 +104,7 @@ pub fn run_general(
     let n = graph.num_nodes();
     let mut ranks = vec![1.0f64; n];
     let reducer = PrGeneralReducer { damping: cfg.damping };
-    let opts = JobOptions::with_reducers(cfg.num_reducers);
+    let opts = JobOptions::with_reducers(cfg.num_reducers).with_grouping(cfg.grouping);
 
     let driver = FixedPointDriver::new(cfg.max_iterations);
     let report = driver.run(engine, |engine, iter| {

@@ -43,11 +43,20 @@ pub struct PageRankConfig {
     pub max_iterations: usize,
     /// Reduce tasks per job (paper testbed: 16 reduce slots).
     pub num_reducers: usize,
+    /// Shuffle grouping strategy for the barrier jobs (byte-identical
+    /// output either way; radix wins when duplicate keys dominate).
+    pub grouping: asyncmr_core::GroupingStrategy,
 }
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-5, max_iterations: 500, num_reducers: 16 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-5,
+            max_iterations: 500,
+            num_reducers: 16,
+            grouping: asyncmr_core::GroupingStrategy::Sort,
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 //! partial synchronization, but still runs one barrier job per global
 //! iteration: iteration *i+1* of every partition waits for the
 //! *slowest* partition of iteration *i*. Here the same computation —
-//! the identical [`PrLocalAlgorithm`] local solve and the identical
-//! `greduce` arithmetic — is expressed as an
+//! a flat-CSR replay of the [`super::eager::PrLocalAlgorithm`] local
+//! solve and the identical `greduce` arithmetic — is expressed as an
 //! [`AsyncIterative`] so the [`AsyncFixedPointDriver`] can start a
 //! partition's next iteration the moment the boundary contributions it
 //! actually depends on (the partitions with cross edges into it, per
@@ -23,13 +23,12 @@ use std::sync::Arc;
 
 use asyncmr_core::prelude::*;
 use asyncmr_core::session::SessionReport;
-use asyncmr_graph::{CsrGraph, NodeId};
+use asyncmr_graph::CsrGraph;
 use asyncmr_partition::Partitioning;
 use asyncmr_runtime::ThreadPool;
 
-use super::eager::{PrEagerInput, PrLocalAlgorithm};
 use super::{initial_remote_in, PageRankConfig, PrMsg};
-use crate::common::{GraphPartition, PartitionTopology};
+use crate::common::{GraphPartition, PartitionTopology, MAX_LOCAL_PASSES};
 
 /// Per-partition session state: owned ranks plus the frozen remote
 /// contribution sum per owned vertex (what the barrier formulation
@@ -47,12 +46,20 @@ pub struct PrPartitionState {
 pub type PrAsyncMsg = (u32, f64);
 
 /// PageRank expressed for cross-iteration eager scheduling.
+///
+/// The local solve is a *flat* CSR kernel: dense `f64` rank arrays
+/// indexed by partition-local vertex id, swept in ascending CSR order —
+/// no per-pass `BTreeMap` state, no intermediate key/value
+/// materialization. It replays the keyed
+/// [`super::eager::PrLocalAlgorithm`] solve bitwise (same fold order,
+/// same meters), which is what keeps the `max_lag = 0` byte-identity
+/// contract with [`super::run_eager`] intact.
 pub struct PrAsync {
     partitions: Vec<Arc<GraphPartition>>,
     topology: PartitionTopology,
-    gmap: EagerMapper<PrLocalAlgorithm>,
     damping: f64,
     tolerance: f64,
+    local_tolerance: f64,
     init: Vec<PrPartitionState>,
 }
 
@@ -73,18 +80,14 @@ impl PrAsync {
                 remote_in: p.nodes.iter().map(|&v| remote[v as usize]).collect(),
             })
             .collect();
-        let algo = PrLocalAlgorithm {
-            damping: cfg.damping,
-            // Same inner tolerance derivation as `run_eager` — required
-            // for byte-identity of the local solves.
-            local_tolerance: cfg.tolerance * (1.0 - cfg.damping) * 0.5,
-        };
         PrAsync {
             partitions,
             topology,
-            gmap: EagerMapper::new(algo),
             damping: cfg.damping,
             tolerance: cfg.tolerance,
+            // Same inner tolerance derivation as `run_eager` — required
+            // for byte-identity of the local solves.
+            local_tolerance: cfg.tolerance * (1.0 - cfg.damping) * 0.5,
             init,
         }
     }
@@ -113,51 +116,100 @@ impl AsyncIterative for PrAsync {
         self.init[p].clone()
     }
 
+    // Indexed loops are the point here: each is a dense CSR window
+    // sweep whose accumulation order is the byte-identity contract with
+    // the keyed path, and the negated `<` keeps NaN iterates spinning
+    // exactly like `locally_converged` does.
+    #[allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
     fn gmap(
         &self,
         p: usize,
         _iteration: usize,
         state: &PrPartitionState,
-    ) -> GmapOutput<Vec<f64>, PrAsyncMsg> {
-        // The exact gmap the barrier engine runs: iterate the partition
+        outbox: &mut Outbox<PrAsyncMsg>,
+    ) -> GmapOutput<Vec<f64>> {
+        // The same gmap the barrier engine runs — iterate the partition
         // to its local PageRank fixpoint, then emit the owner's local
-        // sums plus one boundary contribution per cross edge.
-        let input = PrEagerInput {
-            part: Arc::clone(&self.partitions[p]),
-            ranks: state.ranks.clone(),
-            remote_in: state.remote_in.clone(),
-        };
-        let mut ctx: MapContext<NodeId, PrMsg> = MapContext::default();
-        Mapper::map(&self.gmap, p, &input, &mut ctx);
-        let (pairs, meter, records, bytes) = ctx.finish();
-
+        // sums plus one boundary contribution per cross edge — but as a
+        // flat CSR sweep over dense rank arrays. Bitwise equal to the
+        // keyed `EagerMapper<PrLocalAlgorithm>` path: the keyed lreduce
+        // folds, per target, the frozen remote seed then internal
+        // contributions in ascending-source emission order, which is
+        // exactly this sweep's accumulation order; its keep-alive
+        // Contrib(0.0) adds are bitwise no-ops (every accumuland is
+        // ≥ +0.0), so skipping them changes nothing.
         let part = &self.partitions[p];
-        let k = self.partitions.len();
-        let mut update = Vec::with_capacity(part.len());
-        let mut per_dest: Vec<Vec<PrAsyncMsg>> = vec![Vec::new(); k];
-        let mut msg_records = 0u64;
-        let mut msg_bytes = 0u64;
-        for (v, msg) in pairs {
-            match msg {
-                PrMsg::LocalSum(s) => update.push(s), // emitted in local-index order
-                PrMsg::Contrib(c) => {
-                    let dest = self.topology.owner[v as usize] as usize;
-                    per_dest[dest].push((self.topology.local[v as usize], c));
-                    msg_records += 1;
-                    msg_bytes += msg.approx_bytes();
+        let n = part.len();
+        let m_int = part.internal_targets.len() as u64;
+        // Working copy: `state` is shared history and must stay frozen.
+        let mut cur = state.ranks.clone();
+        let mut next = vec![0.0f64; n];
+        let mut ops = 0u64;
+        let mut passes = 0u64;
+        for _ in 0..MAX_LOCAL_PASSES {
+            next.copy_from_slice(&state.remote_in);
+            for li in 0..n {
+                let deg = part.out_degree[li];
+                if deg == 0 {
+                    continue;
+                }
+                let c = cur[li] / deg as f64;
+                let lo = part.internal_offsets[li] as usize;
+                let hi = part.internal_offsets[li + 1] as usize;
+                for &lt in &part.internal_targets[lo..hi] {
+                    next[lt as usize] += c;
                 }
             }
+            let mut done = true;
+            for li in 0..n {
+                let r = (1.0 - self.damping) + self.damping * next[li];
+                // Strict `<` as in `locally_converged`: a NaN iterate
+                // fails the test and keeps iterating, like the keyed
+                // path.
+                if !((cur[li] - r).abs() < self.local_tolerance) {
+                    done = false;
+                }
+                next[li] = r;
+            }
+            std::mem::swap(&mut cur, &mut next);
+            passes += 1;
+            // Per pass the keyed path meters lmap ops (1 + deg_int per
+            // vertex), emitted records (keep-alive + internal
+            // contributions) and lreduce ops (values.len() per key) —
+            // each totalling n + m_int.
+            ops += 3 * (n as u64 + m_int);
+            if done {
+                break;
+            }
         }
-        let outbox: Vec<(usize, Vec<PrAsyncMsg>)> =
-            per_dest.into_iter().enumerate().filter(|(_, msgs)| !msgs.is_empty()).collect();
-        debug_assert_eq!(update.len(), part.len());
-        let _ = (records, bytes); // cross-partition volume is what the replay bills
+        // Finalize: recover each vertex's converged local contribution
+        // sum from Eq. 1 and push one boundary contribution per cross
+        // edge, in (local id, cross-CSR) order.
+        let mut update = Vec::with_capacity(n);
+        let mut msg_records = 0u64;
+        let mut msg_bytes = 0u64;
+        for li in 0..n {
+            let rank = cur[li];
+            let s_local = (rank - (1.0 - self.damping)) / self.damping - state.remote_in[li];
+            update.push(s_local);
+            let deg = part.out_degree[li];
+            ops += 1 + (deg - part.internal_degree(li as u32)) as u64;
+            if deg == 0 {
+                continue;
+            }
+            let c = rank / deg as f64;
+            for (t, _) in part.cross_edges(li as u32) {
+                let dest = self.topology.owner[t as usize] as usize;
+                outbox.push(dest, (self.topology.local[t as usize], c));
+                msg_records += 1;
+                msg_bytes += PrMsg::Contrib(c).approx_bytes();
+            }
+        }
         GmapOutput {
             update,
-            outbox,
-            ops: meter.ops(),
-            local_syncs: meter.local_syncs(),
-            input_bytes: meter.input_bytes(),
+            ops,
+            local_syncs: passes,
+            input_bytes: part.approx_bytes(),
             msg_records,
             msg_bytes,
         }

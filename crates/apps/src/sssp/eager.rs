@@ -20,16 +20,22 @@ use asyncmr_graph::{NodeId, WeightedGraph};
 use asyncmr_partition::Partitioning;
 
 use super::general::SpMinReducer;
-use super::{distances_equal, SsspConfig, SsspOutcome};
+use super::{SsspConfig, SsspOutcome};
 use crate::common::GraphPartition;
 
-/// `gmap` input: the partition view plus current owned distances.
+/// `gmap` input: the partition view plus the current distances.
+///
+/// The distance vector is *global* (indexed by vertex id) and shared
+/// across all partition inputs via `Arc` — building one iteration's
+/// inputs is O(k) pointer bumps, not O(n) copies; each task reads only
+/// its owned slots.
 #[derive(Debug, Clone)]
 pub struct SpEagerInput {
     /// The partition (with edge weights).
     pub part: Arc<GraphPartition>,
-    /// Current best distances of `part.nodes`, same order.
-    pub dists: Vec<f64>,
+    /// Current best distances, indexed by global vertex id, shared
+    /// read-only.
+    pub dists: Arc<Vec<f64>>,
 }
 
 /// `lmap`/`lreduce` pair: local Bellman-Ford.
@@ -47,7 +53,7 @@ impl LocalAlgorithm for SpLocalAlgorithm {
     }
 
     fn init_state(&self, _task: usize, input: &SpEagerInput) -> Vec<(NodeId, f64)> {
-        input.part.nodes.iter().zip(&input.dists).map(|(&v, &d)| (v, d)).collect()
+        input.part.nodes.iter().map(|&v| (v, input.dists[v as usize])).collect()
     }
 
     fn lmap(
@@ -133,37 +139,44 @@ pub fn run_eager(
 ) -> SsspOutcome {
     let partitions = GraphPartition::build_weighted(graph, parts);
     let n = graph.num_nodes();
-    let mut dists = vec![f64::INFINITY; n];
+    let mut init = vec![f64::INFINITY; n];
     if n > 0 {
-        dists[cfg.source as usize] = 0.0;
+        init[cfg.source as usize] = 0.0;
     }
+    let mut dists = Arc::new(init);
     let gmap = EagerMapper::new(SpLocalAlgorithm);
-    let opts = JobOptions::with_reducers(cfg.num_reducers);
+    let opts = JobOptions::with_reducers(cfg.num_reducers).with_grouping(cfg.grouping);
 
     let driver = FixedPointDriver::new(cfg.max_iterations);
     let report = driver.run(engine, |engine, iter| {
         let inputs: Vec<SpEagerInput> = partitions
             .iter()
-            .map(|p| SpEagerInput {
-                part: Arc::clone(p),
-                dists: p.nodes.iter().map(|&v| dists[v as usize]).collect(),
-            })
+            .map(|p| SpEagerInput { part: Arc::clone(p), dists: Arc::clone(&dists) })
             .collect();
         let out =
             engine.run(&format!("sssp-eager-iter{iter}"), &inputs, &gmap, &SpMinReducer, &opts);
-        let mut new_dists = dists.clone();
+        // Dropping the inputs makes the distance vector unique again,
+        // so the refresh mutates in place. Every vertex is re-emitted
+        // every iteration (self-proposal keep-alives), so an in-place
+        // compare-and-set over the pairs is the old full-vector
+        // `distances_equal` check.
+        drop(inputs);
+        let cur = Arc::make_mut(&mut dists);
+        let mut done = true;
         for (v, d) in out.pairs {
-            new_dists[v as usize] = d;
+            let slot = &mut cur[v as usize];
+            if !(*slot == d || (slot.is_infinite() && d.is_infinite())) {
+                done = false;
+            }
+            *slot = d;
         }
-        let done = distances_equal(&dists, &new_dists);
-        dists = new_dists;
         if done {
             StepStatus::Converged
         } else {
             StepStatus::Continue
         }
     });
-    SsspOutcome { distances: dists, report }
+    SsspOutcome { distances: Arc::try_unwrap(dists).unwrap_or_else(|a| (*a).clone()), report }
 }
 
 #[cfg(test)]

@@ -91,7 +91,7 @@ pub fn run_general(
     if n > 0 {
         dists[cfg.source as usize] = 0.0;
     }
-    let opts = JobOptions::with_reducers(cfg.num_reducers);
+    let opts = JobOptions::with_reducers(cfg.num_reducers).with_grouping(cfg.grouping);
 
     let driver = FixedPointDriver::new(cfg.max_iterations);
     let report = driver.run(engine, |engine, iter| {

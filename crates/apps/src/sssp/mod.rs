@@ -34,11 +34,19 @@ pub struct SsspConfig {
     pub max_iterations: usize,
     /// Reduce tasks per job.
     pub num_reducers: usize,
+    /// Shuffle grouping strategy for the barrier jobs (byte-identical
+    /// output either way; radix wins when duplicate keys dominate).
+    pub grouping: asyncmr_core::GroupingStrategy,
 }
 
 impl Default for SsspConfig {
     fn default() -> Self {
-        SsspConfig { source: 0, max_iterations: 10_000, num_reducers: 16 }
+        SsspConfig {
+            source: 0,
+            max_iterations: 10_000,
+            num_reducers: 16,
+            grouping: asyncmr_core::GroupingStrategy::Sort,
+        }
     }
 }
 

@@ -1,7 +1,9 @@
 //! Asynchronous SSSP — the barrier-free session formulation.
 //!
-//! Same decomposition as [`crate::pagerank::session`]: the
-//! [`SpLocalAlgorithm`] Bellman-Ford local solve is unchanged, and the
+//! Same decomposition as [`crate::pagerank::session`]: the gmap is a
+//! flat-CSR replay of the [`super::eager::SpLocalAlgorithm`]
+//! Bellman-Ford local solve (dense distance arrays, no keyed
+//! intermediate state), and the
 //! global min-reduce is sliced per owner partition into
 //! [`AsyncIterative::absorb`]. SSSP is the friendliest possible case
 //! for asynchrony — min is monotone, idempotent, and exact in floating
@@ -13,13 +15,12 @@ use std::sync::Arc;
 
 use asyncmr_core::prelude::*;
 use asyncmr_core::session::SessionReport;
-use asyncmr_graph::{NodeId, WeightedGraph};
+use asyncmr_graph::WeightedGraph;
 use asyncmr_partition::Partitioning;
 use asyncmr_runtime::ThreadPool;
 
-use super::eager::{SpEagerInput, SpLocalAlgorithm};
 use super::{distances_equal, SsspConfig};
-use crate::common::{GraphPartition, PartitionTopology};
+use crate::common::{GraphPartition, PartitionTopology, MAX_LOCAL_PASSES};
 
 /// One cross-partition relaxation:
 /// `(destination-local vertex index, proposed distance)`.
@@ -29,7 +30,6 @@ pub type SpAsyncMsg = (u32, f64);
 pub struct SpAsync {
     partitions: Vec<Arc<GraphPartition>>,
     topology: PartitionTopology,
-    gmap: EagerMapper<SpLocalAlgorithm>,
     init: Vec<Vec<f64>>,
 }
 
@@ -48,7 +48,7 @@ impl SpAsync {
             .iter()
             .map(|p| p.nodes.iter().map(|&v| dists[v as usize]).collect())
             .collect();
-        SpAsync { partitions, topology, gmap: EagerMapper::new(SpLocalAlgorithm), init }
+        SpAsync { partitions, topology, init }
     }
 
     /// The partition views (for scattering final states back).
@@ -74,40 +74,89 @@ impl AsyncIterative for SpAsync {
         self.init[p].clone()
     }
 
+    // Indexed loops are the point here: each is a dense CSR window
+    // sweep whose accumulation order is the byte-identity contract with
+    // the keyed path, and the negated `<` keeps NaN iterates spinning
+    // exactly like `locally_converged` does.
+    #[allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
     fn gmap(
         &self,
         p: usize,
         _iteration: usize,
         state: &Vec<f64>,
-    ) -> GmapOutput<Vec<f64>, SpAsyncMsg> {
-        let input = SpEagerInput { part: Arc::clone(&self.partitions[p]), dists: state.clone() };
-        let mut ctx: MapContext<NodeId, f64> = MapContext::default();
-        Mapper::map(&self.gmap, p, &input, &mut ctx);
-        let (pairs, meter, _records, _bytes) = ctx.finish();
-
+        outbox: &mut Outbox<SpAsyncMsg>,
+    ) -> GmapOutput<Vec<f64>> {
+        // Local Bellman-Ford as a flat CSR sweep over dense distance
+        // arrays. Min is exact and order-insensitive in floating point,
+        // so the sweep is bitwise equal to the keyed
+        // `EagerMapper<SpLocalAlgorithm>` fold it replaces; the meters
+        // reproduce the keyed path's accounting (self-proposal per
+        // vertex, internal relaxations only from finite sources).
         let part = &self.partitions[p];
-        let k = self.partitions.len();
-        let mut update = Vec::with_capacity(part.len());
-        let mut per_dest: Vec<Vec<SpAsyncMsg>> = vec![Vec::new(); k];
-        let mut msg_records = 0u64;
-        for (v, d) in pairs {
-            let dest = self.topology.owner[v as usize] as usize;
-            if dest == p {
-                update.push(d); // own distances, emitted in local order
-            } else {
-                per_dest[dest].push((self.topology.local[v as usize], d));
-                msg_records += 1;
+        let n = part.len();
+        // Working copy: `state` is shared history and must stay frozen.
+        let mut cur = state.clone();
+        let mut next = vec![f64::INFINITY; n];
+        let mut ops = 0u64;
+        let mut passes = 0u64;
+        for _ in 0..MAX_LOCAL_PASSES {
+            next.fill(f64::INFINITY);
+            let mut emitted = n as u64;
+            for li in 0..n {
+                let d = cur[li];
+                next[li] = next[li].min(d); // self-proposal / keep-alive
+                if !d.is_finite() {
+                    continue;
+                }
+                emitted += part.internal_degree(li as u32) as u64;
+                let lo = part.internal_offsets[li] as usize;
+                let hi = part.internal_offsets[li + 1] as usize;
+                for (&lt, &w) in
+                    part.internal_targets[lo..hi].iter().zip(&part.internal_weights[lo..hi])
+                {
+                    let slot = &mut next[lt as usize];
+                    *slot = slot.min(d + w);
+                }
+            }
+            passes += 1;
+            // lmap ops + emitted records + lreduce ops, each equal to
+            // the number of proposals this pass.
+            ops += 3 * emitted;
+            let mut done = true;
+            for li in 0..n {
+                let (a, b) = (cur[li], next[li]);
+                if !(a == b || (a.is_infinite() && b.is_infinite())) {
+                    done = false;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            if done {
+                break;
             }
         }
-        let outbox: Vec<(usize, Vec<SpAsyncMsg>)> =
-            per_dest.into_iter().enumerate().filter(|(_, msgs)| !msgs.is_empty()).collect();
-        debug_assert_eq!(update.len(), part.len());
+        // Finalize: owned distances in local order, plus one relaxation
+        // per cross edge of each reachable vertex.
+        let mut update = Vec::with_capacity(n);
+        let mut msg_records = 0u64;
+        for li in 0..n {
+            let d = cur[li];
+            update.push(d);
+            ops += 1;
+            if !d.is_finite() {
+                continue;
+            }
+            for (t, w) in part.cross_edges(li as u32) {
+                let dest = self.topology.owner[t as usize] as usize;
+                outbox.push(dest, (self.topology.local[t as usize], d + w));
+                msg_records += 1;
+                ops += 1;
+            }
+        }
         GmapOutput {
             update,
-            outbox,
-            ops: meter.ops(),
-            local_syncs: meter.local_syncs(),
-            input_bytes: meter.input_bytes(),
+            ops,
+            local_syncs: passes,
+            input_bytes: part.approx_bytes(),
             msg_records,
             msg_bytes: msg_records * 12, // NodeId + f64 per relaxation
         }

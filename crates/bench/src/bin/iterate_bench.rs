@@ -64,6 +64,7 @@ struct AppReport {
     name: &'static str,
     iterations: usize,
     partitions: usize,
+    edges: usize,
     cut_percent: f64,
     fixpoint_diff_lag0: f64,
     fixpoint_diff_lag1: f64,
@@ -125,6 +126,17 @@ impl AppReport {
     fn sim_speedup(&self) -> f64 {
         self.barrier_sim_secs / self.async_sim_secs
     }
+    /// Edge relaxations per second of wall-clock: the workload's edge
+    /// count times its global iteration count (each global iteration
+    /// touches every edge at least once), over the measured median.
+    /// Comparable across drivers because the iteration counts are
+    /// identity-gated equal at lag 0.
+    fn barrier_edges_per_sec(&self) -> f64 {
+        (self.edges * self.iterations) as f64 / self.barrier.as_secs_f64()
+    }
+    fn async_edges_per_sec(&self) -> f64 {
+        (self.edges * self.iterations) as f64 / self.async_lag0.as_secs_f64()
+    }
 }
 
 fn median(mut times: Vec<Duration>) -> Duration {
@@ -146,6 +158,7 @@ fn bench_app(
     name: &'static str,
     pool: &ThreadPool,
     partitions: usize,
+    edges: usize,
     cut_percent: f64,
     mut run_barrier: impl FnMut(&mut Engine<'_>) -> (Vec<f64>, usize, Option<f64>),
     mut run_async: impl FnMut(usize) -> (Vec<f64>, asyncmr_core::SessionReport),
@@ -195,6 +208,7 @@ fn bench_app(
         name,
         iterations: barrier_iters,
         partitions,
+        edges,
         cut_percent,
         fixpoint_diff_lag0: diff0,
         fixpoint_diff_lag1: diff1,
@@ -408,6 +422,7 @@ fn pagerank_case(
         name,
         pool,
         k,
+        g.num_edges(),
         cut,
         |engine| {
             let out = pagerank::run_eager(engine, g, parts, &cfg);
@@ -425,10 +440,28 @@ fn pagerank_case(
 }
 
 fn main() {
-    let threads =
-        std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4)
-        });
+    let args: Vec<String> = std::env::args().collect();
+    // `--nodes N` overrides every headline workload's vertex count
+    // (defaults: 1500 / 2000 / 2500); a bare integer arg sets threads.
+    let mut nodes_override = None;
+    let mut threads = None;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--nodes" {
+            i += 1;
+            nodes_override = Some(
+                args.get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .expect("--nodes requires an integer argument"),
+            );
+        } else if threads.is_none() {
+            threads = args[i].parse::<usize>().ok();
+        }
+        i += 1;
+    }
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4)
+    });
     let pool = ThreadPool::new(threads);
     let mut reports = Vec::new();
 
@@ -436,7 +469,7 @@ fn main() {
     // iteration exchange ~all edges — the shuffle machinery the async
     // session deletes is the dominant cost.
     {
-        let g = crawl_graph(1_500, 11);
+        let g = crawl_graph(nodes_override.unwrap_or(1_500), 11);
         let parts = HashPartitioner.partition(&g, 16);
         reports.push(pagerank_case("pagerank", &pool, &g, &parts, 16));
     }
@@ -444,7 +477,7 @@ fn main() {
     // PageRank, locality partitions: the compute-dominated end — local
     // solves dwarf the exchange, so the async win shrinks (honesty row).
     {
-        let g = crawl_graph(2_000, 11);
+        let g = crawl_graph(nodes_override.unwrap_or(2_000), 11);
         let parts = MultilevelKWay::default().partition(&g, 16);
         reports.push(pagerank_case("pagerank-multilevel", &pool, &g, &parts, 16));
     }
@@ -452,7 +485,7 @@ fn main() {
     // SSSP, barrier-bound: min-relaxation is cheap, the exchange is
     // everything; min is exact so any lag is quality-free.
     {
-        let g = crawl_graph(2_500, 13);
+        let g = crawl_graph(nodes_override.unwrap_or(2_500), 13);
         let wg = WeightedGraph::random_weights(g, 1.0, 9.0, 4);
         let parts = HashPartitioner.partition(wg.graph(), 16);
         let cfg = SsspConfig::default();
@@ -461,6 +494,7 @@ fn main() {
             "sssp",
             &pool,
             16,
+            wg.graph().num_edges(),
             cut,
             |engine| {
                 let out = sssp::run_eager(engine, &wg, &parts, &cfg);
@@ -481,7 +515,7 @@ fn main() {
     // ---- Table ----
     println!("barrier vs async driver wall-clock ({threads} threads, median of {REPS} reps)");
     println!(
-        "  {:<20} {:>6} {:>6} {:>6} {:>13} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "  {:<20} {:>6} {:>6} {:>6} {:>13} {:>11} {:>11} {:>8} {:>8} {:>8} {:>10} {:>10}",
         "app",
         "iters",
         "parts",
@@ -491,11 +525,13 @@ fn main() {
         "lag1 (ms)",
         "speedup",
         "lag1 x",
-        "sim x"
+        "sim x",
+        "bar ME/s",
+        "lag0 ME/s"
     );
     for r in &reports {
         println!(
-            "  {:<20} {:>6} {:>6} {:>6.1} {:>13.2} {:>11.2} {:>11.2} {:>7.2}x {:>7.2}x {:>7.2}x",
+            "  {:<20} {:>6} {:>6} {:>6.1} {:>13.2} {:>11.2} {:>11.2} {:>7.2}x {:>7.2}x {:>7.2}x {:>10.2} {:>10.2}",
             r.name,
             r.iterations,
             r.partitions,
@@ -505,7 +541,9 @@ fn main() {
             r.async_lag1.as_secs_f64() * 1e3,
             r.speedup(),
             r.speedup_lag1(),
-            r.sim_speedup()
+            r.sim_speedup(),
+            r.barrier_edges_per_sec() / 1e6,
+            r.async_edges_per_sec() / 1e6
         );
     }
 
@@ -576,11 +614,14 @@ fn main() {
             apps_json.push_str(",\n");
         }
         apps_json.push_str(&format!(
-            "    {{\n      \"app\": \"{}\",\n      \"global_iterations\": {},\n      \"partitions\": {},\n      \"cut_percent\": {:.1},\n      \"barrier_median_secs\": {:.6},\n      \"async_lag0_median_secs\": {:.6},\n      \"async_lag1_median_secs\": {:.6},\n      \"speedup\": {:.3},\n      \"speedup_lag1\": {:.3},\n      \"fixpoint_diff_lag0\": {:.3e},\n      \"fixpoint_diff_lag1\": {:.3e},\n      \"barrier_sim_secs\": {:.1},\n      \"async_sim_secs\": {:.1},\n      \"sim_speedup\": {:.3},\n      \"speculative_tasks\": {},\n      \"wasted_gmap_secs\": {:.6}\n    }}",
+            "    {{\n      \"app\": \"{}\",\n      \"global_iterations\": {},\n      \"partitions\": {},\n      \"cut_percent\": {:.1},\n      \"edges\": {},\n      \"barrier_edges_per_sec\": {:.0},\n      \"async_lag0_edges_per_sec\": {:.0},\n      \"barrier_median_secs\": {:.6},\n      \"async_lag0_median_secs\": {:.6},\n      \"async_lag1_median_secs\": {:.6},\n      \"speedup\": {:.3},\n      \"speedup_lag1\": {:.3},\n      \"fixpoint_diff_lag0\": {:.3e},\n      \"fixpoint_diff_lag1\": {:.3e},\n      \"barrier_sim_secs\": {:.1},\n      \"async_sim_secs\": {:.1},\n      \"sim_speedup\": {:.3},\n      \"speculative_tasks\": {},\n      \"wasted_gmap_secs\": {:.6}\n    }}",
             r.name,
             r.iterations,
             r.partitions,
             r.cut_percent,
+            r.edges,
+            r.barrier_edges_per_sec(),
+            r.async_edges_per_sec(),
             r.barrier.as_secs_f64(),
             r.async_lag0.as_secs_f64(),
             r.async_lag1.as_secs_f64(),

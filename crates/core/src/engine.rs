@@ -37,6 +37,7 @@ use asyncmr_simcluster::{JobSpec, JobStats, SimTime, Simulation};
 use crate::plan::{
     self, CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings,
 };
+use crate::shuffle::GroupingStrategy;
 use crate::traits::{Combiner, Mapper, Reducer};
 
 /// Per-job knobs.
@@ -59,6 +60,10 @@ pub struct JobOptions<'c, K, V> {
     pub num_reducers: usize,
     /// Optional map-side combiner.
     pub combiner: Option<&'c dyn Combiner<Key = K, Value = V>>,
+    /// Which grouping implementation the reduce tasks use — sort-based
+    /// (default) or radix/hash-based. Both are byte-identical in
+    /// grouped output; see [`crate::shuffle::GroupingStrategy`].
+    pub grouping: GroupingStrategy,
 }
 
 impl<K, V> std::fmt::Debug for JobOptions<'_, K, V> {
@@ -66,6 +71,7 @@ impl<K, V> std::fmt::Debug for JobOptions<'_, K, V> {
         f.debug_struct("JobOptions")
             .field("num_reducers", &self.num_reducers)
             .field("combiner", &self.combiner.is_some())
+            .field("grouping", &self.grouping)
             .finish()
     }
 }
@@ -75,14 +81,14 @@ impl<K, V> Default for JobOptions<'static, K, V> {
     /// [`JobOptions::num_reducers`] for why this is safe on tiny
     /// inputs.
     fn default() -> Self {
-        JobOptions { num_reducers: 16, combiner: None }
+        JobOptions { num_reducers: 16, combiner: None, grouping: GroupingStrategy::Sort }
     }
 }
 
 impl<K, V> JobOptions<'static, K, V> {
     /// Options with `n` reducers and no combiner.
     pub fn with_reducers(n: usize) -> Self {
-        JobOptions { num_reducers: n.max(1), combiner: None }
+        JobOptions { num_reducers: n.max(1), combiner: None, grouping: GroupingStrategy::Sort }
     }
 }
 
@@ -93,7 +99,16 @@ impl<'c, K, V> JobOptions<'c, K, V> {
         C: Combiner<Key = K, Value = V>,
         'c: 'n,
     {
-        JobOptions { num_reducers: self.num_reducers, combiner: Some(combiner) }
+        JobOptions {
+            num_reducers: self.num_reducers,
+            combiner: Some(combiner),
+            grouping: self.grouping,
+        }
+    }
+
+    /// Selects the grouping strategy for this job's reduce tasks.
+    pub fn with_grouping(self, grouping: GroupingStrategy) -> Self {
+        JobOptions { grouping, ..self }
     }
 }
 
@@ -316,7 +331,11 @@ impl<'p> Engine<'p> {
         // public fields (only `with_reducers` clamps), and every
         // downstream stage assumes ≥ 1 partition. This is the single
         // clamp point for all three strategies.
-        let opts = &JobOptions { num_reducers: opts.num_reducers.max(1), combiner: opts.combiner };
+        let opts = &JobOptions {
+            num_reducers: opts.num_reducers.max(1),
+            combiner: opts.combiner,
+            grouping: opts.grouping,
+        };
         let (pairs, meter, map_specs, reduce_specs, stages) = match self.path {
             ShufflePath::Staged => self.run_staged(inputs, mapper, reducer, opts),
             ShufflePath::Pipelined => {
@@ -389,7 +408,11 @@ impl<'p> Engine<'p> {
         stages.shuffle = t.elapsed();
 
         let t = Instant::now();
-        let reduced = ReduceStage { reducer }.run(self.pool, shuffled, &self.scratch);
+        let reduced = ReduceStage { reducer, grouping: opts.grouping }.run(
+            self.pool,
+            shuffled,
+            &self.scratch,
+        );
         stages.reduce = t.elapsed();
 
         let mut meter = JobMeter {
@@ -702,7 +725,8 @@ mod tests {
         // zero through the public fields reached the stages unclamped.
         let pool = ThreadPool::new(2);
         let inputs = splits();
-        let opts: JobOptions<'static, u32, u64> = JobOptions { num_reducers: 0, combiner: None };
+        let opts: JobOptions<'static, u32, u64> =
+            JobOptions { num_reducers: 0, combiner: None, grouping: GroupingStrategy::Sort };
         for mut engine in [
             Engine::in_process(&pool),
             Engine::with_pipelined_shuffle(&pool),

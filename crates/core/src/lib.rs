@@ -103,10 +103,10 @@ pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
 pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
 pub use session::{
-    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, SessionFailurePlan,
-    SessionOutcome, SessionReport,
+    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, Outbox,
+    SessionFailurePlan, SessionOutcome, SessionReport,
 };
-pub use shuffle::{GroupView, Grouped, ShuffleScratch};
+pub use shuffle::{GroupView, Grouped, GroupingStrategy, ShuffleScratch};
 pub use traits::{Combiner, Mapper, Reducer};
 
 /// Glob import for application code.
@@ -120,8 +120,9 @@ pub mod prelude {
         EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState,
     };
     pub use crate::session::{
-        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput,
+        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, Outbox,
         SessionFailurePlan, SessionOutcome, SessionReport,
     };
+    pub use crate::shuffle::GroupingStrategy;
     pub use crate::traits::{Combiner, Mapper, Reducer};
 }

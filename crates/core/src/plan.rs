@@ -53,7 +53,7 @@ use asyncmr_simcluster::{MapTaskSpec, ReduceTaskSpec};
 
 use crate::emitter::{MapContext, ReduceContext};
 use crate::kv::{Key, Meterable, Value};
-use crate::shuffle::{self, Grouped, ShuffleScratch};
+use crate::shuffle::{self, Grouped, GroupingStrategy, ShuffleScratch};
 use crate::traits::{Combiner, Mapper, Reducer};
 
 /// Time spent in each stage of one job (in-process execution, not
@@ -422,13 +422,17 @@ pub struct ReduceTaskOutput<K, O> {
 /// let pool = ThreadPool::new(2);
 /// let arena = ScratchArena::new();
 /// let input = ReduceTaskInput { partition: 0, buckets: vec![vec![(1, 2), (1, 3)]], records: 2 };
-/// let out = ReduceStage { reducer: &Sum }.run(&pool, vec![input], &arena);
+/// let stage = ReduceStage { reducer: &Sum, grouping: Default::default() };
+/// let out = stage.run(&pool, vec![input], &arena);
 /// assert_eq!(out[0].pairs, vec![(1, 5)]);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ReduceStage<'a, R> {
     /// The user's reduce function.
     pub reducer: &'a R,
+    /// How each task's input is grouped (sort or radix — byte-identical
+    /// output; see [`GroupingStrategy`]).
+    pub grouping: GroupingStrategy,
 }
 
 impl<R: Reducer> ReduceStage<'_, R> {
@@ -442,11 +446,12 @@ impl<R: Reducer> ReduceStage<'_, R> {
         arena: &ScratchArena,
     ) -> Vec<ReduceTaskOutput<R::Key, R::Out>> {
         let reducer = self.reducer;
+        let grouping = self.grouping;
         pool.par_map_vec(inputs, |_i, task| {
             let mut scratch: ShuffleScratch<R::Key, R::ValueIn> = arena.take();
             let pairs = shuffle::concat_buckets(task.buckets, &mut scratch);
             let in_records = pairs.len() as u64;
-            let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+            let grouped = Grouped::from_pairs_using(grouping, pairs, &mut scratch);
             let mut ctx: ReduceContext<R::Key, R::Out> = ReduceContext::default();
             grouped.for_each(|g| reducer.reduce(g.key, g.values, &mut ctx));
             grouped.recycle_into(&mut scratch);
@@ -671,6 +676,7 @@ pub mod pipelined {
     fn reduce_group<'a, R: Reducer>(
         group: Vec<ReduceTaskInput<R::Key, R::ValueIn>>,
         reducer: &'a R,
+        grouping: GroupingStrategy,
         arena: &'a ScratchArena,
         reduce_slots: &'a [Slot<R::Key, R::Out>],
     ) -> FollowUp<'a> {
@@ -681,7 +687,7 @@ pub mod pipelined {
                 let partition = task_input.partition;
                 let pairs = shuffle::concat_buckets(task_input.buckets, &mut scratch);
                 let in_records = pairs.len() as u64;
-                let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
+                let grouped = Grouped::from_pairs_using(grouping, pairs, &mut scratch);
                 let mut ctx: ReduceContext<R::Key, R::Out> = ReduceContext::default();
                 grouped.for_each(|g| reducer.reduce(g.key, g.values, &mut ctx));
                 grouped.recycle_into(&mut scratch);
@@ -718,6 +724,7 @@ pub mod pipelined {
         let reducers = opts.num_reducers;
         let num_tasks = inputs.len();
         let combiner = opts.combiner;
+        let grouping = opts.grouping;
         let board: BucketBoard<M::Key, M::Value> = BucketBoard::new(reducers, num_tasks);
         let board = &board;
         // Reduce outputs land here indexed by partition, so the final
@@ -806,6 +813,7 @@ pub mod pipelined {
                         follow_ups.push(reduce_group(
                             std::mem::take(&mut batch),
                             reducer,
+                            grouping,
                             arena,
                             reduce_slots,
                         ));
@@ -813,7 +821,7 @@ pub mod pipelined {
                     }
                 }
                 if !batch.is_empty() {
-                    follow_ups.push(reduce_group(batch, reducer, arena, reduce_slots));
+                    follow_ups.push(reduce_group(batch, reducer, grouping, arena, reduce_slots));
                 }
                 follow_ups
             },
@@ -1060,7 +1068,8 @@ mod tests {
         let (profiles, shuffled) = ShuffleStage { num_reducers: 3 }.run(&pool, combined);
         assert_eq!(profiles.len(), 4);
         assert!(shuffled.len() <= 3);
-        let reduced = ReduceStage { reducer: &SumReducer }.run(&pool, shuffled, &arena);
+        let stage = ReduceStage { reducer: &SumReducer, grouping: GroupingStrategy::Sort };
+        let reduced = stage.run(&pool, shuffled, &arena);
         let total: u64 = reduced.iter().flat_map(|r| r.pairs.iter().map(|(_, v)| v)).sum();
         let expected: u64 = (0..200u64).sum();
         assert_eq!(total, expected);
@@ -1175,7 +1184,8 @@ mod tests {
         let map_out = MapStage { mapper: &ModMapper }.run(&pool, &inputs);
         let combined = CombineStage { combiner: None }.run(&pool, map_out);
         let (_, shuffled) = ShuffleStage { num_reducers: 5 }.run(&pool, combined);
-        let reduced = ReduceStage { reducer: &SumReducer }.run(&pool, shuffled, &arena);
+        let stage = ReduceStage { reducer: &SumReducer, grouping: GroupingStrategy::Radix };
+        let reduced = stage.run(&pool, shuffled, &arena);
         let staged: Vec<(u32, u64)> = reduced.into_iter().flat_map(|r| r.pairs).collect();
         assert_eq!(staged, reference.pairs, "stage composition must match the reference");
     }

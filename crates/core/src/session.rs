@@ -214,19 +214,66 @@ pub enum Dependence {
     Sparse(Vec<usize>),
 }
 
-/// Everything one asynchronous `gmap` invocation produced.
+/// Reusable cross-partition message staging for one `gmap` call: one
+/// batch slot per destination partition, **pooled by the session** and
+/// recycled across waves so the steady-state hot path performs no
+/// per-gmap `Vec<Vec<_>>` allocation (batches drained into mailboxes
+/// return to the pool when pruned).
+///
+/// A gmap pushes messages in emission order. Destinations must be
+/// partitions that declare the producer as a dependency (enforced by
+/// the session after delivery); destinations a task has nothing for are
+/// simply never pushed — the session delivers an empty batch on the
+/// producer's behalf so consumers never wait on a message that will
+/// never come.
 #[derive(Debug)]
-pub struct GmapOutput<U, M> {
+pub struct Outbox<M> {
+    /// One staged message batch per destination partition.
+    per_dest: Vec<Vec<M>>,
+    /// Destinations pushed to since the last recycle (first touch
+    /// recorded once), so recycling clears only the slots used.
+    touched: Vec<u32>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox with `slots` destination slots (one per
+    /// partition). The session pools these; barrier oracles and tests
+    /// may construct their own.
+    pub fn new(slots: usize) -> Self {
+        Outbox { per_dest: (0..slots).map(|_| Vec::new()).collect(), touched: Vec::new() }
+    }
+
+    /// Stages one message for partition `dest`.
+    pub fn push(&mut self, dest: usize, msg: M) {
+        let slot = &mut self.per_dest[dest];
+        if slot.is_empty() {
+            self.touched.push(dest as u32);
+        }
+        slot.push(msg);
+    }
+
+    /// The batch currently staged for `dest` (empty if untouched).
+    pub fn batch(&self, dest: usize) -> &[M] {
+        &self.per_dest[dest]
+    }
+
+    /// Clears every touched slot, keeping all allocations for reuse.
+    pub fn recycle(&mut self) {
+        for &t in &self.touched {
+            self.per_dest[t as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
+/// Everything one asynchronous `gmap` invocation produced besides its
+/// staged messages (those go into the borrowed [`Outbox`]).
+#[derive(Debug)]
+pub struct GmapOutput<U> {
     /// The owner-side product of the local solve (e.g. converged local
     /// contribution sums), consumed by the partition's own
     /// [`AsyncIterative::absorb`].
     pub update: U,
-    /// Cross-partition messages: `(destination partition, payload)` in
-    /// emission order. Destinations must be partitions that declare
-    /// this partition as a dependency; destinations this task has
-    /// nothing for may be omitted (the session delivers an empty
-    /// message batch on the producer's behalf).
-    pub outbox: Vec<(usize, Vec<M>)>,
     /// Abstract operations performed by the local solve.
     pub ops: u64,
     /// Partial synchronizations (`lreduce` barriers) performed.
@@ -263,7 +310,7 @@ pub struct Absorbed<S> {
 ///
 /// 1. [`gmap`](AsyncIterative::gmap) — the heavy local solve on *p*'s
 ///    state (runs on the thread pool), emitting the owner-side update
-///    plus per-destination message batches;
+///    plus per-destination message batches into a pooled [`Outbox`];
 /// 2. [`absorb`](AsyncIterative::absorb) — *p*'s slice of the global
 ///    reduce: combine the own update with the dependencies' message
 ///    batches into the next state (runs on the session's scheduler
@@ -302,12 +349,18 @@ pub trait AsyncIterative: Sync {
 
     /// The local solve for partition `p` at global iteration
     /// `iteration`, given the state produced by its previous absorb.
+    ///
+    /// Cross-partition messages are staged into `outbox`, a pooled
+    /// buffer the session recycles across waves (it arrives empty; do
+    /// not clear it). The returned [`GmapOutput`] carries the owner-side
+    /// update and the meters.
     fn gmap(
         &self,
         p: usize,
         iteration: usize,
         state: &Self::State,
-    ) -> GmapOutput<Self::Update, Self::Msg>;
+        outbox: &mut Outbox<Self::Msg>,
+    ) -> GmapOutput<Self::Update>;
 
     /// Partition `p`'s slice of the global reduce for `iteration`.
     ///
@@ -396,6 +449,13 @@ pub struct SessionReport {
     /// runahead/memory policy — checkpoint retention makes this grow
     /// with the checkpoint interval.
     pub peak_state_bytes: u64,
+    /// Speculative launches the
+    /// [`AsyncFixedPointDriver::runahead_byte_budget`] deferred because
+    /// held history+mailbox bytes had crossed the budget (each deferral
+    /// retry counts; 0 without a budget). Deferred work relaunches on
+    /// the next frontier advance, so a tight budget degrades the
+    /// schedule toward barrier pacing without changing any result.
+    pub deferred_launches: usize,
     /// The staleness bound the session ran under.
     pub max_lag: usize,
     /// Real time of the whole session (the driver-level wall).
@@ -440,6 +500,17 @@ pub struct AsyncFixedPointDriver {
     /// [`NodeFailurePlan::none`]). Validated once at the start of
     /// [`AsyncFixedPointDriver::run`].
     pub node_failures: NodeFailurePlan,
+    /// Cost-aware runahead: when `Some(budget)`, a partition's *next*
+    /// gmap is deferred whenever launching it would be speculative
+    /// (its iteration is past the globally-complete frontier) and the
+    /// session's currently held history+mailbox bytes — the live value
+    /// behind [`SessionReport::peak_state_bytes`] — have reached the
+    /// budget. Frontier-level launches always proceed, so the session
+    /// stays live: under an arbitrarily tight budget the schedule
+    /// degrades to barrier pacing, and results are unchanged at every
+    /// setting (`max_lag` semantics are untouched — the budget only
+    /// *removes* speculation, never admits staler messages).
+    pub runahead_byte_budget: Option<u64>,
 }
 
 /// How many iterations past the globally-complete frontier a partition
@@ -457,6 +528,7 @@ impl Default for AsyncFixedPointDriver {
             failures: SessionFailurePlan::none(),
             checkpoints: CheckpointPolicy::Off,
             node_failures: NodeFailurePlan::none(),
+            runahead_byte_budget: None,
         }
     }
 }
@@ -505,6 +577,17 @@ impl AsyncFixedPointDriver {
         self
     }
 
+    /// Caps speculative runahead by held bytes (see
+    /// [`AsyncFixedPointDriver::runahead_byte_budget`]): launches past
+    /// the frontier defer while history+mailbox bytes are at or over
+    /// `budget`, and retry on the next frontier advance. Results are
+    /// byte-identical at every budget; only the schedule (and
+    /// [`SessionReport::deferred_launches`]) changes.
+    pub fn with_runahead_budget(mut self, budget: u64) -> Self {
+        self.runahead_byte_budget = Some(budget);
+        self
+    }
+
     /// Runs `algo` until convergence or the iteration cap, keeping one
     /// multiwave scope alive across all global iterations (see the
     /// [module docs](self)).
@@ -537,6 +620,7 @@ impl AsyncFixedPointDriver {
                     rolled_back_iterations: 0,
                     checkpoint_bytes: 0,
                     peak_state_bytes: 0,
+                    deferred_launches: 0,
                     max_lag: self.max_lag,
                     wall_time: started.elapsed(),
                     schedule: Vec::new(),
@@ -551,6 +635,7 @@ impl AsyncFixedPointDriver {
             self.max_lag,
             self.checkpoints,
             self.node_failures,
+            self.runahead_byte_budget,
         );
         let mut initial = Vec::new();
         for p in 0..k {
@@ -560,16 +645,18 @@ impl AsyncFixedPointDriver {
         }
         pool.par_multiwave(
             initial,
-            |_id, launch: Launch<A::State>| {
+            |_id, mut launch: Launch<A::State, A::Msg>| {
                 // A doomed attempt still runs: the task process does
                 // real work before dying, and that work — billed to
                 // `failed_attempt_time` — is exactly the wasted
                 // gmap-seconds the accounting reports. Its output is
                 // discarded (never delivered), which is the whole
                 // fault model: deterministic replay re-executes the
-                // pure gmap on the same state and reproduces it.
+                // pure gmap on the same state and reproduces it. The
+                // pooled outbox it filled travels back either way and
+                // is recycled by the scheduler.
                 let t0 = Instant::now();
-                let out = algo.gmap(launch.p, launch.iter, &launch.state);
+                let out = algo.gmap(launch.p, launch.iter, &launch.state, &mut launch.outbox);
                 let died = failures.attempt_fails(launch.p, launch.iter, launch.attempt);
                 AttemptDone {
                     p: launch.p,
@@ -577,6 +664,7 @@ impl AsyncFixedPointDriver {
                     attempt: launch.attempt,
                     generation: launch.generation,
                     elapsed: t0.elapsed(),
+                    outbox: launch.outbox,
                     output: (!died).then_some(out),
                 }
             },
@@ -588,13 +676,21 @@ impl AsyncFixedPointDriver {
                     // computation that no longer exists. Bill the
                     // wasted time and drop it; the rollback already
                     // relaunched the partition from the checkpoint.
+                    sess.recycle_outbox(done.outbox);
                     sess.on_orphaned(done.elapsed);
                 } else {
                     match done.output {
-                        Some(out) => {
-                            sess.on_gmap_done(algo, done.p, done.iter, out, done.elapsed, wave)
-                        }
+                        Some(out) => sess.on_gmap_done(
+                            algo,
+                            done.p,
+                            done.iter,
+                            out,
+                            done.outbox,
+                            done.elapsed,
+                            wave,
+                        ),
                         None => {
+                            sess.recycle_outbox(done.outbox);
                             sess.on_gmap_failed(done.p, done.iter, done.attempt, done.elapsed, wave)
                         }
                     }
@@ -608,7 +704,7 @@ impl AsyncFixedPointDriver {
 
 /// One pool task: attempt `attempt` of partition `p`'s gmap at `iter`,
 /// on the state its previous absorb produced.
-struct Launch<S> {
+struct Launch<S, M> {
     p: usize,
     iter: usize,
     attempt: u32,
@@ -617,6 +713,9 @@ struct Launch<S> {
     /// rollback and is discarded (billed as a failed attempt).
     generation: u64,
     state: Arc<S>,
+    /// A pooled (empty, capacity-retaining) outbox for the gmap to fill;
+    /// it returns with the completion for delivery and recycling.
+    outbox: Outbox<M>,
 }
 
 /// What one pool attempt reported back to the scheduler.
@@ -626,9 +725,12 @@ struct AttemptDone<U, M> {
     attempt: u32,
     generation: u64,
     elapsed: Duration,
+    /// The filled outbox (recycled into the pool after delivery — or
+    /// without delivery, if the attempt died or was orphaned).
+    outbox: Outbox<M>,
     /// `None` = the injected failure killed this attempt before it
     /// could deliver; the scheduler re-executes it.
-    output: Option<GmapOutput<U, M>>,
+    output: Option<GmapOutput<U>>,
 }
 
 /// Meters of one recorded gmap, kept per iteration so a rollback can
@@ -745,6 +847,17 @@ struct Session<S, U, M> {
     held_msg_bytes: u64,
     /// High-water mark of `held_state_bytes + held_msg_bytes`.
     peak_state_bytes: u64,
+    /// Cost-aware runahead budget (see
+    /// [`AsyncFixedPointDriver::runahead_byte_budget`]).
+    byte_budget: Option<u64>,
+    /// Speculative launches the byte budget deferred.
+    deferred_launches: usize,
+    /// Recycled outboxes awaiting the next launch (all pool traffic is
+    /// on the scheduler thread; no locks).
+    outbox_pool: Vec<Outbox<M>>,
+    /// Recycled message-batch `Vec`s: pruned/revoked mailbox batches
+    /// come back here and re-enter outbox slots at delivery time.
+    batch_pool: Vec<Vec<M>>,
 }
 
 impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
@@ -754,6 +867,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         max_lag: usize,
         checkpoints: CheckpointPolicy,
         node_plan: NodeFailurePlan,
+        byte_budget: Option<u64>,
     ) -> Self
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
@@ -833,7 +947,23 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             peak_state_bytes: held_state_bytes,
             held_state_bytes,
             held_msg_bytes: 0,
+            byte_budget,
+            deferred_launches: 0,
+            outbox_pool: Vec::new(),
+            batch_pool: Vec::new(),
         }
+    }
+
+    /// Returns a filled outbox to the pool (clearing only its touched
+    /// slots, keeping all allocations).
+    fn recycle_outbox(&mut self, mut outbox: Outbox<M>) {
+        outbox.recycle();
+        self.outbox_pool.push(outbox);
+    }
+
+    /// A pooled empty outbox for the next launch.
+    fn take_outbox(&mut self) -> Outbox<M> {
+        self.outbox_pool.pop().unwrap_or_else(|| Outbox::new(self.k))
     }
 
     /// Updates the held-bytes high-water mark.
@@ -862,23 +992,39 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
     }
 
     /// Launches the partition's next gmap if its state is ready and the
-    /// caps (iteration budget, runahead) allow it.
-    fn make_launch(&mut self, p: usize) -> Option<Launch<S>> {
+    /// caps (iteration budget, runahead slack, byte budget) allow it.
+    fn make_launch(&mut self, p: usize) -> Option<Launch<S, M>> {
         if self.stopped {
             return None;
         }
         let runahead_cap = self.frontier + self.max_lag + RUNAHEAD_SLACK;
-        let part = &mut self.parts[p];
+        let part = &self.parts[p];
         if part.launched != part.absorbed
             || part.launched >= self.max_iterations
             || part.launched > runahead_cap
         {
             return None;
         }
+        // Cost-aware runahead: defer a *speculative* launch (one past
+        // the globally-complete frontier) while held bytes are at the
+        // budget. Frontier-level launches always go — they are what
+        // advances the frontier, whose `push_launch` sweep retries
+        // every deferred partition — so the session cannot stall:
+        // a tight budget degrades toward barrier pacing, never below.
+        if part.launched > self.frontier {
+            if let Some(budget) = self.byte_budget {
+                if self.held_state_bytes + self.held_msg_bytes >= budget {
+                    self.deferred_launches += 1;
+                    return None;
+                }
+            }
+        }
+        let outbox = self.take_outbox();
+        let part = &mut self.parts[p];
         let iter = part.launched;
         let state = Arc::clone(&part.history[iter - part.hist_base]);
         part.launched += 1;
-        Some(Launch { p, iter, attempt: 0, generation: part.generation, state })
+        Some(Launch { p, iter, attempt: 0, generation: part.generation, state, outbox })
     }
 
     /// The attempt-tracking layer's failure path: meter the wasted
@@ -896,7 +1042,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         iter: usize,
         attempt: u32,
         elapsed: Duration,
-        wave: &mut Wave<Launch<S>>,
+        wave: &mut Wave<Launch<S, M>>,
     ) {
         self.failed_attempts += 1;
         self.failed_time += elapsed;
@@ -905,26 +1051,32 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             // result no longer needs its retry.
             return;
         }
+        let outbox = self.take_outbox();
         let part = &self.parts[p];
         debug_assert_eq!(part.absorbed, iter, "a failed gmap cannot have been absorbed");
         let state = Arc::clone(&part.history[iter - part.hist_base]);
-        wave.push(p, Launch { p, iter, attempt: attempt + 1, generation: part.generation, state });
+        wave.push(
+            p,
+            Launch { p, iter, attempt: attempt + 1, generation: part.generation, state, outbox },
+        );
     }
 
-    fn push_launch(&mut self, p: usize, wave: &mut Wave<Launch<S>>) {
+    fn push_launch(&mut self, p: usize, wave: &mut Wave<Launch<S, M>>) {
         if let Some(launch) = self.make_launch(p) {
             wave.push(p, launch);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_gmap_done<A>(
         &mut self,
         algo: &A,
         p: usize,
         iter: usize,
-        out: GmapOutput<U, M>,
+        out: GmapOutput<U>,
+        mut outbox: Outbox<M>,
         elapsed: Duration,
-        wave: &mut Wave<Launch<S>>,
+        wave: &mut Wave<Launch<S, M>>,
     ) where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
     {
@@ -935,6 +1087,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             // can no longer influence the result. (Its wall-clock is in
             // the total but not in any contributing iteration, so it is
             // billed as speculative waste.)
+            self.recycle_outbox(outbox);
             return;
         }
         self.ensure_iter(iter);
@@ -962,34 +1115,44 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
 
         // Deliver one batch to every declared consumer — empty if this
         // gmap emitted nothing for it — so consumers never wait on a
-        // message that will never come.
+        // message that will never come. Non-empty slots are swapped out
+        // against recycled batch `Vec`s, so steady-state delivery moves
+        // capacity between the outbox pool and the mailboxes without
+        // allocating.
         let msg_size = std::mem::size_of::<M>() as u64;
-        let mut outbox = out.outbox;
         let out_deps = std::mem::take(&mut self.parts[p].out_deps);
         for &dest in &out_deps {
-            let msgs = outbox
-                .iter_mut()
-                .find(|(d, _)| *d == dest)
-                .map(|(_, m)| std::mem::take(m))
-                .unwrap_or_default();
+            let slot = &mut outbox.per_dest[dest];
+            let msgs = if slot.is_empty() {
+                Vec::new()
+            } else {
+                std::mem::replace(slot, self.batch_pool.pop().unwrap_or_default())
+            };
             let dest_part = &mut self.parts[dest];
             let pos = dest_part.deps.binary_search(&p).expect("out_deps is the inverse of deps");
             self.held_msg_bytes += msgs.len() as u64 * msg_size;
-            if let Some(old) = dest_part.mailbox[pos].insert(iter, msgs) {
+            if let Some(mut old) = dest_part.mailbox[pos].insert(iter, msgs) {
                 // A rollback re-delivery replacing a surviving batch
                 // of identical content.
                 self.held_msg_bytes -= old.len() as u64 * msg_size;
+                old.clear();
+                self.batch_pool.push(old);
             }
         }
         self.note_peak();
-        // Hard assert (the outbox is tiny, this is once per gmap):
+        // Hard assert (touched slots are few, this is once per gmap):
         // silently dropping a batch for an undeclared consumer would
-        // converge to a *wrong* fixed point, not fail.
-        assert!(
-            outbox.iter().all(|(d, m)| m.is_empty() || out_deps.contains(d)),
-            "gmap of partition {p} emitted to a partition that does not declare it as a dependency"
-        );
+        // converge to a *wrong* fixed point, not fail. Declared slots
+        // were just emptied by the swap, so any survivor is undeclared.
+        for &t in &outbox.touched {
+            assert!(
+                outbox.per_dest[t as usize].is_empty() || out_deps.contains(&(t as usize)),
+                "gmap of partition {p} emitted to a partition that does not declare it as a \
+                 dependency"
+            );
+        }
         self.parts[p].out_deps = out_deps;
+        self.recycle_outbox(outbox);
 
         debug_assert!(self.parts[p].parked.is_none(), "one gmap in flight per partition");
         self.parts[p].parked = Some((iter, out.update));
@@ -1009,7 +1172,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
 
     /// Absorbs the partition's parked iteration if every dependency has
     /// delivered a fresh-enough batch.
-    fn try_absorb<A>(&mut self, algo: &A, p: usize, wave: &mut Wave<Launch<S>>)
+    fn try_absorb<A>(&mut self, algo: &A, p: usize, wave: &mut Wave<Launch<S, M>>)
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
     {
@@ -1082,8 +1245,10 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                     if key >= keep_from {
                         break;
                     }
-                    let batch = mb.remove(&key).expect("first key exists");
+                    let mut batch = mb.remove(&key).expect("first key exists");
                     self.held_msg_bytes -= batch.len() as u64 * msg_size;
+                    batch.clear();
+                    self.batch_pool.push(batch);
                 }
             }
         }
@@ -1101,7 +1266,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
     /// Advances the globally-complete frontier, declaring checkpoints,
     /// evaluating convergence and node-failure epochs, and releasing
     /// runahead-capped partitions as it moves.
-    fn advance_frontier<A>(&mut self, algo: &A, wave: &mut Wave<Launch<S>>)
+    fn advance_frontier<A>(&mut self, algo: &A, wave: &mut Wave<Launch<S, M>>)
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
     {
@@ -1201,7 +1366,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
     /// `max_lag = 0` re-absorption reproduces them bitwise, and at
     /// `max_lag > 0` a stale maximum can only delay convergence, never
     /// fake it.
-    fn rollback(&mut self, fired: &[usize], wave: &mut Wave<Launch<S>>) {
+    fn rollback(&mut self, fired: &[usize], wave: &mut Wave<Launch<S, M>>) {
         let c = self.ckpt.last_checkpoint();
         debug_assert!(c <= self.frontier, "checkpoints are declared at frontier advances");
         // Delivered-bytes accounting restarts at the checkpoint the
@@ -1255,8 +1420,10 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                     if key < c {
                         break;
                     }
-                    let batch = mb.remove(&key).expect("last key exists");
+                    let mut batch = mb.remove(&key).expect("last key exists");
                     self.held_msg_bytes -= batch.len() as u64 * msg_size;
+                    batch.clear();
+                    self.batch_pool.push(batch);
                 }
             }
             self.parts[x].out_deps = out;
@@ -1370,6 +1537,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             rolled_back_iterations: self.rolled_back_iterations,
             checkpoint_bytes: self.ckpt.checkpoint_bytes(),
             peak_state_bytes: self.peak_state_bytes,
+            deferred_launches: self.deferred_launches,
             max_lag,
             wall_time,
             schedule: kept,
@@ -1432,11 +1600,18 @@ mod tests {
             p as f64
         }
 
-        fn gmap(&self, p: usize, _iteration: usize, state: &f64) -> GmapOutput<f64, f64> {
-            let outbox = self.neighbors(p).into_iter().map(|q| (q, vec![0.2 * *state])).collect();
+        fn gmap(
+            &self,
+            p: usize,
+            _iteration: usize,
+            state: &f64,
+            outbox: &mut Outbox<f64>,
+        ) -> GmapOutput<f64> {
+            for q in self.neighbors(p) {
+                outbox.push(q, 0.2 * *state);
+            }
             GmapOutput {
                 update: 0.4 * *state + self.heat[p],
-                outbox,
                 ops: 4,
                 local_syncs: 1,
                 input_bytes: 16,
@@ -1473,8 +1648,13 @@ mod tests {
         let k = algo.partitions();
         let mut states: Vec<f64> = (0..k).map(|p| algo.init_state(p)).collect();
         for i in 0..max_iterations {
-            let outs: Vec<GmapOutput<f64, f64>> =
-                (0..k).map(|p| algo.gmap(p, i, &states[p])).collect();
+            let outs: Vec<(GmapOutput<f64>, Outbox<f64>)> = (0..k)
+                .map(|p| {
+                    let mut outbox = Outbox::new(k);
+                    let out = algo.gmap(p, i, &states[p], &mut outbox);
+                    (out, outbox)
+                })
+                .collect();
             let mut max_delta = 0.0f64;
             let mut next = Vec::with_capacity(k);
             for p in 0..k {
@@ -1482,21 +1662,9 @@ mod tests {
                     Dependence::Full => (0..k).filter(|&q| q != p).collect::<Vec<_>>(),
                     Dependence::Sparse(v) => v,
                 };
-                let inbox: Vec<(usize, Vec<f64>)> = deps
-                    .iter()
-                    .map(|&q| {
-                        let msgs = outs[q]
-                            .outbox
-                            .iter()
-                            .find(|(d, _)| *d == p)
-                            .map(|(_, m)| m.clone())
-                            .unwrap_or_default();
-                        (q, msgs)
-                    })
-                    .collect();
-                let borrowed: Vec<(usize, &[f64])> =
-                    inbox.iter().map(|(q, m)| (*q, m.as_slice())).collect();
-                let absorbed = absorb_for_test(algo, p, i, states[p], &outs[p], &borrowed);
+                let inbox: Vec<(usize, &[f64])> =
+                    deps.iter().map(|&q| (q, outs[q].1.batch(p))).collect();
+                let absorbed = algo.absorb(p, i, &states[p], outs[p].0.update, &inbox);
                 max_delta = max_delta.max(absorbed.delta);
                 next.push(absorbed.state);
             }
@@ -1506,17 +1674,6 @@ mod tests {
             }
         }
         (states, max_iterations, false)
-    }
-
-    fn absorb_for_test(
-        algo: &Ring,
-        p: usize,
-        i: usize,
-        state: f64,
-        out: &GmapOutput<f64, f64>,
-        inbox: &[(usize, &[f64])],
-    ) -> Absorbed<f64> {
-        algo.absorb(p, i, &state, out.update, inbox)
     }
 
     fn pool() -> ThreadPool {
@@ -1867,5 +2024,91 @@ mod tests {
             outcome.report.global_iterations * 6,
             "every contributing (p, iter) executes exactly once"
         );
+    }
+
+    #[test]
+    fn runahead_budget_keeps_lag_zero_bitwise_identical() {
+        // A 1-byte budget is always exceeded (the session holds at
+        // least one state per partition), so every speculative launch
+        // defers: the schedule degrades to barrier pacing while the
+        // results and iteration count stay bitwise identical.
+        let algo = Ring::new(8, 1e-10, true);
+        let p = pool();
+        let free = AsyncFixedPointDriver::new(500).run(&p, &algo);
+        let tight = AsyncFixedPointDriver::new(500).with_runahead_budget(1).run(&p, &algo);
+        assert!(tight.report.converged);
+        assert_eq!(free.report.global_iterations, tight.report.global_iterations);
+        assert_eq!(free.report.gmap_tasks, tight.report.gmap_tasks);
+        assert!(tight.report.deferred_launches > 0, "a 1-byte budget must defer speculation");
+        assert_eq!(free.report.deferred_launches, 0, "no budget, no deferrals");
+        for (i, (x, y)) in free.states.iter().zip(&tight.states).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "partition {i} diverged under the byte budget");
+        }
+        // Barrier pacing admits no speculation past convergence.
+        assert_eq!(tight.report.speculative_tasks, 0);
+    }
+
+    #[test]
+    fn runahead_budget_respects_max_lag_semantics() {
+        // The budget only removes speculation; it must never let a
+        // lagged session consume staler messages or converge elsewhere.
+        let algo = Ring::new(8, 1e-12, true);
+        let p = pool();
+        let exact = AsyncFixedPointDriver::new(2_000).run(&p, &algo);
+        let tight = AsyncFixedPointDriver::new(2_000)
+            .with_max_lag(2)
+            .with_runahead_budget(1)
+            .run(&p, &algo);
+        assert!(exact.report.converged && tight.report.converged);
+        assert_eq!(tight.report.max_lag, 2);
+        for (x, y) in exact.states.iter().zip(&tight.states) {
+            assert!(
+                (*x.as_ref() - *y.as_ref()).abs() < 1e-9,
+                "budgeted + lagged fixpoint drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_runahead_budget_never_defers() {
+        let algo = Ring::new(6, 1e-9, true);
+        let out =
+            AsyncFixedPointDriver::new(400).with_runahead_budget(u64::MAX).run(&pool(), &algo);
+        assert!(out.report.converged);
+        assert_eq!(out.report.deferred_launches, 0);
+    }
+
+    #[test]
+    fn runahead_budget_composes_with_failure_injection() {
+        let algo = Ring::new(7, 1e-9, true);
+        let p = pool();
+        let clean = AsyncFixedPointDriver::new(400).run(&p, &algo);
+        let chaotic = AsyncFixedPointDriver::new(400)
+            .with_runahead_budget(1)
+            .with_failures(SessionFailurePlan::transient(0.3, 21))
+            .run(&p, &algo);
+        assert!(chaotic.report.failed_attempts > 0);
+        assert_eq!(clean.report.global_iterations, chaotic.report.global_iterations);
+        for (x, y) in clean.states.iter().zip(&chaotic.states) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn outbox_recycle_clears_only_touched_slots() {
+        let mut outbox: Outbox<u32> = Outbox::new(4);
+        outbox.push(1, 10);
+        outbox.push(1, 11);
+        outbox.push(3, 30);
+        assert_eq!(outbox.batch(1), &[10, 11]);
+        assert_eq!(outbox.batch(3), &[30]);
+        assert!(outbox.batch(0).is_empty() && outbox.batch(2).is_empty());
+        outbox.recycle();
+        for d in 0..4 {
+            assert!(outbox.batch(d).is_empty(), "slot {d} survived recycling");
+        }
+        // Reuse after recycling records fresh touches.
+        outbox.push(0, 1);
+        assert_eq!(outbox.batch(0), &[1]);
     }
 }

@@ -21,8 +21,33 @@
 
 use std::collections::BTreeMap;
 
-use crate::hash::reducer_for;
+use crate::hash::{reducer_for, StableHashMap};
 use crate::kv::{Key, Value};
+
+/// Which grouping implementation a job's reduce tasks use.
+///
+/// Both strategies produce **byte-identical** [`Grouped`] arrays (keys
+/// ascending, values in concatenation order within each key) — pinned
+/// by the radix/sort equivalence tests. They differ only in how the
+/// permutation is computed:
+///
+/// * [`GroupingStrategy::Sort`] — stable comparison sort over all `n`
+///   pairs: `O(n log n)` comparisons, the right default when keys are
+///   mostly distinct.
+/// * [`GroupingStrategy::Radix`] — hash-grouping: assign each pair a
+///   first-seen group id (one stable-hash lookup per pair), sort only
+///   the `g` *distinct* keys, then counting-scatter every pair straight
+///   to its final slot: `O(n + g log g)`. Wins when duplicate keys
+///   dominate (`g ≪ n`), which is exactly the shape of iterative graph
+///   workloads where many edges target the same vertex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GroupingStrategy {
+    /// Stable sort by key + run detection (the default).
+    #[default]
+    Sort,
+    /// First-seen group ids + distinct-key sort + counting scatter.
+    Radix,
+}
 
 /// Splits one map task's output into per-reducer buckets.
 ///
@@ -65,11 +90,19 @@ pub struct ShuffleScratch<K, V> {
     pub(crate) pairs: Vec<(K, V)>,
     pub(crate) keys: Vec<K>,
     pub(crate) values: Vec<V>,
+    /// Per-pair group-id buffer for the radix path (untyped in K/V, so
+    /// it recycles across jobs of any shape).
+    pub(crate) slots: Vec<u32>,
 }
 
 impl<K, V> Default for ShuffleScratch<K, V> {
     fn default() -> Self {
-        ShuffleScratch { pairs: Vec::new(), keys: Vec::new(), values: Vec::new() }
+        ShuffleScratch {
+            pairs: Vec::new(),
+            keys: Vec::new(),
+            values: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 }
 
@@ -157,6 +190,100 @@ impl<K: Key, V: Value> Grouped<K, V> {
             values.push(v);
         }
         scratch.offer_pairs(pairs);
+        Grouped { keys, values }
+    }
+
+    /// Groups `pairs` via the radix path (allocating fresh buffers).
+    pub fn from_pairs_radix(pairs: Vec<(K, V)>) -> Self {
+        Self::from_pairs_radix_reusing(pairs, &mut ShuffleScratch::default())
+    }
+
+    /// Groups `pairs` with `strategy`, recycling buffers from `scratch`.
+    pub fn from_pairs_using(
+        strategy: GroupingStrategy,
+        pairs: Vec<(K, V)>,
+        scratch: &mut ShuffleScratch<K, V>,
+    ) -> Self {
+        match strategy {
+            GroupingStrategy::Sort => Self::from_pairs_reusing(pairs, scratch),
+            GroupingStrategy::Radix => Self::from_pairs_radix_reusing(pairs, scratch),
+        }
+    }
+
+    /// Groups `pairs` without a comparison sort over the full input:
+    /// each pair gets a first-seen group id via one stable-hash lookup,
+    /// only the distinct keys are sorted, and a counting scatter moves
+    /// every pair straight to its final slot. `O(n + g log g)` for `n`
+    /// pairs over `g` distinct keys, versus `O(n log n)` for
+    /// [`Grouped::from_pairs_reusing`] — byte-identical output by
+    /// construction (ascending keys; within a key, concatenation order
+    /// is preserved because pairs scatter in input order).
+    pub fn from_pairs_radix_reusing(
+        mut pairs: Vec<(K, V)>,
+        scratch: &mut ShuffleScratch<K, V>,
+    ) -> Self {
+        let n = pairs.len();
+        // Pass 1: first-seen group ids + per-group counts.
+        let mut id_of: StableHashMap<K, u32> = StableHashMap::default();
+        let mut distinct: Vec<K> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut gids = std::mem::take(&mut scratch.slots);
+        gids.clear();
+        gids.reserve(n);
+        for (k, _) in &pairs {
+            let g = match id_of.get(k) {
+                Some(&g) => g,
+                None => {
+                    let g = distinct.len() as u32;
+                    id_of.insert(k.clone(), g);
+                    distinct.push(k.clone());
+                    counts.push(0);
+                    g
+                }
+            };
+            counts[g as usize] += 1;
+            gids.push(g);
+        }
+        // Sort only the distinct keys; each group id learns its output
+        // range's start slot from the sorted order's prefix sums.
+        let g = distinct.len();
+        let mut order: Vec<u32> = (0..g as u32).collect();
+        order.sort_unstable_by(|&a, &b| distinct[a as usize].cmp(&distinct[b as usize]));
+        let mut next = vec![0u32; g]; // group id → next free output slot
+        let mut cursor = 0u32;
+        for &gid in &order {
+            next[gid as usize] = cursor;
+            cursor += counts[gid as usize];
+        }
+        // Scatter into recycled buffers.
+        let mut keys = std::mem::take(&mut scratch.keys);
+        let mut values = std::mem::take(&mut scratch.values);
+        keys.clear();
+        values.clear();
+        keys.reserve(n);
+        values.reserve(n);
+        {
+            let key_slots = keys.spare_capacity_mut();
+            let value_slots = values.spare_capacity_mut();
+            for (i, (k, v)) in pairs.drain(..).enumerate() {
+                let slot = &mut next[gids[i] as usize];
+                let d = *slot as usize;
+                *slot += 1;
+                key_slots[d].write(k);
+                value_slots[d].write(v);
+            }
+        }
+        // SAFETY: the groups' output ranges partition 0..n and each
+        // group's cursor advanced once per member, so every slot below
+        // n was initialized exactly once; nothing between the writes
+        // and here can panic.
+        unsafe {
+            keys.set_len(n);
+            values.set_len(n);
+        }
+        scratch.offer_pairs(pairs);
+        gids.clear();
+        scratch.slots = gids;
         Grouped { keys, values }
     }
 
@@ -304,6 +431,65 @@ mod tests {
         let grouped = Grouped::from_pairs_reusing(pairs, &mut scratch);
         grouped.recycle_into(&mut scratch);
         assert!(scratch.capacity() >= before, "capacity retained across rounds");
+    }
+
+    /// Flattens a `Grouped` into the reference `(key, values)` shape.
+    fn collect<K: Key, V: Value>(g: &Grouped<K, V>) -> Vec<(K, Vec<V>)> {
+        let mut out = Vec::new();
+        g.for_each(|view| out.push((view.key.clone(), view.values.to_vec())));
+        out
+    }
+
+    #[test]
+    fn radix_matches_sort_on_interleaved_keys() {
+        let input = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd'), (1, 'e')];
+        let sorted = Grouped::from_pairs(input.clone());
+        let radix = Grouped::from_pairs_radix(input);
+        assert_eq!(collect(&radix), collect(&sorted));
+        assert_eq!(radix.records(), 5);
+        assert_eq!(radix.num_groups(), 3);
+    }
+
+    #[test]
+    fn radix_empty() {
+        let grouped: Grouped<u32, u32> = Grouped::from_pairs_radix(Vec::new());
+        assert!(grouped.is_empty());
+        let mut called = false;
+        grouped.for_each(|_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn radix_heavy_duplication_preserves_value_order() {
+        // Many values per key (the graph-workload shape radix targets).
+        let pairs: Vec<(u32, u64)> = (0..5000).map(|i| (i % 3, u64::from(i))).collect();
+        let sorted = Grouped::from_pairs(pairs.clone());
+        let radix = Grouped::from_pairs_radix(pairs);
+        assert_eq!(collect(&radix), collect(&sorted));
+    }
+
+    #[test]
+    fn radix_recycles_scratch_including_slots() {
+        let mut scratch: ShuffleScratch<u32, u64> = ShuffleScratch::default();
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|i| (i % 7, u64::from(i))).collect();
+        let grouped = Grouped::from_pairs_radix_reusing(pairs, &mut scratch);
+        grouped.recycle_into(&mut scratch);
+        assert!(scratch.slots.capacity() >= 1000, "gid buffer shelved");
+        let before = scratch.capacity();
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|i| (i % 7, u64::from(i))).collect();
+        let grouped = Grouped::from_pairs_radix_reusing(pairs, &mut scratch);
+        grouped.recycle_into(&mut scratch);
+        assert!(scratch.capacity() >= before, "capacity retained across rounds");
+    }
+
+    #[test]
+    fn from_pairs_using_dispatches_both_strategies() {
+        let input = vec![(9u32, 'x'), (2, 'y'), (9, 'z')];
+        for strategy in [GroupingStrategy::Sort, GroupingStrategy::Radix] {
+            let mut scratch = ShuffleScratch::default();
+            let g = Grouped::from_pairs_using(strategy, input.clone(), &mut scratch);
+            assert_eq!(collect(&g), vec![(2, vec!['y']), (9, vec!['x', 'z'])]);
+        }
     }
 
     #[test]

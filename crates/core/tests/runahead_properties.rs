@@ -1,0 +1,192 @@
+//! Property tests pinning the cost-aware runahead budget to its
+//! contract: `runahead_byte_budget` is a *scheduling* knob, never a
+//! *semantics* knob. For any ring size, `max_lag`, and budget — down
+//! to a budget of a single byte, which serializes every speculative
+//! launch — the session must converge to bitwise-identical states with
+//! the identical iteration count as the unbudgeted run at the same
+//! `max_lag`, and its report must stay internally consistent
+//! (`gmap_tasks = iterations × partitions`, deferrals only when
+//! speculation was possible at all).
+
+use asyncmr_core::prelude::*;
+use asyncmr_core::session::SessionReport;
+use asyncmr_runtime::ThreadPool;
+use proptest::prelude::*;
+
+/// Ring diffusion with a sparse dependency structure — the same shape
+/// the in-module session tests use as their oracle workload:
+/// `x_p ← 0.4·x_p + 0.2·(x_{p−1} + x_{p+1}) + heat_p`, a strict
+/// contraction with a deterministic fixpoint.
+struct Ring {
+    k: usize,
+    heat: Vec<f64>,
+    tolerance: f64,
+}
+
+impl Ring {
+    fn new(k: usize, tolerance: f64) -> Self {
+        let heat = (0..k).map(|p| (p as f64 * 0.37).sin().abs() * 0.1).collect();
+        Ring { k, heat, tolerance }
+    }
+
+    fn neighbors(&self, p: usize) -> Vec<usize> {
+        if self.k == 1 {
+            return Vec::new();
+        }
+        let mut v = vec![(p + self.k - 1) % self.k, (p + 1) % self.k];
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&q| q != p);
+        v
+    }
+}
+
+impl AsyncIterative for Ring {
+    type State = f64;
+    type Update = f64;
+    type Msg = f64;
+
+    fn partitions(&self) -> usize {
+        self.k
+    }
+
+    fn dependencies(&self, p: usize) -> Dependence {
+        Dependence::Sparse(self.neighbors(p))
+    }
+
+    fn init_state(&self, p: usize) -> f64 {
+        p as f64
+    }
+
+    fn gmap(
+        &self,
+        p: usize,
+        _iteration: usize,
+        state: &f64,
+        outbox: &mut Outbox<f64>,
+    ) -> GmapOutput<f64> {
+        for q in self.neighbors(p) {
+            outbox.push(q, 0.2 * *state);
+        }
+        GmapOutput {
+            update: 0.4 * *state + self.heat[p],
+            ops: 4,
+            local_syncs: 1,
+            input_bytes: 16,
+            msg_records: 2,
+            msg_bytes: 16,
+        }
+    }
+
+    fn absorb(
+        &self,
+        _p: usize,
+        _iteration: usize,
+        state: &f64,
+        update: f64,
+        inbox: &[(usize, &[f64])],
+    ) -> Absorbed<f64> {
+        let mut x = update;
+        for (_, msgs) in inbox {
+            for m in *msgs {
+                x += m;
+            }
+        }
+        Absorbed { state: x, delta: (x - *state).abs(), ops: 1 }
+    }
+
+    fn converged(&self, max_delta: f64) -> bool {
+        max_delta < self.tolerance
+    }
+}
+
+fn run(algo: &Ring, max_lag: usize, budget: Option<u64>) -> (Vec<f64>, SessionReport) {
+    let pool = ThreadPool::new(4);
+    let mut driver = AsyncFixedPointDriver::new(500).with_max_lag(max_lag);
+    if let Some(b) = budget {
+        driver = driver.with_runahead_budget(b);
+    }
+    let outcome = driver.run(&pool, algo);
+    (outcome.states.iter().map(|s| **s).collect(), outcome.report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At `max_lag = 0` — the byte-identity regime — any byte budget
+    /// gives the bitwise-identical fixpoint, the identical iteration
+    /// count, and identical work accounting vs the unbudgeted run.
+    /// (Lag > 0 runs are schedule-dependent in their stopping point by
+    /// design, so bitwise identity is only the lag-0 contract.)
+    #[test]
+    fn budget_never_changes_lag0_results(
+        k in 1usize..10,
+        budget_idx in 0usize..5,
+    ) {
+        let budget = [1u64, 16, 64, 1_000, u64::MAX][budget_idx];
+        let algo = Ring::new(k, 1e-10);
+        let (free_states, free_report) = run(&algo, 0, None);
+        let (states, report) = run(&algo, 0, Some(budget));
+
+        prop_assert!(report.converged && free_report.converged);
+        prop_assert_eq!(report.global_iterations, free_report.global_iterations,
+            "budget {} changed the iteration count", budget);
+        for (p, (got, want)) in states.iter().zip(&free_states).enumerate() {
+            prop_assert_eq!(got.to_bits(), want.to_bits(),
+                "partition {}: {} vs {} under budget {}", p, got, want, budget);
+        }
+        // Work accounting must be budget-invariant too: the kept
+        // schedule is the same computation.
+        prop_assert_eq!(report.total_ops, free_report.total_ops);
+        prop_assert_eq!(report.gmap_tasks, free_report.gmap_tasks);
+        prop_assert_eq!(report.local_syncs, free_report.local_syncs);
+    }
+
+    /// At every lag, a budget may only *reshape the schedule*, never
+    /// violate the `max_lag` semantics: every consumed input in the
+    /// kept schedule is at most `max_lag` iterations stale, the
+    /// schedule stays topologically ordered, the run still converges
+    /// to the contraction's unique fixpoint, and the kept schedule
+    /// covers exactly `iterations × partitions` gmaps.
+    #[test]
+    fn budget_never_violates_max_lag_semantics(
+        k in 1usize..10,
+        max_lag in 0usize..3,
+        budget_idx in 0usize..4,
+    ) {
+        let budget = [1u64, 32, 1_000, u64::MAX][budget_idx];
+        let algo = Ring::new(k, 1e-10);
+        let (free_states, free_report) = run(&algo, 0, None);
+        prop_assert!(free_report.converged);
+        prop_assert_eq!(free_report.deferred_launches, 0,
+            "unbudgeted run must never defer");
+
+        let (states, report) = run(&algo, max_lag, Some(budget));
+        prop_assert!(report.converged);
+        prop_assert_eq!(report.max_lag, max_lag);
+        prop_assert_eq!(report.gmap_tasks, report.global_iterations * k);
+
+        // Staleness bound, checked on the recorded schedule itself: a
+        // task at iteration i consumes producer outputs no older than
+        // iteration i − 1 − max_lag.
+        for (idx, task) in report.schedule.iter().enumerate() {
+            for &d in &task.deps {
+                prop_assert!(d < idx, "schedule not topological at task {}", idx);
+                let producer = &report.schedule[d];
+                prop_assert!(
+                    producer.iteration + 1 + max_lag >= task.iteration,
+                    "task {} (iter {}) consumed iter {} — staleness exceeds max_lag {}",
+                    idx, task.iteration, producer.iteration, max_lag
+                );
+            }
+        }
+
+        // The contraction has one fixpoint: whatever the lag or
+        // budget, the converged states agree with the lag-0 run to
+        // fixpoint-resolution (stopping points differ below 1e-10).
+        for (p, (got, want)) in states.iter().zip(&free_states).enumerate() {
+            prop_assert!((got - want).abs() < 1e-8,
+                "partition {}: {} vs {} (lag {}, budget {})", p, got, want, max_lag, budget);
+        }
+    }
+}

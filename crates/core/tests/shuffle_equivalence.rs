@@ -96,6 +96,74 @@ proptest! {
         }
     }
 
+    /// Radix grouping is byte-identical to sort grouping on arbitrary
+    /// key distributions — same groups, same group order, same value
+    /// order within each group.
+    #[test]
+    fn radix_equals_sort_on_arbitrary_streams(
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+    ) {
+        let sorted = Grouped::from_pairs(pairs.clone());
+        let radix = Grouped::from_pairs_radix(pairs);
+        prop_assert_eq!(collect(&radix), collect(&sorted));
+        prop_assert_eq!(radix.records(), sorted.records());
+        prop_assert_eq!(radix.num_groups(), sorted.num_groups());
+    }
+
+    /// Duplicate-heavy streams (the graph-workload shape radix
+    /// targets): tiny key spaces, many values per key.
+    #[test]
+    fn radix_equals_sort_on_duplicate_heavy_streams(
+        values in proptest::collection::vec(any::<u32>(), 0..500),
+        modulus in 1u32..8,
+    ) {
+        let pairs: Vec<(u32, u32)> =
+            values.iter().enumerate().map(|(i, &v)| (v % modulus, i as u32)).collect();
+        let sorted = Grouped::from_pairs(pairs.clone());
+        let radix = Grouped::from_pairs_radix(pairs);
+        prop_assert_eq!(collect(&radix), collect(&sorted));
+    }
+
+    /// Single-reducer jobs route *everything* into one bucket (the
+    /// other buckets are empty) and radix-grouping that bucket must
+    /// still match the sort path — as must grouping the empty buckets.
+    #[test]
+    fn radix_equals_sort_through_single_reducer_route(
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300),
+    ) {
+        let mut buckets = shuffle::route(pairs.clone(), 1);
+        prop_assert_eq!(buckets.len(), 1);
+        let bucket = buckets.pop().unwrap();
+        prop_assert_eq!(bucket.len(), pairs.len());
+        let sorted = Grouped::from_pairs(bucket.clone());
+        let radix = Grouped::from_pairs_radix(bucket);
+        prop_assert_eq!(collect(&radix), collect(&sorted));
+        // Empty buckets (what the other reducers of a wider job see).
+        let empty: Grouped<u32, u32> = Grouped::from_pairs_radix(Vec::new());
+        prop_assert_eq!(collect(&empty), Vec::new());
+    }
+
+    /// Scratch reuse across alternating sort/radix jobs is invisible:
+    /// whichever strategy a job selects, reusing the buffers the other
+    /// strategy recycled must not change its output.
+    #[test]
+    fn radix_and_sort_share_scratch_without_interference(
+        jobs in proptest::collection::vec(
+            proptest::collection::vec((0u32..30, any::<u32>()), 0..120), 1..6),
+    ) {
+        let mut scratch: ShuffleScratch<u32, u32> = ShuffleScratch::default();
+        for (i, pairs) in jobs.into_iter().enumerate() {
+            let reference = shuffle::group(pairs.clone());
+            let grouped = if i % 2 == 0 {
+                Grouped::from_pairs_radix_reusing(pairs, &mut scratch)
+            } else {
+                Grouped::from_pairs_reusing(pairs, &mut scratch)
+            };
+            prop_assert_eq!(collect(&grouped), reference);
+            grouped.recycle_into(&mut scratch);
+        }
+    }
+
     /// End to end at the stream level: routing then grouping each
     /// reducer's concatenated input equals grouping the filtered
     /// stream directly.

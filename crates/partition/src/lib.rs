@@ -34,10 +34,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod multilevel;
+pub mod ordering;
 pub mod partitioning;
 pub mod simple;
 
 pub use multilevel::MultilevelKWay;
+pub use ordering::{apply_locality_order, locality_order};
 pub use partitioning::{PartId, Partitioning};
 pub use simple::{BfsPartitioner, HashPartitioner, RangePartitioner};
 

@@ -1,0 +1,135 @@
+//! Cache-conscious node ordering.
+//!
+//! The flat session kernels sweep each partition's CSR arrays linearly,
+//! but the *global* state vectors (ranks, distances, `remote_in`) are
+//! indexed by vertex id — so a partition whose members are scattered
+//! across the id space turns every state read into a cache miss. This
+//! module relabels the graph so that each partition's members occupy a
+//! contiguous id range, ordered by a BFS over the partition's internal
+//! edges (approximating the crawl order that produced the graph). After
+//! [`apply_locality_order`], a kernel's state accesses are confined to
+//! one dense window per partition and its internal-edge scatters are
+//! near-sequential.
+
+use asyncmr_graph::{CsrGraph, NodeId};
+
+use crate::partitioning::{PartId, Partitioning};
+
+/// Computes a locality-preserving permutation `perm[old] = new`.
+///
+/// New ids are assigned partition by partition (ascending [`PartId`]),
+/// so every partition maps to one contiguous range. Within a partition,
+/// vertices are ordered by BFS over *internal* edges (both directions
+/// are not chased — the CSR out-lists are walked in order, matching the
+/// kernels' scatter direction), starting from the partition's
+/// lowest-numbered member; members unreachable along internal out-edges
+/// are appended in ascending old-id order.
+pub fn locality_order(g: &CsrGraph, parts: &Partitioning) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert_eq!(parts.assignment().len(), n, "partitioning/graph size mismatch");
+    let mut perm = vec![0 as NodeId; n];
+    let mut visited = vec![false; n];
+    let mut next_id = 0 as NodeId;
+    let mut queue = std::collections::VecDeque::new();
+    let members_by_part = parts.members();
+    for p in 0..parts.num_parts() as PartId {
+        // BFS seeded from every member in ascending order: the first
+        // unvisited member starts a wave; later seeds pick up internal
+        // components the earlier waves could not reach.
+        for &seed in &members_by_part[p as usize] {
+            if visited[seed as usize] {
+                continue;
+            }
+            visited[seed as usize] = true;
+            queue.push_back(seed);
+            while let Some(v) = queue.pop_front() {
+                perm[v as usize] = next_id;
+                next_id += 1;
+                for &t in g.out_neighbors(v) {
+                    if parts.part_of(t) == p && !visited[t as usize] {
+                        visited[t as usize] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+    perm
+}
+
+/// Relabels `g` with [`locality_order`] and rebuilds the partitioning
+/// over the new ids.
+///
+/// Returns `(relabeled graph, relabeled partitioning, perm)` where
+/// `perm[old] = new`. The relabeled partitioning assigns each
+/// partition a contiguous id range, preserving sizes and edge cut; use
+/// `perm` to map results back to original vertex ids.
+pub fn apply_locality_order(
+    g: &CsrGraph,
+    parts: &Partitioning,
+) -> (CsrGraph, Partitioning, Vec<NodeId>) {
+    let perm = locality_order(g, parts);
+    let relabeled = g.relabel(&perm);
+    let mut assignment = vec![0 as PartId; g.num_nodes()];
+    for (old, &new) in perm.iter().enumerate() {
+        assignment[new as usize] = parts.part_of(old as NodeId);
+    }
+    let new_parts = Partitioning::new(assignment, parts.num_parts());
+    (relabeled, new_parts, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::HashPartitioner;
+    use crate::Partitioner;
+    use asyncmr_graph::generators;
+
+    #[test]
+    fn order_is_a_permutation() {
+        let g = generators::preferential_attachment_streamed(1000, 4, 0.9, 50, 7);
+        let parts = HashPartitioner.partition(&g, 8);
+        let perm = locality_order(&g, &parts);
+        let mut seen = vec![false; 1000];
+        for &p in &perm {
+            assert!(!seen[p as usize], "duplicate image {p}");
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn partitions_become_contiguous_ranges() {
+        let g = generators::preferential_attachment_streamed(800, 3, 0.9, 40, 3);
+        let parts = HashPartitioner.partition(&g, 6);
+        let (_, new_parts, _) = apply_locality_order(&g, &parts);
+        let assignment = new_parts.assignment();
+        // Ascending part ids over the new id space ⇒ contiguous ranges.
+        for w in assignment.windows(2) {
+            assert!(w[0] <= w[1], "partition ids not monotone: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn sizes_and_cut_preserved() {
+        let g = generators::preferential_attachment_streamed(1200, 4, 0.9, 60, 11);
+        let parts = HashPartitioner.partition(&g, 5);
+        let (rg, new_parts, _) = apply_locality_order(&g, &parts);
+        let mut old_sizes = parts.part_sizes();
+        let mut new_sizes = new_parts.part_sizes();
+        old_sizes.sort_unstable();
+        new_sizes.sort_unstable();
+        assert_eq!(old_sizes, new_sizes);
+        assert_eq!(parts.edge_cut(&g), new_parts.edge_cut(&rg));
+    }
+
+    #[test]
+    fn results_map_back_through_perm() {
+        let g = generators::preferential_attachment_streamed(300, 3, 0.8, 30, 5);
+        let parts = HashPartitioner.partition(&g, 4);
+        let (rg, _, perm) = apply_locality_order(&g, &parts);
+        // Per-vertex out-degree must ride along with the relabeling.
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(g.out_degree(v), rg.out_degree(perm[v as usize]));
+        }
+    }
+}
