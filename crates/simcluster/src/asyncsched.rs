@@ -1,5 +1,5 @@
 //! Replaying *cross-iteration eager* schedules on the simulated
-//! cluster.
+//! cluster — the async half of the unified event core.
 //!
 //! [`Simulation::run_job`] models one barrier-synchronized MapReduce
 //! job: per-job setup, map waves, a shuffle that cannot finish before
@@ -11,17 +11,33 @@
 //! partition state never round-trips through the DFS between
 //! iterations.
 //!
-//! [`Simulation::run_async_schedule`] replays such a run. Each
-//! [`AsyncTaskSpec`] is one metered `gmap` invocation; its `deps` are
-//! the producer tasks whose messages it consumed (its own previous
+//! [`Simulation::run_async_schedule`] replays such a run on the same
+//! [`EventCore`] the barrier path drives:
+//! epoch boundaries are [`Ev::EpochStart`] events, successful attempts
+//! complete as [`Ev::TaskDone`] events (stamped with a rollback
+//! *generation*, the async analogue of the barrier path's node
+//! incarnations), node deaths/rejoins and checkpoint boundaries are
+//! trace markers, and every cross-node message edge is priced by the
+//! core's pluggable [`NetworkModel`](crate::network::NetworkModel).
+//! Placement itself stays synchronous inside the epoch handler — tasks
+//! are visited in list order (a topological order) and each is placed
+//! on the slot whose *estimated* start
+//! ([`NetworkModel::estimate`](crate::network::NetworkModel::estimate))
+//! is earliest; the chosen slot's message edges are then *committed*
+//! through the model, which under a contention model may push the real
+//! start past the estimate (greedy admission — the committed flow
+//! shares capacity with everything already in flight). Under the
+//! [`Constant`](crate::network::Constant) model commit equals estimate,
+//! which is exactly the pre-refactor scheduler's arrival formula — the
+//! replay-fidelity goldens are pinned there.
+//!
+//! Each [`AsyncTaskSpec`] is one metered `gmap` invocation; its `deps`
+//! are the producer tasks whose messages it consumed (its own previous
 //! iteration plus the cross-partition senders the staleness bound
-//! admitted). Tasks are list-scheduled onto the cluster's map slots in
-//! spec order with dependency-constrained start times; cross-node
-//! message edges pay NIC latency + serialization. The per-iteration
-//! `job_setup`/`job_cleanup` and the global barrier disappear — which
-//! is exactly the cost the paper attributes to global synchronization
-//! (§IV), so the simulated win is visible for the same metered work,
-//! not just in host wall-clock.
+//! admitted). The per-iteration `job_setup`/`job_cleanup` and the
+//! global barrier disappear — which is exactly the cost the paper
+//! attributes to global synchronization (§IV), so the simulated win is
+//! visible for the same metered work, not just in host wall-clock.
 //!
 //! The replay honors the same transient-failure regime the barrier
 //! [`Simulation::run_job`] path injects
@@ -52,7 +68,8 @@
 //! 1. every *completed* task placed on *n* whose iteration is at or
 //!    past the last checkpoint (iteration multiples of
 //!    `checkpoint_interval`) loses its stored outputs and returns to
-//!    the pending set;
+//!    the pending set — its rollback generation is bumped, so the old
+//!    attempt's [`Ev::TaskDone`] becomes a stale trace entry;
 //! 2. every completed task that transitively consumed a lost output is
 //!    invalidated too (its inputs can no longer be refetched) — the
 //!    rollback closure over the dependency graph;
@@ -65,13 +82,16 @@
 //! [`AsyncScheduleStats::rollback_time`] meters the serialized cost:
 //! the executed durations of every rolled-back task plus the detection
 //! delays. The replay remains a pure function of
-//! `(ClusterSpec, FailurePlan, NodeFailurePlan, seed, tasks)` —
-//! identical inputs produce byte-identical schedules, which is what
-//! lets `iterate_bench` sweep checkpoint interval × node-failure
-//! probability reproducibly.
+//! `(ClusterSpec, FailurePlan, NodeFailurePlan, NetworkModel, seed,
+//! tasks)` — identical inputs produce byte-identical schedules *and*
+//! event traces, which is what lets `iterate_bench` sweep checkpoint
+//! interval × node-failure probability reproducibly.
 
 use rand::RngExt;
 
+use crate::cluster::ClusterSpec;
+use crate::event_core::{ComponentId, Ev, EventCore, EventHandler};
+use crate::failure::{FailurePlan, NodeFailurePlan};
 use crate::sim::Simulation;
 use crate::time::SimTime;
 
@@ -167,137 +187,19 @@ pub struct AsyncScheduleStats {
     pub task_node: Vec<usize>,
 }
 
-/// Mutable placement state threaded through [`Simulation::place_async_task`]
-/// — the arrays one task dispatch reads (dependency finishes/placements)
-/// and updates (slot occupancy, accounting).
-struct Placement {
-    /// (free time, node) per map slot.
-    slots: Vec<(SimTime, usize)>,
-    finish: Vec<SimTime>,
-    node_of: Vec<usize>,
-    /// Duration of the successful attempt, per task (rollback billing).
-    dur: Vec<SimTime>,
-    network_bytes: u64,
-    failed_attempts: usize,
-    recovery_time: SimTime,
-    work_end: SimTime,
-}
-
 impl Simulation {
-    /// Dispatches task `i` (attempt loop included) onto the
-    /// earliest-start slot and records its finish/node/duration.
-    ///
-    /// Start = max(slot free, `gate`, every dependency's message
-    /// arrival at that slot's node); ties break toward the
-    /// lowest-indexed slot. Slots on `exclude_node` are skipped (the
-    /// re-placement rule after a node death). Under an active
-    /// [`crate::FailurePlan`] each attempt may die a uniform fraction
-    /// of the way through, holding its slot until the death; the retry
-    /// waits out the detection delay.
-    fn place_async_task(
-        &mut self,
-        tasks: &[AsyncTaskSpec],
-        i: usize,
-        consumers: &[u32],
-        gate: SimTime,
-        exclude_node: Option<usize>,
-        pl: &mut Placement,
-    ) {
-        // On a single-node cluster there is nowhere else to go: the
-        // rebooted node must take its own lost work back (the gate
-        // already delays it past the detection).
-        let exclude_node = exclude_node.filter(|&n| pl.slots.iter().any(|&(_, node)| node != n));
-        let task = &tasks[i];
-        let mut attempt = 0u32;
-        // A retry cannot be dispatched before the previous attempt's
-        // death is detected.
-        let mut retry_gate = gate;
-        loop {
-            // Earliest-start slot. A dependency's arrival time depends
-            // on whether its producer ran on the same node, so
-            // readiness is evaluated per candidate slot.
-            let mut best: Option<(SimTime, usize)> = None;
-            for (s, &(free, node)) in pl.slots.iter().enumerate() {
-                if exclude_node == Some(node) {
-                    continue;
-                }
-                let mut start = free.max(gate).max(retry_gate);
-                for &d in &task.deps {
-                    debug_assert!(d < i, "async schedule must be topologically ordered");
-                    let arrival = if pl.node_of[d] == node {
-                        pl.finish[d]
-                    } else {
-                        let share = tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                        pl.finish[d]
-                            + self.spec.net_latency
-                            + SimTime::from_secs_f64(share as f64 / self.spec.nic_bandwidth)
-                    };
-                    start = start.max(arrival);
-                }
-                if best.is_none_or(|(b, _)| start < b) {
-                    best = Some((start, s));
-                }
-            }
-            let (start, slot) = best.expect("at least one admissible slot");
-            let node = pl.slots[slot].1;
-            // Every attempt refetches its cross-node inputs (Hadoop
-            // re-reads map outputs on re-execution).
-            for &d in &task.deps {
-                if pl.node_of[d] != node {
-                    pl.network_bytes += tasks[d].output_bytes / u64::from(consumers[d].max(1));
-                }
-            }
-
-            // Iteration 0 reads its split from the local DFS replica;
-            // later iterations operate on resident state (the async
-            // session never round-trips through the DFS).
-            let read = if task.iteration == 0 {
-                SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
-            } else {
-                SimTime::ZERO
-            };
-            let speed = self.spec.nodes[node].speed;
-            let straggle = self.straggler();
-            let compute =
-                self.spec.cost.compute_time(task.ops, task.output_records, speed).scale(straggle);
-            let sort = self.spec.cost.sort_time(task.output_bytes, speed);
-            let end = start + self.spec.task_launch + read + compute + sort;
-
-            if self.attempt_fails(attempt) {
-                // Dies a uniform fraction of the way through; the slot
-                // is occupied until the death, the retry waits out the
-                // detection delay.
-                let frac: f64 = self.rng.random_range(0.05..0.95);
-                let died = start + (end - start).scale(frac);
-                pl.slots[slot].0 = died;
-                pl.failed_attempts += 1;
-                pl.recovery_time += (died - start) + self.failure.detection_delay;
-                retry_gate = died + self.failure.detection_delay;
-                attempt += 1;
-                continue;
-            }
-
-            pl.finish[i] = end;
-            pl.node_of[i] = node;
-            pl.dur[i] = end - start;
-            pl.slots[slot].0 = end;
-            pl.work_end = pl.work_end.max(end);
-            return;
-        }
-    }
-
     /// Replays an eager cross-iteration schedule, advancing the cluster
     /// clock. See the [module docs](self) for the model.
     ///
     /// Scheduling policy: tasks are visited in list order (a
     /// topological order — `deps` always point backwards) and each is
-    /// placed on the map slot giving it the earliest start, where start
-    /// = max(slot free, session setup done, every dependency's message
-    /// arrival at that slot's node). Ties break toward the
-    /// lowest-indexed slot, so the replay is a pure function of
-    /// `(ClusterSpec, FailurePlan, NodeFailurePlan, seed, tasks)` — the
-    /// async analogue of the contract [`Simulation::run_job`]
-    /// documents.
+    /// placed on the map slot giving it the earliest estimated start,
+    /// where start = max(slot free, session setup done, every
+    /// dependency's message arrival at that slot's node). Ties break
+    /// toward the lowest-indexed slot, so the replay is a pure function
+    /// of `(ClusterSpec, FailurePlan, NodeFailurePlan, NetworkModel,
+    /// seed, tasks)` — the async analogue of the contract
+    /// [`Simulation::run_job`] documents.
     ///
     /// Under an active [`crate::FailurePlan`] each attempt may die (see
     /// the [module docs](self)); a failed attempt holds its slot until
@@ -308,19 +210,22 @@ impl Simulation {
     /// ([`Simulation::with_node_failures`]) the replay additionally
     /// injects correlated node deaths with checkpoint-bounded rollback
     /// (see the [module docs](self)): dispatch proceeds epoch by epoch
-    /// (one epoch per global iteration) so a death can take completed
-    /// resident work past the last checkpoint — and everything that
-    /// transitively consumed it — back into the pending set.
+    /// (one [`Ev::EpochStart`] per global iteration) so a death can
+    /// take completed resident work past the last checkpoint — and
+    /// everything that transitively consumed it — back into the pending
+    /// set.
     ///
     /// # Panics
     ///
     /// In debug builds, panics if a task's `deps` contain a forward
     /// reference (`dep >= task index`).
     pub fn run_async_schedule(&mut self, tasks: &[AsyncTaskSpec]) -> AsyncScheduleStats {
-        let submitted_at = self.clock;
+        let submitted_at = self.core.now();
         // One session = one job-tracker envelope, however many global
         // iterations it spans.
         let setup_done = submitted_at + self.spec.job_setup;
+        self.core.net_mut().advance_to(setup_done);
+        self.core.clear_trace();
 
         // Fan-out per producer: message bytes are split evenly across
         // the consumers that actually waited on the task.
@@ -328,6 +233,16 @@ impl Simulation {
         for t in tasks {
             for &d in &t.deps {
                 consumers[d] += 1;
+            }
+        }
+        // Consumer adjacency for the transitive rollback closure (only
+        // needed when deaths can fire).
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        if self.node_failure.enabled() {
+            for (i, t) in tasks.iter().enumerate() {
+                for &d in &t.deps {
+                    dependents[d].push(i);
+                }
             }
         }
 
@@ -340,37 +255,58 @@ impl Simulation {
             .collect();
         assert!(!slots.is_empty(), "cluster must have at least one map slot");
 
-        let mut pl = Placement {
+        let n_nodes = self.spec.num_nodes();
+        let mut run = AsyncRun {
+            cid: self.async_cid,
+            spec: &self.spec,
+            tasks,
+            failure: self.failure.clone(),
+            node_plan: self.node_failure.clone(),
+            consumers,
+            dependents,
             slots,
             finish: vec![SimTime::ZERO; tasks.len()],
             node_of: vec![0usize; tasks.len()],
             dur: vec![SimTime::ZERO; tasks.len()],
+            generation: vec![0u32; tasks.len()],
+            done: vec![false; tasks.len()],
+            gate: vec![setup_done; tasks.len()],
+            excluded: vec![None; tasks.len()],
+            deaths: vec![0u32; n_nodes],
             network_bytes: 0,
             failed_attempts: 0,
             recovery_time: SimTime::ZERO,
+            rollback_time: SimTime::ZERO,
+            node_failures: 0,
             work_end: setup_done,
         };
-        let mut node_failures = 0usize;
-        let mut rollback_time = SimTime::ZERO;
 
-        if !self.node_failure.enabled() {
-            for i in 0..tasks.len() {
-                self.place_async_task(tasks, i, &consumers, setup_done, None, &mut pl);
+        // Epoch boundaries are events on the shared queue. Without a
+        // node plan a single boundary admits the whole schedule (the
+        // dependency gates do the sequencing); with one, each epoch is
+        // its own boundary so deaths interleave with dispatch. All
+        // boundaries carry the same timestamp — the queue's push-order
+        // tie-breaking runs them in epoch order, and placement advances
+        // the schedule frontier (`work_end`), not the event clock.
+        let max_epoch = tasks.iter().map(|t| t.iteration).max().unwrap_or(0);
+        if run.node_plan.enabled() {
+            for epoch in 0..=max_epoch {
+                self.core.schedule(setup_done, run.cid, Ev::EpochStart { epoch });
             }
         } else {
-            self.replay_with_node_deaths(
-                tasks,
-                &consumers,
-                setup_done,
-                &mut pl,
-                &mut node_failures,
-                &mut rollback_time,
-            );
+            self.core.schedule(setup_done, run.cid, Ev::EpochStart { epoch: max_epoch });
         }
 
-        let finished_at = pl.work_end + self.spec.job_cleanup;
-        self.clock = finished_at;
-        self.net.advance_to(finished_at);
+        while let Some((at, component, ev)) = self.core.pop() {
+            debug_assert_eq!(component, run.cid, "async run owns the whole queue");
+            run.on_event(&mut self.core, at, ev);
+        }
+
+        debug_assert!(run.done.iter().all(|&d| d), "all tasks must complete");
+
+        let finished_at = run.work_end + self.spec.job_cleanup;
+        self.core.set_clock(finished_at);
+        self.core.net_mut().advance_to(finished_at);
         self.jobs_run += 1;
 
         AsyncScheduleStats {
@@ -378,104 +314,270 @@ impl Simulation {
             finished_at,
             duration: finished_at - submitted_at,
             tasks: tasks.len(),
-            network_bytes: pl.network_bytes,
-            failed_attempts: pl.failed_attempts,
-            recovery_time: pl.recovery_time,
-            node_failures,
-            rollback_time,
-            task_finish: pl.finish,
-            task_node: pl.node_of,
+            network_bytes: run.network_bytes,
+            failed_attempts: run.failed_attempts,
+            recovery_time: run.recovery_time,
+            node_failures: run.node_failures,
+            rollback_time: run.rollback_time,
+            task_finish: run.finish,
+            task_node: run.node_of,
+        }
+    }
+}
+
+/// The per-session driver state: one registered event-core component
+/// receiving the session's epoch boundaries and task completions.
+struct AsyncRun<'a> {
+    cid: ComponentId,
+    spec: &'a ClusterSpec,
+    tasks: &'a [AsyncTaskSpec],
+    failure: FailurePlan,
+    node_plan: NodeFailurePlan,
+    /// Fan-out per producer (message bytes split across consumers).
+    consumers: Vec<u32>,
+    /// Consumer adjacency (rollback closure); empty without a node plan.
+    dependents: Vec<Vec<usize>>,
+    /// (free time, node) per map slot.
+    slots: Vec<(SimTime, usize)>,
+    finish: Vec<SimTime>,
+    node_of: Vec<usize>,
+    /// Duration of the successful attempt, per task (rollback billing).
+    dur: Vec<SimTime>,
+    /// Rollback generation per task; stale [`Ev::TaskDone`]s carry an
+    /// older one.
+    generation: Vec<u32>,
+    done: Vec<bool>,
+    /// Per-task dispatch gate (death detection delays re-executions).
+    gate: Vec<SimTime>,
+    /// Placement exclusion (the node that lost the task).
+    excluded: Vec<Option<usize>>,
+    /// Deaths injected per node (budget enforcement).
+    deaths: Vec<u32>,
+    network_bytes: u64,
+    failed_attempts: usize,
+    recovery_time: SimTime,
+    rollback_time: SimTime,
+    node_failures: usize,
+    /// The schedule frontier: latest completion committed so far.
+    work_end: SimTime,
+}
+
+impl AsyncRun<'_> {
+    /// Decides whether this attempt fails (never on the last attempt).
+    fn attempt_fails(&self, core: &mut EventCore, attempt: u32) -> bool {
+        self.failure.enabled()
+            && attempt + 1 < self.failure.max_attempts
+            && core.rng().random_range(0.0..1.0) < self.failure.attempt_failure_prob
+    }
+
+    /// Dispatches task `i` (attempt loop included) onto the
+    /// earliest-start slot and records its finish/node/duration.
+    ///
+    /// Start = max(slot free, the task's gate, every dependency's
+    /// *estimated* message arrival at that slot's node); ties break
+    /// toward the lowest-indexed slot. The chosen slot's cross-node
+    /// edges are then committed through the network model, which may
+    /// push the real start past the estimate under contention (and
+    /// matches it exactly under [`crate::network::Constant`]). Slots on
+    /// the task's excluded node are skipped (the re-placement rule
+    /// after a node death). Under an active [`crate::FailurePlan`] each
+    /// attempt may die a uniform fraction of the way through, holding
+    /// its slot until the death; the retry waits out the detection
+    /// delay.
+    fn place(&mut self, core: &mut EventCore, i: usize) {
+        // On a single-node cluster there is nowhere else to go: the
+        // rebooted node must take its own lost work back (the gate
+        // already delays it past the detection).
+        let exclude_node =
+            self.excluded[i].filter(|&n| self.slots.iter().any(|&(_, node)| node != n));
+        let task = &self.tasks[i];
+        let gate = self.gate[i];
+        let mut attempt = 0u32;
+        // A retry cannot be dispatched before the previous attempt's
+        // death is detected.
+        let mut retry_gate = gate;
+        loop {
+            // Earliest-start slot by pure estimate. A dependency's
+            // arrival time depends on whether its producer ran on the
+            // same node, so readiness is evaluated per candidate slot.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (s, &(free, node)) in self.slots.iter().enumerate() {
+                if exclude_node == Some(node) {
+                    continue;
+                }
+                let mut start = free.max(gate).max(retry_gate);
+                for &d in &task.deps {
+                    debug_assert!(d < i, "async schedule must be topologically ordered");
+                    let share = self.tasks[d].output_bytes / u64::from(self.consumers[d].max(1));
+                    let arrival = core.net().estimate(self.node_of[d], node, share, self.finish[d]);
+                    start = start.max(arrival);
+                }
+                if best.is_none_or(|(b, _)| start < b) {
+                    best = Some((start, s));
+                }
+            }
+            let (est_start, slot) = best.expect("at least one admissible slot");
+            let node = self.slots[slot].1;
+            // Commit the chosen slot's cross-node edges. Every attempt
+            // refetches its inputs (Hadoop re-reads map outputs on
+            // re-execution); under a contention model the committed
+            // arrivals may exceed the estimates that ranked this slot.
+            let mut start = self.slots[slot].0.max(gate).max(retry_gate);
+            for &d in &task.deps {
+                if self.node_of[d] == node {
+                    start = start.max(self.finish[d]);
+                } else {
+                    let share = self.tasks[d].output_bytes / u64::from(self.consumers[d].max(1));
+                    self.network_bytes += share;
+                    let arrival =
+                        core.net_mut().transfer(self.node_of[d], node, share, self.finish[d]);
+                    core.mark(
+                        arrival,
+                        self.cid,
+                        Ev::TransferDone { src: self.node_of[d], dst: node, bytes: share },
+                    );
+                    start = start.max(arrival);
+                }
+            }
+            debug_assert!(start >= est_start, "commitment can only delay the estimate");
+
+            // Iteration 0 reads its split from the local DFS replica;
+            // later iterations operate on resident state (the async
+            // session never round-trips through the DFS).
+            let read = if task.iteration == 0 {
+                SimTime::from_secs_f64(task.input_bytes as f64 / self.spec.disk_bandwidth)
+            } else {
+                SimTime::ZERO
+            };
+            let speed = self.spec.nodes[node].speed;
+            let straggle = core.straggler(self.spec.straggler_sigma);
+            let compute =
+                self.spec.cost.compute_time(task.ops, task.output_records, speed).scale(straggle);
+            let sort = self.spec.cost.sort_time(task.output_bytes, speed);
+            let end = start + self.spec.task_launch + read + compute + sort;
+
+            if self.attempt_fails(core, attempt) {
+                // Dies a uniform fraction of the way through; the slot
+                // is occupied until the death, the retry waits out the
+                // detection delay.
+                let frac: f64 = core.rng().random_range(0.05..0.95);
+                let died = start + (end - start).scale(frac);
+                self.slots[slot].0 = died;
+                self.failed_attempts += 1;
+                self.recovery_time += (died - start) + self.failure.detection_delay;
+                retry_gate = died + self.failure.detection_delay;
+                attempt += 1;
+                continue;
+            }
+
+            self.finish[i] = end;
+            self.node_of[i] = node;
+            self.dur[i] = end - start;
+            self.slots[slot].0 = end;
+            self.work_end = self.work_end.max(end);
+            core.schedule(
+                end,
+                self.cid,
+                Ev::TaskDone { task: i, node, generation: self.generation[i] },
+            );
+            return;
         }
     }
 
-    /// The node-death replay loop (see the [module docs](self)):
-    /// dispatch epoch by epoch, drawing per-node death verdicts at each
-    /// epoch boundary and rolling lost work — resident completions past
-    /// the last checkpoint plus their transitive consumers — back into
-    /// the pending set for re-placement off the dead node.
-    fn replay_with_node_deaths(
-        &mut self,
-        tasks: &[AsyncTaskSpec],
-        consumers: &[u32],
-        setup_done: SimTime,
-        pl: &mut Placement,
-        node_failures: &mut usize,
-        rollback_time: &mut SimTime,
-    ) {
-        let plan = self.node_failure.clone();
+    /// Draws the epoch's death verdicts and rolls lost work — resident
+    /// completions past the last checkpoint plus their transitive
+    /// consumers — back into the pending set for re-placement off the
+    /// dead node.
+    fn inject_deaths(&mut self, core: &mut EventCore, epoch: usize) {
         let n_nodes = self.spec.num_nodes();
-        // Consumer adjacency for the transitive rollback closure.
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
-        for (i, t) in tasks.iter().enumerate() {
-            for &d in &t.deps {
-                dependents[d].push(i);
+        #[allow(clippy::needless_range_loop)] // `node` indexes several parallel per-node views
+        for node in 0..n_nodes {
+            if self.deaths[node] >= self.node_plan.max_node_failures
+                || !self.node_plan.node_fails(node, epoch)
+            {
+                continue;
             }
-        }
+            self.deaths[node] += 1;
+            self.node_failures += 1;
+            let ckpt = self.node_plan.last_checkpoint(epoch);
+            let died_at = self.work_end;
+            let redispatch = died_at + self.node_plan.detection_delay;
+            core.mark(died_at, self.cid, Ev::NodeDeath { node });
+            core.mark(redispatch, self.cid, Ev::NodeRejoin { node });
 
-        let mut done = vec![false; tasks.len()];
-        // Per-task dispatch gate (death detection delays re-executions)
-        // and placement exclusion (the node that lost the task).
-        let mut gate = vec![setup_done; tasks.len()];
-        let mut excluded: Vec<Option<usize>> = vec![None; tasks.len()];
-        let mut deaths = vec![0u32; n_nodes];
-        let max_epoch = tasks.iter().map(|t| t.iteration).max().unwrap_or(0);
-
-        for epoch in 0..=max_epoch {
-            // Death verdicts at the epoch boundary — before this
-            // epoch's tasks dispatch, so a death can only take work of
-            // earlier epochs (what is actually resident by now).
-            #[allow(clippy::needless_range_loop)] // `node` indexes three parallel per-node views
-            for node in 0..n_nodes {
-                if deaths[node] >= plan.max_node_failures || !plan.node_fails(node, epoch) {
-                    continue;
-                }
-                deaths[node] += 1;
-                *node_failures += 1;
-                let ckpt = plan.last_checkpoint(epoch);
-                let died_at = pl.work_end;
-                let redispatch = died_at + plan.detection_delay;
-
-                // Directly lost: completed tasks resident on the dead
-                // node whose outputs post-date the last checkpoint.
-                let mut lost: Vec<usize> = (0..tasks.len())
-                    .filter(|&t| done[t] && pl.node_of[t] == node && tasks[t].iteration >= ckpt)
-                    .collect();
-                // Transitively lost: completed consumers of a lost
-                // output, to a fixpoint over the dependency graph.
-                let mut queue = lost.clone();
-                while let Some(t) = queue.pop() {
-                    for &c in &dependents[t] {
-                        if done[c] && !lost.contains(&c) {
-                            lost.push(c);
-                            queue.push(c);
-                        }
+            // Directly lost: completed tasks resident on the dead node
+            // whose outputs post-date the last checkpoint.
+            let mut lost: Vec<usize> = (0..self.tasks.len())
+                .filter(|&t| {
+                    self.done[t] && self.node_of[t] == node && self.tasks[t].iteration >= ckpt
+                })
+                .collect();
+            // Transitively lost: completed consumers of a lost output,
+            // to a fixpoint over the dependency graph.
+            let mut queue = lost.clone();
+            while let Some(t) = queue.pop() {
+                for &c in &self.dependents[t] {
+                    if self.done[c] && !lost.contains(&c) {
+                        lost.push(c);
+                        queue.push(c);
                     }
                 }
-                for &t in &lost {
-                    done[t] = false;
-                    *rollback_time += pl.dur[t];
-                    gate[t] = gate[t].max(redispatch);
-                    excluded[t] = Some(node);
-                }
-                *rollback_time += plan.detection_delay;
-                // The node reboots with clean state: its slots rejoin
-                // once the death is detected.
-                for slot in pl.slots.iter_mut().filter(|(_, sn)| *sn == node) {
-                    slot.0 = slot.0.max(redispatch);
-                }
             }
+            for &t in &lost {
+                self.done[t] = false;
+                self.rollback_time += self.dur[t];
+                self.gate[t] = self.gate[t].max(redispatch);
+                self.excluded[t] = Some(node);
+                self.generation[t] += 1;
+            }
+            self.rollback_time += self.node_plan.detection_delay;
+            // The node reboots with clean state: its slots rejoin once
+            // the death is detected.
+            for slot in self.slots.iter_mut().filter(|(_, sn)| *sn == node) {
+                slot.0 = slot.0.max(redispatch);
+            }
+        }
+    }
+}
 
-            // (Re-)dispatch everything pending up to this epoch, in
-            // index order — deps always point to lower indices, so a
-            // rolled-back producer is re-placed before any consumer
-            // that needs its fresh finish time.
-            for i in 0..tasks.len() {
-                if done[i] || tasks[i].iteration > epoch {
-                    continue;
+impl EventHandler for AsyncRun<'_> {
+    fn on_event(&mut self, core: &mut EventCore, _at: SimTime, ev: Ev) {
+        match ev {
+            Ev::EpochStart { epoch } => {
+                if self.node_plan.enabled() {
+                    if epoch % self.node_plan.checkpoint_interval == 0 {
+                        // Trace-only: the session checkpointed its
+                        // resident state (no traffic billed — the
+                        // legacy cost model, kept for fidelity).
+                        core.mark(self.work_end, self.cid, Ev::Checkpoint { epoch });
+                    }
+                    // Verdicts at the epoch boundary — before this
+                    // epoch's tasks dispatch, so a death can only take
+                    // work of earlier epochs (what is resident by now).
+                    self.inject_deaths(core, epoch);
                 }
-                self.place_async_task(tasks, i, consumers, gate[i], excluded[i], pl);
-                done[i] = true;
+                // (Re-)dispatch everything pending up to this epoch, in
+                // index order — deps always point to lower indices, so
+                // a rolled-back producer is re-placed before any
+                // consumer that needs its fresh finish time.
+                for i in 0..self.tasks.len() {
+                    if self.done[i] || self.tasks[i].iteration > epoch {
+                        continue;
+                    }
+                    self.place(core, i);
+                    self.done[i] = true;
+                }
             }
+            Ev::TaskDone { task, generation, .. } => {
+                // Completions drive nothing (placement already
+                // committed the schedule); they exist so the trace
+                // tells the whole story. A stale generation is a
+                // rolled-back attempt.
+                if generation == self.generation[task] {
+                    debug_assert!(self.done[task], "a current-generation completion must be final");
+                }
+            }
+            other => unreachable!("async run received foreign event {other:?}"),
         }
     }
 }
@@ -772,5 +874,28 @@ mod tests {
         let stats = s.run_job(&job);
         assert_eq!(stats.submitted_at, first.finished_at);
         assert_eq!(s.jobs_run(), 2);
+    }
+
+    #[test]
+    fn trace_records_epochs_completions_and_deaths() {
+        use crate::failure::NodeFailurePlan;
+        let tasks = ring_schedule(4, 3, 1_000_000);
+        let mut s = sim(2);
+        let stats = s.run_async_schedule(&tasks);
+        let trace = s.last_trace();
+        let epochs = trace.iter().filter(|t| matches!(t.ev, Ev::EpochStart { .. })).count();
+        assert_eq!(epochs, 1, "no node plan: one boundary admits the whole schedule");
+        let dones = trace.iter().filter(|t| matches!(t.ev, Ev::TaskDone { .. })).count();
+        assert_eq!(dones, stats.tasks, "every completion is traced");
+
+        let mut s = sim(2).with_node_failures(NodeFailurePlan::correlated(0.3, 1, 5));
+        let stats = s.run_async_schedule(&tasks);
+        let trace = s.last_trace();
+        let epochs = trace.iter().filter(|t| matches!(t.ev, Ev::EpochStart { .. })).count();
+        assert_eq!(epochs, 3, "one boundary per iteration under a node plan");
+        let deaths = trace.iter().filter(|t| matches!(t.ev, Ev::NodeDeath { .. })).count();
+        assert_eq!(deaths, stats.node_failures, "every injected death is traced");
+        let ckpts = trace.iter().filter(|t| matches!(t.ev, Ev::Checkpoint { .. })).count();
+        assert_eq!(ckpts, 3, "interval 1: a checkpoint marker per epoch");
     }
 }

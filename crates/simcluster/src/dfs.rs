@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::network::NetworkState;
+use crate::network::NetworkModel;
 use crate::time::SimTime;
 
 /// DFS behaviour constants.
@@ -53,7 +53,7 @@ impl DfsModel {
     #[allow(clippy::too_many_arguments)]
     pub fn read(
         &self,
-        net: &mut NetworkState,
+        net: &mut dyn NetworkModel,
         reader: usize,
         remote_src: usize,
         bytes: u64,
@@ -79,7 +79,7 @@ impl DfsModel {
     /// targets (deterministic placement chosen by the caller).
     pub fn write(
         &self,
-        net: &mut NetworkState,
+        net: &mut dyn NetworkModel,
         writer: usize,
         replica_nodes: &[usize],
         bytes: u64,
@@ -108,6 +108,7 @@ impl Default for DfsModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::NetworkState;
 
     fn net4() -> NetworkState {
         NetworkState::new(4, 1e6, SimTime::from_millis(1))

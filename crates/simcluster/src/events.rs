@@ -55,16 +55,24 @@ impl<E> EventQueue<E> {
         EventQueue { heap: BinaryHeap::new(), seq: 0 }
     }
 
-    /// Schedules `event` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
+    /// Schedules `event` at absolute time `at`; returns its event id
+    /// (monotone in push order — the `(time, event_id)` tie-breaker).
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, event }));
+        seq
     }
 
     /// Removes and returns the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Like [`EventQueue::pop`], also yielding the event id (for event
+    /// traces).
+    pub fn pop_with_id(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.seq, e.event))
     }
 
     /// Time of the next event without removing it.

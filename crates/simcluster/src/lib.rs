@@ -43,6 +43,7 @@ pub mod asyncsched;
 pub mod cluster;
 pub mod costmodel;
 pub mod dfs;
+pub mod event_core;
 pub mod events;
 pub mod failure;
 pub mod job;
@@ -55,8 +56,10 @@ pub use asyncsched::{AsyncScheduleStats, AsyncTaskSpec};
 pub use cluster::{ClusterSpec, NodeSpec};
 pub use costmodel::CostModel;
 pub use dfs::DfsModel;
+pub use event_core::{ComponentId, Ev, EventCore, EventHandler, TraceEvent};
 pub use failure::{splitmix64, verdict_unit, FailurePlan, NodeFailurePlan};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
+pub use network::{Constant, NetworkModel, NetworkState, SharedBandwidth, TopologyAware};
 pub use sim::Simulation;
 pub use stats::{JobStats, PhaseBreakdown, RunTotals};
 pub use time::SimTime;

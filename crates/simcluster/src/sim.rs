@@ -1,10 +1,15 @@
-//! The discrete-event simulation engine.
+//! The barrier-synchronized MapReduce driver on the unified event core.
 //!
-//! One [`Simulation`] holds the persistent cluster state (clock, NIC
-//! occupancy, RNG) across jobs, so an *iterative* MapReduce run is
-//! simply a sequence of [`Simulation::run_job`] calls — exactly how
-//! Hadoop 0.20 executed iterative algorithms, one job per iteration,
-//! with all state round-tripping through the DFS in between.
+//! One [`Simulation`] owns a single [`EventCore`] — clock, `(time,
+//! event_id)`-ordered queue, seeded RNG, pluggable
+//! [`NetworkModel`] — and both replay
+//! paths drive it: this module's [`Simulation::run_job`] (one
+//! barrier-synchronized job) and the sibling
+//! [`crate::asyncsched`] replay ([`Simulation::run_async_schedule`]).
+//! An *iterative* MapReduce run is simply a sequence of
+//! [`Simulation::run_job`] calls — exactly how Hadoop 0.20 executed
+//! iterative algorithms, one job per iteration, with all state
+//! round-tripping through the DFS in between.
 //!
 //! ## Job life cycle
 //!
@@ -15,63 +20,105 @@
 //! ```
 //!
 //! All scheduling decisions iterate nodes and FIFO queues in fixed
-//! order, and every random draw comes from one seeded RNG, so a run is
-//! a pure function of `(ClusterSpec, FailurePlan, seed, jobs)`.
+//! order, and every random draw comes from the core's one seeded RNG,
+//! so a run is a pure function of
+//! `(ClusterSpec, FailurePlan, NodeFailurePlan, NetworkModel, seed,
+//! jobs)` — pinned bit-exactly by `tests/replay_fidelity.rs`.
+//!
+//! ## Correlated node death (new with the unified core)
+//!
+//! With a [`NodeFailurePlan`] installed, the barrier path now injects
+//! whole-node deaths (previously an async-only capability): at job
+//! submit each node draws a deterministic death verdict for this job's
+//! epoch; a marked node dies at its *k*-th task completion (*k* ∈ 1..3,
+//! also verdict-derived). A death
+//!
+//! 1. bumps the node's **incarnation** — in-flight completions from the
+//!    old incarnation become stale and are ignored;
+//! 2. requeues every attempt running on the node and every completed
+//!    map whose output had not been fully fetched by the reducers
+//!    (map outputs live on local disk; reduce outputs are
+//!    DFS-replicated and survive), each dispatched again after the
+//!    plan's detection delay;
+//! 3. zeroes the node's slots until a [`Ev::NodeRejoin`] event restores
+//!    them (detection delay later).
+//!
+//! Reducers that lose their fetched inputs re-enter the not-ready state
+//! and re-arm once all maps (including re-executions) are done again.
+//! [`JobStats::node_failures`]/[`JobStats::node_lost_tasks`] meter the
+//! injection; the per-node death budget
+//! ([`NodeFailurePlan::max_node_failures`]) persists across the
+//! simulation's jobs.
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 use crate::cluster::ClusterSpec;
-use crate::events::EventQueue;
-use crate::failure::{FailurePlan, NodeFailurePlan};
+use crate::event_core::{ComponentId, Ev, EventCore, EventHandler, TraceEvent};
+use crate::failure::{verdict_unit, FailurePlan, NodeFailurePlan};
 use crate::job::JobSpec;
-use crate::network::NetworkState;
+use crate::network::{NetworkModel, NetworkState};
 use crate::stats::{JobStats, PhaseBreakdown, RunTotals};
 use crate::time::SimTime;
 
+/// Salt for the "at which completion does the marked node die" draw,
+/// kept distinct from the death verdict itself.
+const BARRIER_DEATH_SALT: u64 = 0xbadd_ead5_a17e_d001;
+
 /// A persistent simulated cluster executing MapReduce jobs.
-///
-/// Fields are `pub(crate)` so the sibling [`crate::asyncsched`] replay
-/// shares the same clock, network, and RNG stream.
 #[derive(Debug)]
 pub struct Simulation {
     pub(crate) spec: ClusterSpec,
     pub(crate) failure: FailurePlan,
     pub(crate) node_failure: NodeFailurePlan,
-    pub(crate) clock: SimTime,
-    pub(crate) net: NetworkState,
-    pub(crate) rng: StdRng,
+    pub(crate) core: EventCore,
     pub(crate) jobs_run: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
-    MapDone { task: usize, node: usize },
-    MapFailed { task: usize, node: usize },
-    MapRetry { task: usize },
-    ReduceReady { task: usize },
-    ReduceDone { task: usize, node: usize },
-    ReduceFailed { task: usize, node: usize },
-    ReduceRetry { task: usize },
+    pub(crate) barrier_cid: ComponentId,
+    pub(crate) async_cid: ComponentId,
+    /// Cross-job node-death budget spent by the barrier path.
+    barrier_deaths: Vec<u32>,
 }
 
 impl Simulation {
-    /// Creates an idle cluster with no failure injection.
+    /// Creates an idle cluster with no failure injection, on the
+    /// default NIC-serialized store-and-forward network
+    /// ([`NetworkState`]).
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
         let nodes = spec.num_nodes();
         assert!(nodes > 0, "cluster must have at least one node");
         let net = NetworkState::new(nodes, spec.nic_bandwidth, spec.net_latency);
+        let mut core = EventCore::new(seed, Box::new(net));
+        let barrier_cid = core.register_component("barrier");
+        let async_cid = core.register_component("async");
         Simulation {
             spec,
             failure: FailurePlan::none(),
             node_failure: NodeFailurePlan::none(),
-            clock: SimTime::ZERO,
-            net,
-            rng: StdRng::seed_from_u64(seed),
+            core,
             jobs_run: 0,
+            barrier_cid,
+            async_cid,
+            barrier_deaths: vec![0; nodes],
         }
+    }
+
+    /// Swaps the network model both replay paths price traffic with
+    /// (builder-style, before any job runs). The default is the
+    /// NIC-serialized [`NetworkState`]; see [`crate::network`] for the
+    /// model family.
+    ///
+    /// # Panics
+    ///
+    /// If the model's node count does not match the cluster's.
+    pub fn with_network<M: NetworkModel + 'static>(mut self, model: M) -> Self {
+        assert_eq!(
+            model.nodes(),
+            self.spec.num_nodes(),
+            "network model must cover exactly the cluster's nodes"
+        );
+        self.core.set_net(Box::new(model));
+        self
     }
 
     /// Enables transient-failure injection for subsequent jobs (barrier
@@ -90,10 +137,10 @@ impl Simulation {
     }
 
     /// Enables correlated node-failure injection for subsequent
-    /// [`Simulation::run_async_schedule`] replays: a dying node takes
-    /// every resident task and its stored outputs with it, rolling the
-    /// schedule back to the last checkpoint (see
-    /// [`crate::asyncsched`]). Composes with
+    /// replays on *both* paths: async schedules roll back to the last
+    /// checkpoint ([`crate::asyncsched`]); barrier jobs requeue the
+    /// dead node's in-flight attempts and unfetched map outputs (see
+    /// the [module docs](self)). Composes with
     /// [`Simulation::with_failures`] — both regimes can be active.
     ///
     /// # Panics
@@ -114,7 +161,7 @@ impl Simulation {
 
     /// Current simulated wall-clock.
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.core.now()
     }
 
     /// Number of jobs executed so far.
@@ -122,339 +169,112 @@ impl Simulation {
         self.jobs_run
     }
 
-    /// Samples a mean-1 log-normal straggler multiplier.
-    pub(crate) fn straggler(&mut self) -> f64 {
-        let sigma = self.spec.straggler_sigma;
-        if sigma <= 0.0 {
-            return 1.0;
-        }
-        // Box–Muller; mean-corrected so E[multiplier] = 1.
-        let u1: f64 = self.rng.random_range(1e-12..1.0);
-        let u2: f64 = self.rng.random_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        (sigma * z - 0.5 * sigma * sigma).exp()
+    /// The event trace of the most recent `run_*` call, in processing
+    /// order — the observable determinism tests compare.
+    pub fn last_trace(&self) -> &[TraceEvent] {
+        self.core.trace()
     }
 
-    /// Decides whether this attempt fails (never on the last attempt).
-    /// Shared with the [`crate::asyncsched`] replay so both paths
-    /// inject the same regime.
-    pub(crate) fn attempt_fails(&mut self, attempt: u32) -> bool {
-        self.failure.enabled()
-            && attempt + 1 < self.failure.max_attempts
-            && self.rng.random_range(0.0..1.0) < self.failure.attempt_failure_prob
+    /// Order-sensitive digest of [`Simulation::last_trace`].
+    pub fn trace_digest(&self) -> u64 {
+        self.core.trace_digest()
     }
 
     /// Runs one job to completion, advancing the cluster clock.
     pub fn run_job(&mut self, job: &JobSpec) -> JobStats {
-        let submitted_at = self.clock;
+        let submitted_at = self.core.now();
         let setup_done = submitted_at + self.spec.job_setup;
-        self.net.advance_to(setup_done);
+        self.core.net_mut().advance_to(setup_done);
+        self.core.clear_trace();
 
         let n_nodes = self.spec.num_nodes();
         let n_maps = job.maps.len();
         let n_reduces = job.reduces.len();
 
-        // Reducers get home nodes up front (fetch destinations).
-        let reduce_node: Vec<usize> = (0..n_reduces).map(|r| r % n_nodes).collect();
-
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let mut free_map_slots: Vec<u32> = self.spec.nodes.iter().map(|n| n.map_slots).collect();
-        let mut free_reduce_slots: Vec<u32> =
-            self.spec.nodes.iter().map(|n| n.reduce_slots).collect();
-
-        let mut pending_maps: VecDeque<usize> = (0..n_maps).collect();
-        let mut map_attempts: Vec<u32> = vec![0; n_maps];
-        let mut maps_remaining = n_maps;
-        let mut maps_done_at = setup_done;
-
-        // Per-reducer shuffle fetch completion (running max).
-        let mut fetch_done: Vec<SimTime> = vec![setup_done; n_reduces];
-
-        let mut ready_reduces: VecDeque<usize> = VecDeque::new();
-        let mut reduce_attempts: Vec<u32> = vec![0; n_reduces];
-        let mut reduces_remaining = n_reduces;
-        let mut last_shuffle = setup_done;
-        let mut last_reduce_done = setup_done;
-
-        let mut failed_attempts: u32 = 0;
-        let mut local_map_tasks: usize = 0;
-        let mut network_bytes: u64 = 0;
-
-        // --- helpers as closures are awkward with &mut self; use macros-free inline code ---
-
-        // Dispatch as many pending maps onto free slots as possible.
-        // Returns events pushed via `events`.
-        // Index-based node iteration is deliberate (slot arrays are
-        // per-node ids); the argument list mirrors the mutable state
-        // the event loop threads through.
-        #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
-        fn dispatch_maps(
-            sim: &mut Simulation,
-            job: &JobSpec,
-            now: SimTime,
-            free_map_slots: &mut [u32],
-            pending_maps: &mut VecDeque<usize>,
-            map_attempts: &mut [u32],
-            events: &mut EventQueue<Event>,
-            local_map_tasks: &mut usize,
-            network_bytes: &mut u64,
-        ) {
-            let n_nodes = sim.spec.num_nodes();
-            'outer: for node in 0..n_nodes {
-                while free_map_slots[node] > 0 {
-                    let Some(task) = pending_maps.pop_front() else { break 'outer };
-                    free_map_slots[node] -= 1;
-                    let spec = &job.maps[task];
-                    let speed = sim.spec.nodes[node].speed;
-
-                    // Locality is a seeded coin weighted by the DFS
-                    // model's achievable locality fraction.
-                    let local = sim.rng.random_range(0.0..1.0) < sim.spec.dfs.locality_fraction;
-                    if local {
-                        *local_map_tasks += 1;
-                    } else {
-                        *network_bytes += spec.input_bytes;
-                    }
-                    let remote_src = (node + 1 + task) % n_nodes;
-
-                    let launch_done = now + sim.spec.task_launch;
-                    let disk_bw = sim.spec.disk_bandwidth;
-                    let read_done = sim.spec.dfs.clone().read(
-                        &mut sim.net,
-                        node,
-                        remote_src,
-                        spec.input_bytes,
-                        local,
-                        disk_bw,
-                        launch_done,
-                    );
-                    let straggle = sim.straggler();
-                    let compute = sim
-                        .spec
-                        .cost
-                        .compute_time(spec.ops, spec.output_records, speed)
-                        .scale(straggle);
-                    let sort = sim.spec.cost.sort_time(job.shuffle_bytes(spec), speed);
-                    let finish = read_done + compute + sort;
-
-                    let attempt = map_attempts[task];
-                    map_attempts[task] += 1;
-                    if sim.attempt_fails(attempt) {
-                        // Dies a uniform fraction of the way through.
-                        let frac: f64 = sim.rng.random_range(0.05..0.95);
-                        let alive = finish.saturating_sub(now).scale(frac);
-                        events.push(now + alive, Event::MapFailed { task, node });
-                    } else {
-                        events.push(finish, Event::MapDone { task, node });
-                    }
-                }
-            }
-        }
-
-        #[allow(clippy::too_many_arguments)]
-        #[allow(clippy::needless_range_loop)]
-        fn dispatch_reduces(
-            sim: &mut Simulation,
-            job: &JobSpec,
-            now: SimTime,
-            free_reduce_slots: &mut [u32],
-            ready_reduces: &mut VecDeque<usize>,
-            reduce_attempts: &mut [u32],
-            events: &mut EventQueue<Event>,
-            network_bytes: &mut u64,
-        ) {
-            let n_nodes = sim.spec.num_nodes();
-            'outer: for node in 0..n_nodes {
-                while free_reduce_slots[node] > 0 {
-                    let Some(task) = ready_reduces.pop_front() else { break 'outer };
-                    free_reduce_slots[node] -= 1;
-                    let spec = &job.reduces[task];
-                    let speed = sim.spec.nodes[node].speed;
-
-                    let shuffle_in: u64 =
-                        job.total_shuffle_bytes() / job.reduces.len().max(1) as u64;
-                    let launch_done = now + sim.spec.task_launch;
-                    let straggle = sim.straggler();
-                    let merge = sim.spec.cost.merge_time(shuffle_in, speed);
-                    let compute = sim.spec.cost.compute_time(spec.ops, 0, speed).scale(straggle);
-                    let compute_done = launch_done + merge + compute;
-
-                    // Pipeline-replicated DFS output write.
-                    let replicas: Vec<usize> = (1..sim.spec.dfs.replication as usize)
-                        .map(|k| (node + k) % n_nodes)
-                        .filter(|&r| r != node)
-                        .collect();
-                    *network_bytes += spec.output_bytes * replicas.len() as u64;
-                    let disk_bw = sim.spec.disk_bandwidth;
-                    let finish = sim.spec.dfs.clone().write(
-                        &mut sim.net,
-                        node,
-                        &replicas,
-                        spec.output_bytes,
-                        disk_bw,
-                        compute_done,
-                    );
-
-                    let attempt = reduce_attempts[task];
-                    reduce_attempts[task] += 1;
-                    if sim.attempt_fails(attempt) {
-                        let frac: f64 = sim.rng.random_range(0.05..0.95);
-                        let alive = finish.saturating_sub(now).scale(frac);
-                        events.push(now + alive, Event::ReduceFailed { task, node });
-                    } else {
-                        events.push(finish, Event::ReduceDone { task, node });
-                    }
-                }
-            }
-        }
-
-        dispatch_maps(
-            self,
+        let mut run = BarrierRun {
+            cid: self.barrier_cid,
+            spec: &self.spec,
             job,
-            setup_done,
-            &mut free_map_slots,
-            &mut pending_maps,
-            &mut map_attempts,
-            &mut events,
-            &mut local_map_tasks,
-            &mut network_bytes,
-        );
+            failure: self.failure.clone(),
+            node_plan: self.node_failure.clone(),
+            reduce_node: (0..n_reduces).map(|r| r % n_nodes).collect(),
+            free_map_slots: self.spec.nodes.iter().map(|n| n.map_slots).collect(),
+            free_reduce_slots: self.spec.nodes.iter().map(|n| n.reduce_slots).collect(),
+            pending_maps: (0..n_maps).collect(),
+            map_attempts: vec![0; n_maps],
+            maps_remaining: n_maps,
+            maps_done_at: setup_done,
+            fetch_done: vec![setup_done; n_reduces],
+            ready_reduces: VecDeque::new(),
+            reduce_attempts: vec![0; n_reduces],
+            reduces_remaining: n_reduces,
+            last_shuffle: setup_done,
+            last_reduce_done: setup_done,
+            failed_attempts: 0,
+            local_map_tasks: 0,
+            network_bytes: 0,
+            incarnation: vec![0; n_nodes],
+            completions: vec![0; n_nodes],
+            death_at: vec![None; n_nodes],
+            map_running: vec![None; n_maps],
+            map_done_on: vec![None; n_maps],
+            map_fetch_latest: vec![SimTime::ZERO; n_maps],
+            reduce_running: vec![None; n_reduces],
+            reduce_started: vec![false; n_reduces],
+            node_failures: 0,
+            lost_tasks: 0,
+        };
+
+        // Death verdicts for this job's epoch, drawn before any work
+        // dispatches (pure verdict hashing — no RNG stream effect, so
+        // failure-free runs reproduce the pre-refactor goldens).
+        if run.node_plan.enabled() {
+            for node in 0..n_nodes {
+                if self.barrier_deaths[node] < run.node_plan.max_node_failures
+                    && run.node_plan.node_fails(node, self.jobs_run)
+                {
+                    let u = verdict_unit(
+                        run.node_plan.seed ^ BARRIER_DEATH_SALT,
+                        &[node as u64, self.jobs_run as u64],
+                    );
+                    // Dies at its 1st..=3rd task completion this job.
+                    run.death_at[node] = Some(1 + (u * 3.0) as u32);
+                }
+            }
+        }
+
+        run.dispatch_maps(&mut self.core, setup_done);
         if n_maps == 0 && n_reduces > 0 {
             // Degenerate: reducers have nothing to wait for.
             for r in 0..n_reduces {
-                events.push(setup_done, Event::ReduceReady { task: r });
+                self.core.schedule(setup_done, run.cid, Ev::ReduceReady { task: r });
             }
         }
 
-        while let Some((now, event)) = events.pop() {
-            match event {
-                Event::MapDone { task, node } => {
-                    maps_remaining -= 1;
-                    maps_done_at = maps_done_at.max(now);
-                    // Start shuffle fetches for this map's output.
-                    if n_reduces > 0 {
-                        let bytes = job.shuffle_bytes(&job.maps[task]);
-                        let per_reduce = bytes / n_reduces as u64;
-                        for (r, &rnode) in reduce_node.iter().enumerate() {
-                            if rnode != node {
-                                network_bytes += per_reduce;
-                            }
-                            let done = self.net.transfer(node, rnode, per_reduce, now);
-                            fetch_done[r] = fetch_done[r].max(done);
-                        }
-                    }
-                    free_map_slots[node] += 1;
-                    dispatch_maps(
-                        self,
-                        job,
-                        now,
-                        &mut free_map_slots,
-                        &mut pending_maps,
-                        &mut map_attempts,
-                        &mut events,
-                        &mut local_map_tasks,
-                        &mut network_bytes,
-                    );
-                    if maps_remaining == 0 {
-                        // Hadoop semantics: reduce() cannot start until
-                        // every map output is fetched; fetches already
-                        // overlap the map phase above.
-                        for (r, done) in fetch_done.iter().enumerate() {
-                            let ready = (*done).max(now);
-                            events.push(ready, Event::ReduceReady { task: r });
-                        }
-                    }
-                }
-                Event::MapFailed { task, node } => {
-                    failed_attempts += 1;
-                    free_map_slots[node] += 1;
-                    events.push(now + self.failure.detection_delay, Event::MapRetry { task });
-                    dispatch_maps(
-                        self,
-                        job,
-                        now,
-                        &mut free_map_slots,
-                        &mut pending_maps,
-                        &mut map_attempts,
-                        &mut events,
-                        &mut local_map_tasks,
-                        &mut network_bytes,
-                    );
-                }
-                Event::MapRetry { task } => {
-                    pending_maps.push_back(task);
-                    dispatch_maps(
-                        self,
-                        job,
-                        now,
-                        &mut free_map_slots,
-                        &mut pending_maps,
-                        &mut map_attempts,
-                        &mut events,
-                        &mut local_map_tasks,
-                        &mut network_bytes,
-                    );
-                }
-                Event::ReduceReady { task } => {
-                    last_shuffle = last_shuffle.max(now);
-                    ready_reduces.push_back(task);
-                    dispatch_reduces(
-                        self,
-                        job,
-                        now,
-                        &mut free_reduce_slots,
-                        &mut ready_reduces,
-                        &mut reduce_attempts,
-                        &mut events,
-                        &mut network_bytes,
-                    );
-                }
-                Event::ReduceDone { task: _, node } => {
-                    reduces_remaining -= 1;
-                    last_reduce_done = last_reduce_done.max(now);
-                    free_reduce_slots[node] += 1;
-                    dispatch_reduces(
-                        self,
-                        job,
-                        now,
-                        &mut free_reduce_slots,
-                        &mut ready_reduces,
-                        &mut reduce_attempts,
-                        &mut events,
-                        &mut network_bytes,
-                    );
-                }
-                Event::ReduceFailed { task, node } => {
-                    failed_attempts += 1;
-                    free_reduce_slots[node] += 1;
-                    events.push(now + self.failure.detection_delay, Event::ReduceRetry { task });
-                }
-                Event::ReduceRetry { task } => {
-                    ready_reduces.push_back(task);
-                    dispatch_reduces(
-                        self,
-                        job,
-                        now,
-                        &mut free_reduce_slots,
-                        &mut ready_reduces,
-                        &mut reduce_attempts,
-                        &mut events,
-                        &mut network_bytes,
-                    );
-                }
-            }
+        while let Some((at, component, ev)) = self.core.pop() {
+            debug_assert_eq!(component, run.cid, "barrier run owns the whole queue");
+            run.on_event(&mut self.core, at, ev);
         }
 
-        debug_assert_eq!(maps_remaining, 0, "all maps must complete");
-        debug_assert_eq!(reduces_remaining, 0, "all reduces must complete");
+        debug_assert_eq!(run.maps_remaining, 0, "all maps must complete");
+        debug_assert_eq!(run.reduces_remaining, 0, "all reduces must complete");
+        debug_assert_eq!(
+            self.core.trace().iter().filter(|t| matches!(t.ev, Ev::NodeDeath { .. })).count(),
+            run.node_failures as usize,
+            "trace must record every injected death"
+        );
 
-        let work_end = if n_reduces > 0 { last_reduce_done } else { maps_done_at };
+        let work_end = if n_reduces > 0 { run.last_reduce_done } else { run.maps_done_at };
         let finished_at = work_end + self.spec.job_cleanup;
-        self.clock = finished_at;
-        self.net.advance_to(finished_at);
+        self.core.set_clock(finished_at);
+        self.core.net_mut().advance_to(finished_at);
         self.jobs_run += 1;
+        for (node, inc) in run.incarnation.iter().enumerate() {
+            self.barrier_deaths[node] += inc;
+        }
 
-        let shuffle_end = if n_reduces > 0 { last_shuffle.max(maps_done_at) } else { maps_done_at };
+        let shuffle_end =
+            if n_reduces > 0 { run.last_shuffle.max(run.maps_done_at) } else { run.maps_done_at };
         JobStats {
             name: job.name.clone(),
             submitted_at,
@@ -462,16 +282,18 @@ impl Simulation {
             duration: finished_at - submitted_at,
             phases: PhaseBreakdown {
                 setup: self.spec.job_setup,
-                map_phase: maps_done_at - setup_done,
-                shuffle_tail: shuffle_end - maps_done_at,
+                map_phase: run.maps_done_at - setup_done,
+                shuffle_tail: shuffle_end - run.maps_done_at,
                 reduce_phase: work_end - shuffle_end,
                 cleanup: self.spec.job_cleanup,
             },
             map_tasks: n_maps,
             reduce_tasks: n_reduces,
-            failed_attempts,
-            local_map_tasks,
-            network_bytes,
+            failed_attempts: run.failed_attempts,
+            local_map_tasks: run.local_map_tasks,
+            network_bytes: run.network_bytes,
+            node_failures: run.node_failures,
+            node_lost_tasks: run.lost_tasks,
         }
     }
 
@@ -487,10 +309,374 @@ impl Simulation {
     }
 }
 
+/// The per-job driver state: one registered event-core component that
+/// receives every event of one barrier job.
+struct BarrierRun<'a> {
+    cid: ComponentId,
+    spec: &'a ClusterSpec,
+    job: &'a JobSpec,
+    failure: FailurePlan,
+    node_plan: NodeFailurePlan,
+    /// Reducer home nodes (fetch destinations), fixed up front.
+    reduce_node: Vec<usize>,
+    free_map_slots: Vec<u32>,
+    free_reduce_slots: Vec<u32>,
+    pending_maps: VecDeque<usize>,
+    map_attempts: Vec<u32>,
+    maps_remaining: usize,
+    maps_done_at: SimTime,
+    /// Per-reducer shuffle fetch completion (running max).
+    fetch_done: Vec<SimTime>,
+    ready_reduces: VecDeque<usize>,
+    reduce_attempts: Vec<u32>,
+    reduces_remaining: usize,
+    last_shuffle: SimTime,
+    last_reduce_done: SimTime,
+    failed_attempts: u32,
+    local_map_tasks: usize,
+    network_bytes: u64,
+    // --- node-death machinery (all inert without a NodeFailurePlan) ---
+    /// Per-node incarnation; events from older incarnations are stale.
+    incarnation: Vec<u32>,
+    /// Completions per node this job (the death-trigger counter).
+    completions: Vec<u32>,
+    /// Pending death trigger: dies at this completion count.
+    death_at: Vec<Option<u32>>,
+    /// Where each map attempt is currently running.
+    map_running: Vec<Option<(usize, u32)>>,
+    /// Node a completed map's output lives on (local disk).
+    map_done_on: Vec<Option<usize>>,
+    /// Latest fetch completion of a map's output (lost-output check).
+    map_fetch_latest: Vec<SimTime>,
+    /// Where each reduce attempt is currently running.
+    reduce_running: Vec<Option<(usize, u32)>>,
+    /// Whether the reducer has left the not-ready state (its
+    /// `ReduceReady` was accepted); reset if a death loses its input.
+    reduce_started: Vec<bool>,
+    node_failures: u32,
+    lost_tasks: u32,
+}
+
+impl BarrierRun<'_> {
+    /// Decides whether this attempt fails (never on the last attempt).
+    fn attempt_fails(&self, core: &mut EventCore, attempt: u32) -> bool {
+        self.failure.enabled()
+            && attempt + 1 < self.failure.max_attempts
+            && core.rng().random_range(0.0..1.0) < self.failure.attempt_failure_prob
+    }
+
+    /// Dispatches as many pending maps onto free slots as possible.
+    /// Index-based node iteration is deliberate (slot arrays are
+    /// per-node ids); draw order per dispatch — locality coin,
+    /// straggler, failure coin, death fraction — is pinned by the
+    /// replay-fidelity goldens.
+    #[allow(clippy::needless_range_loop)]
+    fn dispatch_maps(&mut self, core: &mut EventCore, now: SimTime) {
+        let n_nodes = self.spec.num_nodes();
+        'outer: for node in 0..n_nodes {
+            while self.free_map_slots[node] > 0 {
+                let Some(task) = self.pending_maps.pop_front() else { break 'outer };
+                self.free_map_slots[node] -= 1;
+                let spec = &self.job.maps[task];
+                let speed = self.spec.nodes[node].speed;
+
+                // Locality is a seeded coin weighted by the DFS
+                // model's achievable locality fraction.
+                let local = core.rng().random_range(0.0..1.0) < self.spec.dfs.locality_fraction;
+                if local {
+                    self.local_map_tasks += 1;
+                } else {
+                    self.network_bytes += spec.input_bytes;
+                }
+                let remote_src = (node + 1 + task) % n_nodes;
+
+                let launch_done = now + self.spec.task_launch;
+                let read_done = self.spec.dfs.read(
+                    core.net_mut(),
+                    node,
+                    remote_src,
+                    spec.input_bytes,
+                    local,
+                    self.spec.disk_bandwidth,
+                    launch_done,
+                );
+                let straggle = core.straggler(self.spec.straggler_sigma);
+                let compute = self
+                    .spec
+                    .cost
+                    .compute_time(spec.ops, spec.output_records, speed)
+                    .scale(straggle);
+                let sort = self.spec.cost.sort_time(self.job.shuffle_bytes(spec), speed);
+                let finish = read_done + compute + sort;
+
+                let attempt = self.map_attempts[task];
+                self.map_attempts[task] += 1;
+                let incarnation = self.incarnation[node];
+                self.map_running[task] = Some((node, incarnation));
+                if self.attempt_fails(core, attempt) {
+                    // Dies a uniform fraction of the way through.
+                    let frac: f64 = core.rng().random_range(0.05..0.95);
+                    let alive = finish.saturating_sub(now).scale(frac);
+                    core.schedule(now + alive, self.cid, Ev::MapFailed { task, node, incarnation });
+                } else {
+                    core.schedule(finish, self.cid, Ev::MapDone { task, node, incarnation });
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn dispatch_reduces(&mut self, core: &mut EventCore, now: SimTime) {
+        let n_nodes = self.spec.num_nodes();
+        'outer: for node in 0..n_nodes {
+            while self.free_reduce_slots[node] > 0 {
+                let Some(task) = self.ready_reduces.pop_front() else { break 'outer };
+                self.free_reduce_slots[node] -= 1;
+                let spec = &self.job.reduces[task];
+                let speed = self.spec.nodes[node].speed;
+
+                let shuffle_in: u64 =
+                    self.job.total_shuffle_bytes() / self.job.reduces.len().max(1) as u64;
+                let launch_done = now + self.spec.task_launch;
+                let straggle = core.straggler(self.spec.straggler_sigma);
+                let merge = self.spec.cost.merge_time(shuffle_in, speed);
+                let compute = self.spec.cost.compute_time(spec.ops, 0, speed).scale(straggle);
+                let compute_done = launch_done + merge + compute;
+
+                // Pipeline-replicated DFS output write.
+                let replicas: Vec<usize> = (1..self.spec.dfs.replication as usize)
+                    .map(|k| (node + k) % n_nodes)
+                    .filter(|&r| r != node)
+                    .collect();
+                self.network_bytes += spec.output_bytes * replicas.len() as u64;
+                let finish = self.spec.dfs.write(
+                    core.net_mut(),
+                    node,
+                    &replicas,
+                    spec.output_bytes,
+                    self.spec.disk_bandwidth,
+                    compute_done,
+                );
+
+                let attempt = self.reduce_attempts[task];
+                self.reduce_attempts[task] += 1;
+                let incarnation = self.incarnation[node];
+                self.reduce_running[task] = Some((node, incarnation));
+                if self.attempt_fails(core, attempt) {
+                    let frac: f64 = core.rng().random_range(0.05..0.95);
+                    let alive = finish.saturating_sub(now).scale(frac);
+                    core.schedule(
+                        now + alive,
+                        self.cid,
+                        Ev::ReduceFailed { task, node, incarnation },
+                    );
+                } else {
+                    core.schedule(finish, self.cid, Ev::ReduceDone { task, node, incarnation });
+                }
+            }
+        }
+    }
+
+    /// Counts a fresh completion on `node` toward its pending death
+    /// trigger, killing the node when the threshold is reached.
+    fn after_completion(&mut self, core: &mut EventCore, now: SimTime, node: usize) {
+        if let Some(k) = self.death_at[node] {
+            self.completions[node] += 1;
+            if self.completions[node] >= k {
+                self.death_at[node] = None;
+                self.kill_node(core, now, node);
+            }
+        }
+    }
+
+    /// Injects a node death at `now`: bump the incarnation (staling
+    /// in-flight events), requeue running attempts and unfetched map
+    /// outputs after the detection delay, zero the slots until rejoin.
+    fn kill_node(&mut self, core: &mut EventCore, now: SimTime, node: usize) {
+        let n_maps = self.job.maps.len();
+        let n_reduces = self.job.reduces.len();
+        self.node_failures += 1;
+        self.incarnation[node] += 1;
+        core.mark(now, self.cid, Ev::NodeDeath { node });
+        let redispatch = now + self.node_plan.detection_delay;
+
+        // Running map attempts die with the node.
+        for task in 0..n_maps {
+            if let Some((n, _)) = self.map_running[task] {
+                if n == node {
+                    self.map_running[task] = None;
+                    self.lost_tasks += 1;
+                    core.schedule(redispatch, self.cid, Ev::MapRetry { task });
+                }
+            }
+        }
+        // Completed map outputs live on the node's local disk: any not
+        // yet fully fetched by the reducers is lost and re-executes.
+        // (Fully-fetched outputs and DFS-replicated reduce outputs
+        // survive.)
+        if n_reduces > 0 && self.reduces_remaining > 0 {
+            for task in 0..n_maps {
+                if self.map_done_on[task] == Some(node) && self.map_fetch_latest[task] > now {
+                    self.map_done_on[task] = None;
+                    self.maps_remaining += 1;
+                    self.lost_tasks += 1;
+                    core.schedule(redispatch, self.cid, Ev::MapRetry { task });
+                }
+            }
+        }
+        // Running reduce attempts die too; they drop back to not-ready
+        // and re-arm once all maps (incl. re-executions) are done.
+        let mut lost_reduces: Vec<usize> = Vec::new();
+        for r in 0..n_reduces {
+            if let Some((n, _)) = self.reduce_running[r] {
+                if n == node {
+                    self.reduce_running[r] = None;
+                    self.reduce_started[r] = false;
+                    self.lost_tasks += 1;
+                    lost_reduces.push(r);
+                }
+            }
+        }
+        if self.maps_remaining == 0 {
+            // No map work pending: re-arm the lost reducers directly
+            // (otherwise the final MapDone re-arms them).
+            for r in lost_reduces {
+                core.schedule(
+                    self.fetch_done[r].max(redispatch),
+                    self.cid,
+                    Ev::ReduceReady { task: r },
+                );
+            }
+        }
+        self.free_map_slots[node] = 0;
+        self.free_reduce_slots[node] = 0;
+        core.schedule(redispatch, self.cid, Ev::NodeRejoin { node });
+    }
+}
+
+impl EventHandler for BarrierRun<'_> {
+    fn on_event(&mut self, core: &mut EventCore, now: SimTime, ev: Ev) {
+        let n_reduces = self.job.reduces.len();
+        match ev {
+            Ev::MapDone { task, node, incarnation } => {
+                if incarnation != self.incarnation[node] {
+                    return; // stale: the node died under this attempt
+                }
+                self.map_running[task] = None;
+                self.map_done_on[task] = Some(node);
+                self.maps_remaining -= 1;
+                self.maps_done_at = self.maps_done_at.max(now);
+                // Start shuffle fetches for this map's output.
+                if n_reduces > 0 {
+                    let bytes = self.job.shuffle_bytes(&self.job.maps[task]);
+                    let per_reduce = bytes / n_reduces as u64;
+                    for r in 0..n_reduces {
+                        let rnode = self.reduce_node[r];
+                        if rnode != node {
+                            self.network_bytes += per_reduce;
+                        }
+                        let done = core.net_mut().transfer(node, rnode, per_reduce, now);
+                        core.mark(
+                            done,
+                            self.cid,
+                            Ev::TransferDone { src: node, dst: rnode, bytes: per_reduce },
+                        );
+                        self.fetch_done[r] = self.fetch_done[r].max(done);
+                        self.map_fetch_latest[task] = self.map_fetch_latest[task].max(done);
+                    }
+                }
+                self.free_map_slots[node] += 1;
+                self.dispatch_maps(core, now);
+                if self.maps_remaining == 0 {
+                    // Hadoop semantics: reduce() cannot start until
+                    // every map output is fetched; fetches already
+                    // overlap the map phase above.
+                    for r in 0..n_reduces {
+                        if self.reduce_started[r] {
+                            continue;
+                        }
+                        let ready = self.fetch_done[r].max(now);
+                        core.schedule(ready, self.cid, Ev::ReduceReady { task: r });
+                    }
+                }
+                self.after_completion(core, now, node);
+            }
+            Ev::MapFailed { task, node, incarnation } => {
+                if incarnation != self.incarnation[node] {
+                    return; // the node death already requeued this task
+                }
+                self.map_running[task] = None;
+                self.failed_attempts += 1;
+                self.free_map_slots[node] += 1;
+                core.schedule(now + self.failure.detection_delay, self.cid, Ev::MapRetry { task });
+                self.dispatch_maps(core, now);
+            }
+            Ev::MapRetry { task } => {
+                self.pending_maps.push_back(task);
+                self.dispatch_maps(core, now);
+            }
+            Ev::ReduceReady { task } => {
+                // Stale guards (all vacuous without node deaths): maps
+                // re-entered the pending set, the reducer already left
+                // not-ready, or a re-executed map pushed its fetch
+                // completion past this event.
+                if self.maps_remaining > 0
+                    || self.reduce_started[task]
+                    || now < self.fetch_done[task]
+                {
+                    return;
+                }
+                self.last_shuffle = self.last_shuffle.max(now);
+                self.reduce_started[task] = true;
+                self.ready_reduces.push_back(task);
+                self.dispatch_reduces(core, now);
+            }
+            Ev::ReduceDone { task, node, incarnation } => {
+                if incarnation != self.incarnation[node] {
+                    return;
+                }
+                self.reduce_running[task] = None;
+                self.reduces_remaining -= 1;
+                self.last_reduce_done = self.last_reduce_done.max(now);
+                self.free_reduce_slots[node] += 1;
+                self.dispatch_reduces(core, now);
+                self.after_completion(core, now, node);
+            }
+            Ev::ReduceFailed { task, node, incarnation } => {
+                if incarnation != self.incarnation[node] {
+                    return;
+                }
+                self.reduce_running[task] = None;
+                self.failed_attempts += 1;
+                self.free_reduce_slots[node] += 1;
+                core.schedule(
+                    now + self.failure.detection_delay,
+                    self.cid,
+                    Ev::ReduceRetry { task },
+                );
+            }
+            Ev::ReduceRetry { task } => {
+                self.ready_reduces.push_back(task);
+                self.dispatch_reduces(core, now);
+            }
+            Ev::NodeRejoin { node } => {
+                // Nothing can be running on the node (its slots were
+                // zeroed at death), so a full restore is exact.
+                self.free_map_slots[node] = self.spec.nodes[node].map_slots;
+                self.free_reduce_slots[node] = self.spec.nodes[node].reduce_slots;
+                self.dispatch_maps(core, now);
+                self.dispatch_reduces(core, now);
+            }
+            other => unreachable!("barrier run received foreign event {other:?}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::job::{MapTaskSpec, ReduceTaskSpec};
+    use crate::network::{Constant, SharedBandwidth};
 
     fn small_job(maps: usize, reduces: usize) -> JobSpec {
         JobSpec::named("t")
@@ -605,5 +791,98 @@ mod tests {
         .run_job(&job)
         .duration;
         assert!(slow > fast);
+    }
+
+    #[test]
+    fn constant_network_is_never_slower_than_nic_serialized() {
+        let job = small_job(32, 8);
+        let spec = ClusterSpec::ec2_2010();
+        let n = spec.num_nodes();
+        let constant = Simulation::new(spec.clone(), 3)
+            .with_network(Constant::new(n, spec.nic_bandwidth, spec.net_latency))
+            .run_job(&job)
+            .duration;
+        let serialized = Simulation::new(spec, 3).run_job(&job).duration;
+        assert!(
+            constant <= serialized,
+            "removing NIC contention cannot slow the job: {constant} vs {serialized}"
+        );
+    }
+
+    #[test]
+    fn shared_bandwidth_contention_lengthens_the_job() {
+        // The acceptance property, barrier side: fair-shared NICs make
+        // the all-to-all shuffle visibly slower than the uncontended
+        // constant model.
+        let job = small_job(32, 8);
+        let spec = ClusterSpec::ec2_2010();
+        let n = spec.num_nodes();
+        let constant = Simulation::new(spec.clone(), 3)
+            .with_network(Constant::new(n, spec.nic_bandwidth, spec.net_latency))
+            .run_job(&job)
+            .duration;
+        let shared = Simulation::new(spec.clone(), 3)
+            .with_network(SharedBandwidth::new(n, spec.nic_bandwidth, spec.net_latency))
+            .run_job(&job)
+            .duration;
+        assert!(
+            shared > constant,
+            "shuffle contention must lengthen the job: shared {shared} vs constant {constant}"
+        );
+    }
+
+    #[test]
+    fn barrier_node_death_requeues_and_completes() {
+        let job = small_job(32, 8);
+        let plan = NodeFailurePlan::correlated(0.35, 1, 11);
+        let clean = Simulation::new(ClusterSpec::ec2_2010(), 5).run_job(&job);
+        assert_eq!(clean.node_failures, 0);
+        assert_eq!(clean.node_lost_tasks, 0);
+        let faulty =
+            Simulation::new(ClusterSpec::ec2_2010(), 5).with_node_failures(plan).run_job(&job);
+        assert!(faulty.node_failures > 0, "0.35/node at epoch 0 must fire on 8 nodes");
+        assert!(faulty.node_lost_tasks > 0, "a death at the k-th completion must lose work");
+        assert!(
+            faulty.duration > clean.duration,
+            "losing work must cost simulated time: {} vs {}",
+            faulty.duration,
+            clean.duration
+        );
+    }
+
+    #[test]
+    fn barrier_node_death_budget_persists_across_jobs() {
+        let job = small_job(16, 4);
+        let plan = NodeFailurePlan {
+            node_failure_prob: 0.9,
+            max_node_failures: 1,
+            ..NodeFailurePlan::correlated(0.5, 1, 3)
+        };
+        let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 1).with_node_failures(plan);
+        let n_nodes = sim.spec().num_nodes();
+        let mut total = 0u32;
+        for _ in 0..6 {
+            total += sim.run_job(&job).node_failures;
+        }
+        assert!(total > 0, "0.9/(node, job) must fire");
+        assert!(
+            total <= n_nodes as u32,
+            "budget of 1 per node must bound deaths across jobs: {total}"
+        );
+    }
+
+    #[test]
+    fn trace_records_the_whole_job() {
+        let job = small_job(8, 4);
+        let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 2);
+        let stats = sim.run_job(&job);
+        let trace = sim.last_trace();
+        let map_dones = trace.iter().filter(|t| matches!(t.ev, Ev::MapDone { .. })).count();
+        let reduce_dones = trace.iter().filter(|t| matches!(t.ev, Ev::ReduceDone { .. })).count();
+        assert_eq!(map_dones, stats.map_tasks, "every map completion is traced");
+        assert_eq!(reduce_dones, stats.reduce_tasks);
+        let transfers = trace.iter().filter(|t| matches!(t.ev, Ev::TransferDone { .. })).count();
+        assert_eq!(transfers, stats.map_tasks * stats.reduce_tasks, "every fetch is traced");
+        assert!(sim.trace_digest() != 0);
     }
 }

@@ -40,6 +40,12 @@ pub struct JobStats {
     pub reduce_tasks: usize,
     /// Task attempts that were failed by the injector and re-executed.
     pub failed_attempts: u32,
+    /// Correlated node deaths injected during the job (0 without a
+    /// [`crate::NodeFailurePlan`]).
+    pub node_failures: u32,
+    /// Task attempts (running or with unfetched outputs) lost to node
+    /// deaths and re-executed.
+    pub node_lost_tasks: u32,
     /// Map attempts that ran data-local.
     pub local_map_tasks: usize,
     /// Total bytes moved across NICs (shuffle + remote DFS traffic).
@@ -69,6 +75,8 @@ pub struct RunTotals {
     pub network_bytes: u64,
     /// Sum of injected-failure re-executions.
     pub failed_attempts: u32,
+    /// Sum of injected correlated node deaths.
+    pub node_failures: u32,
 }
 
 impl RunTotals {
@@ -78,6 +86,7 @@ impl RunTotals {
         self.total_time += stats.duration;
         self.network_bytes += stats.network_bytes;
         self.failed_attempts += stats.failed_attempts;
+        self.node_failures += stats.node_failures;
     }
 }
 
@@ -95,6 +104,8 @@ mod tests {
             map_tasks: 1,
             reduce_tasks: 1,
             failed_attempts: 2,
+            node_failures: 1,
+            node_lost_tasks: 3,
             local_map_tasks: 1,
             network_bytes: 10,
         }
@@ -109,6 +120,7 @@ mod tests {
         assert_eq!(t.total_time, SimTime::from_secs(12));
         assert_eq!(t.network_bytes, 20);
         assert_eq!(t.failed_attempts, 4);
+        assert_eq!(t.node_failures, 2);
     }
 
     #[test]

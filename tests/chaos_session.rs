@@ -28,7 +28,8 @@ use asyncmr::graph::{generators, CsrGraph, WeightedGraph};
 use asyncmr::partition::{MultilevelKWay, Partitioner};
 use asyncmr::runtime::ThreadPool;
 use asyncmr::simcluster::{
-    ClusterSpec, FailurePlan, NodeFailurePlan as SimNodeFailurePlan, SimTime, Simulation,
+    ClusterSpec, Ev, FailurePlan, JobSpec, MapTaskSpec, NodeFailurePlan as SimNodeFailurePlan,
+    ReduceTaskSpec, SimTime, Simulation,
 };
 
 /// The fixed seed matrix CI's chaos smoke step runs under: every
@@ -400,6 +401,100 @@ fn simulated_node_death_replay_is_deterministic_and_meters_rollback() {
             assert_eq!(faulty, again, "k = {k}, p = {prob}: replay must be deterministic");
         }
     }
+}
+
+/// Barrier node-death cells: the unified event core taught
+/// `Simulation::run_job` the `NodeFailurePlan` regime the async path
+/// already had. A killed TaskTracker loses its running attempts *and*
+/// its unfetched map outputs; JobTracker re-runs them elsewhere after
+/// the detection delay. Per matrix cell: completion, no lost splits,
+/// no completions credited to a dead node, and byte-identical replays.
+#[test]
+fn simulated_barrier_jobs_survive_node_deaths_across_the_chaos_matrix() {
+    let job = JobSpec::named("chaos-barrier")
+        .with_maps(vec![MapTaskSpec::new(32 << 20, 20_000_000, 4 << 20); 24])
+        .with_reduces(vec![ReduceTaskSpec::new(2_000_000, 8 << 20); 8]);
+    let jobs = 3usize;
+
+    for prob in [0.3, 0.6] {
+        for seed in CHAOS_SEEDS {
+            let plan = SimNodeFailurePlan::correlated(prob, 1, seed);
+            let run = |_: ()| {
+                let mut sim =
+                    Simulation::new(ClusterSpec::ec2_2010(), 7).with_node_failures(plan.clone());
+                let mut all = Vec::new();
+                let mut digests = Vec::new();
+                for _ in 0..jobs {
+                    all.push(sim.run_job(&job));
+                    digests.push(sim.trace_digest());
+                    // The dead node never completes current-incarnation
+                    // work while it is down: scan the popped-order
+                    // trace, tracking the live/dead window per node.
+                    let n = sim.spec().num_nodes();
+                    let mut dead = vec![false; n];
+                    let mut deaths = vec![0u32; n];
+                    for te in sim.last_trace() {
+                        match te.ev {
+                            Ev::NodeDeath { node } => {
+                                dead[node] = true;
+                                deaths[node] += 1;
+                            }
+                            Ev::NodeRejoin { node } => dead[node] = false,
+                            Ev::MapDone { node, incarnation, .. }
+                            | Ev::ReduceDone { node, incarnation, .. } => {
+                                assert!(
+                                    !(dead[node] && incarnation == deaths[node]),
+                                    "p = {prob}, seed {seed}: live completion on a dead node"
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                (all, digests)
+            };
+            let (stats, digests) = run(());
+            let total_deaths: u32 = stats.iter().map(|s| s.node_failures).sum();
+            assert!(total_deaths > 0, "p = {prob}, seed {seed}: deaths must fire");
+            for s in &stats {
+                // No lost splits: every map and reduce completed
+                // despite mid-job deaths.
+                assert_eq!(s.map_tasks, job.maps.len(), "p = {prob}, seed {seed}");
+                assert_eq!(s.reduce_tasks, job.reduces.len());
+                if s.node_failures > 0 {
+                    assert!(
+                        s.node_lost_tasks > 0,
+                        "p = {prob}, seed {seed}: a mid-job death must cost attempts"
+                    );
+                }
+            }
+            // Deterministic reschedule: the whole multi-job replay —
+            // stats and event traces — is byte-identical on re-run.
+            let (stats2, digests2) = run(());
+            assert_eq!(stats, stats2, "p = {prob}, seed {seed}: stats drifted");
+            assert_eq!(digests, digests2, "p = {prob}, seed {seed}: traces drifted");
+        }
+    }
+}
+
+#[test]
+fn barrier_node_deaths_cost_time_against_the_clean_run() {
+    let job = JobSpec::named("chaos-cost")
+        .with_maps(vec![MapTaskSpec::new(32 << 20, 20_000_000, 4 << 20); 24])
+        .with_reduces(vec![ReduceTaskSpec::new(2_000_000, 8 << 20); 8]);
+    let clean = Simulation::new(ClusterSpec::ec2_2010(), 7).run_job(&job);
+    assert_eq!(clean.node_failures, 0);
+    assert_eq!(clean.node_lost_tasks, 0);
+    let faulty = Simulation::new(ClusterSpec::ec2_2010(), 7)
+        .with_node_failures(SimNodeFailurePlan::correlated(0.6, 1, 42))
+        .run_job(&job);
+    assert!(faulty.node_failures > 0, "near-certain deaths must fire");
+    assert!(
+        faulty.duration > clean.duration,
+        "losing attempts and outputs must lengthen the job: {} vs {}",
+        faulty.duration,
+        clean.duration
+    );
 }
 
 #[test]
