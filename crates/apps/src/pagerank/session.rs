@@ -316,6 +316,30 @@ pub fn run_async_with_failures(
     )
 }
 
+/// [`run_async`] with the straggler-adaptive staleness controller:
+/// each partition's effective lag tracks its observed
+/// dependency-arrival slack within `[cfg.floor, cfg.cap]` instead of
+/// sitting on one fixed `max_lag`.
+///
+/// At `cap = 0` the ranks and iteration count are byte-identical to
+/// [`run_async`] at `max_lag = 0` (and so to the barrier driver); any
+/// cap keeps [`SessionReport::peak_effective_lag`] ≤ the cap.
+pub fn run_async_adaptive(
+    pool: &ThreadPool,
+    graph: &CsrGraph,
+    parts: &Partitioning,
+    cfg: &PageRankConfig,
+    adaptive: AdaptiveLagConfig,
+) -> PageRankAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations).with_adaptive_lag(adaptive),
+    )
+}
+
 /// [`run_async`] under injected correlated *node* failures with
 /// checkpoint/rollback recovery: a dying virtual node takes its
 /// partitions' in-flight attempts and delivered contributions past the
@@ -427,6 +451,38 @@ mod tests {
             inf_norm_diff(&exact.ranks, &stale.ranks) < 1e-6,
             "staleness drifted the fixpoint: {}",
             inf_norm_diff(&exact.ranks, &stale.ranks)
+        );
+    }
+
+    #[test]
+    fn adaptive_lag_cap_zero_matches_lag_zero_bitwise() {
+        let (g, parts) = setup(400, 4, 11);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig::default();
+        let fixed = run_async(&pool, &g, &parts, &cfg, 0);
+        let adaptive = run_async_adaptive(&pool, &g, &parts, &cfg, AdaptiveLagConfig::new(0));
+        assert_eq!(fixed.report.global_iterations, adaptive.report.global_iterations);
+        assert_eq!(adaptive.report.peak_effective_lag, 0);
+        for (v, (a, b)) in fixed.ranks.iter().zip(&adaptive.ranks).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "vertex {v}: cap 0 must stay barrier-identical");
+        }
+    }
+
+    #[test]
+    fn adaptive_lag_stays_under_its_cap_and_converges() {
+        let (g, parts) = setup(500, 5, 23);
+        let pool = ThreadPool::new(4);
+        let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+        let exact = run_async(&pool, &g, &parts, &cfg, 0);
+        let adaptive =
+            run_async_adaptive(&pool, &g, &parts, &cfg, AdaptiveLagConfig::new(3).with_alpha(0.5));
+        assert!(adaptive.report.converged);
+        assert_eq!(adaptive.report.max_lag, 3);
+        assert!(adaptive.report.peak_effective_lag <= 3, "effective lag past the cap");
+        assert!(
+            inf_norm_diff(&exact.ranks, &adaptive.ranks) < 1e-6,
+            "adaptive staleness drifted the fixpoint: {}",
+            inf_norm_diff(&exact.ranks, &adaptive.ranks)
         );
     }
 

@@ -241,6 +241,30 @@ pub fn run_async_with_failures(
     )
 }
 
+/// [`run_async`] with the straggler-adaptive staleness controller
+/// (see [`AdaptiveLagConfig`]): each partition's effective lag tracks
+/// its observed dependency-arrival slack within `[floor, cap]`.
+///
+/// SSSP is min-monotone and exact, so the distances are bitwise
+/// identical to [`run_async`] at *any* cap; at `cap = 0` the iteration
+/// count matches the barrier driver too, and
+/// [`SessionReport::peak_effective_lag`] never exceeds the cap.
+pub fn run_async_adaptive(
+    pool: &ThreadPool,
+    graph: &WeightedGraph,
+    parts: &Partitioning,
+    cfg: &SsspConfig,
+    adaptive: AdaptiveLagConfig,
+) -> SsspAsyncOutcome {
+    run_async_driver(
+        pool,
+        graph,
+        parts,
+        cfg,
+        AsyncFixedPointDriver::new(cfg.max_iterations).with_adaptive_lag(adaptive),
+    )
+}
+
 /// [`run_async`] under injected correlated *node* failures with
 /// checkpoint/rollback recovery (see
 /// `crate::pagerank::session::run_async_with_node_failures` — same
@@ -339,6 +363,26 @@ mod tests {
         let parts = MultilevelKWay::default().partition(wg.graph(), 6);
         let pool = ThreadPool::new(4);
         let out = run_async(&pool, &wg, &parts, &SsspConfig::default(), 3);
+        let expected = dijkstra(&wg, 0);
+        for (got, want) in out.distances.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn adaptive_staleness_still_finds_exact_distances() {
+        let wg = weighted(400, 9);
+        let parts = MultilevelKWay::default().partition(wg.graph(), 6);
+        let pool = ThreadPool::new(4);
+        let out = run_async_adaptive(
+            &pool,
+            &wg,
+            &parts,
+            &SsspConfig::default(),
+            AdaptiveLagConfig::new(3).with_alpha(0.5),
+        );
+        assert!(out.report.peak_effective_lag <= 3, "effective lag past the cap");
+        assert_eq!(out.report.max_lag, 3);
         let expected = dijkstra(&wg, 0);
         for (got, want) in out.distances.iter().zip(&expected) {
             assert!((got - want).abs() < 1e-9 || (got.is_infinite() && want.is_infinite()));

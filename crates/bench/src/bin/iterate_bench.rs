@@ -410,6 +410,142 @@ fn crawl_graph(n: usize, seed: u64) -> CsrGraph {
     generators::preferential_attachment_crawled(n, 3, 2, 1, 0.95, 40, seed)
 }
 
+/// One cell of the scheduler sweep: a placement policy priced on a
+/// straggler regime.
+struct SchedRow {
+    regime: &'static str,
+    scheduler: &'static str,
+    makespan_secs: f64,
+    /// Commits the estimate-then-commit invariant metered as delayed
+    /// past their estimate (the greedy-admission gap under contention).
+    commit_overruns: usize,
+    commit_overrun_secs: f64,
+}
+
+/// The `--sched` sweep: every placement policy on a heterogeneous-node
+/// straggler regime (half the cluster at quarter speed — the
+/// [`ClusterSpec::with_slow_nodes`] knob), on the uncontended default
+/// network and again under fair-share NIC contention. The DAG is the
+/// ring-exchange shape the scheduler unit tests pin (each task feeds
+/// its own next iteration plus both neighbors), sized so the critical
+/// path through slow nodes dominates a start-time-greedy placement.
+///
+/// Emits `BENCH_sched.json` and asserts the tentpole's acceptance
+/// criterion before reporting: HEFT or the portfolio must beat the
+/// greedy list scheduler by ≥ 10% simulated makespan on the straggler
+/// regime.
+fn scheduler_sweep() -> Vec<SchedRow> {
+    use asyncmr_simcluster::{AsyncTaskSpec, SchedulerSpec};
+
+    let ring = |k: usize, iters: usize, ops: u64| -> Vec<AsyncTaskSpec> {
+        let mut tasks = Vec::new();
+        for it in 0..iters {
+            for p in 0..k {
+                let mut spec = AsyncTaskSpec::new(p, it, 16 << 20, ops).with_output(1_000, 64_000);
+                if it > 0 {
+                    let base = (it - 1) * k;
+                    let mut deps = vec![base + (p + k - 1) % k, base + p, base + (p + 1) % k];
+                    deps.sort_unstable();
+                    deps.dedup();
+                    spec = spec.with_deps(deps);
+                }
+                tasks.push(spec);
+            }
+        }
+        tasks
+    };
+    let tasks = ring(8, 8, 40_000_000);
+    let scheds = [
+        SchedulerSpec::List,
+        SchedulerSpec::Heft,
+        SchedulerSpec::Lookahead { depth: 1 },
+        SchedulerSpec::default_portfolio(),
+    ];
+
+    let mut rows = Vec::new();
+    for regime in ["straggler", "straggler-shared-net"] {
+        for sched in &scheds {
+            let spec = ClusterSpec::ec2_2010().with_slow_nodes(4, 0.25);
+            let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+            let mut sim = Simulation::new(spec, 7).with_scheduler(sched.clone());
+            if regime == "straggler-shared-net" {
+                sim = sim.with_network(SharedBandwidth::new(n, bw, lat));
+            }
+            let stats = sim.run_async_schedule(&tasks);
+            rows.push(SchedRow {
+                regime,
+                scheduler: stats.scheduler,
+                makespan_secs: stats.duration.as_secs_f64(),
+                commit_overruns: stats.commit.overruns,
+                commit_overrun_secs: stats.commit.overrun_time.as_secs_f64(),
+            });
+        }
+    }
+
+    // Acceptance gate: on the headline straggler regime, finish-aware
+    // placement must beat the greedy list scheduler by >= 10%.
+    let cell = |s: &str| {
+        rows.iter()
+            .find(|r| r.regime == "straggler" && r.scheduler == s)
+            .map(|r| r.makespan_secs)
+            .expect("sweep covers every scheduler")
+    };
+    let best = cell("heft").min(cell("portfolio"));
+    assert!(
+        best <= cell("list") * 0.9,
+        "HEFT/portfolio ({best:.1}s) must beat greedy ({:.1}s) by >= 10% under stragglers",
+        cell("list")
+    );
+    rows
+}
+
+/// Prints the scheduler sweep and writes `BENCH_sched.json`.
+fn report_scheduler_sweep(rows: &[SchedRow]) {
+    println!("scheduler sweep (8-node cluster, 4 nodes at 0.25x speed, ring exchange 8x8)");
+    println!(
+        "  {:<22} {:<10} {:>13} {:>10} {:>12}",
+        "regime", "scheduler", "makespan (s)", "overruns", "overrun (s)"
+    );
+    let list_of = |regime: &str| {
+        rows.iter()
+            .find(|r| r.regime == regime && r.scheduler == "list")
+            .map(|r| r.makespan_secs)
+            .unwrap_or(f64::NAN)
+    };
+    for r in rows {
+        println!(
+            "  {:<22} {:<10} {:>13.1} {:>10} {:>12.1}   ({:.2}x vs list)",
+            r.regime,
+            r.scheduler,
+            r.makespan_secs,
+            r.commit_overruns,
+            r.commit_overrun_secs,
+            list_of(r.regime) / r.makespan_secs,
+        );
+    }
+
+    let mut cells = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            cells.push_str(",\n");
+        }
+        cells.push_str(&format!(
+            "    {{\n      \"regime\": \"{}\",\n      \"scheduler\": \"{}\",\n      \"makespan_secs\": {:.3},\n      \"speedup_vs_list\": {:.3},\n      \"commit_overruns\": {},\n      \"commit_overrun_secs\": {:.3}\n    }}",
+            r.regime,
+            r.scheduler,
+            r.makespan_secs,
+            list_of(r.regime) / r.makespan_secs,
+            r.commit_overruns,
+            r.commit_overrun_secs,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"scheduler_makespan_sweep\",\n  \"config\": {{\n    \"cluster\": \"ec2_2010, 4 of 8 nodes at 0.25x speed\",\n    \"workload\": \"ring exchange, 8 partitions x 8 iterations, 40M ops/task, 16 MiB inputs\",\n    \"schedulers\": [\"list (greedy default)\", \"heft (upward-rank critical path)\", \"lookahead depth 1 (utilization-aware)\", \"portfolio (race per epoch, commit winner)\"],\n    \"gate\": \"HEFT or portfolio must beat list by >= 10% makespan on the straggler regime (asserted before reporting)\"\n  }},\n  \"sweep\": [\n{cells}\n  ]\n}}\n",
+    );
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("wrote BENCH_sched.json");
+}
+
 /// The network-model contention probe: the same recorded PageRank
 /// workload priced under the uncontended [`Constant`] model vs
 /// fair-share [`SharedBandwidth`], on **both** execution styles. The
@@ -517,8 +653,14 @@ fn pagerank_case(
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    // `--nodes N` overrides every headline workload's vertex count
-    // (defaults: 1500 / 2000 / 2500); a bare integer arg sets threads.
+    // `--sched` runs only the scheduler makespan sweep (fast,
+    // simulator-only — the CI artifact path); `--nodes N` overrides
+    // every headline workload's vertex count (defaults:
+    // 1500 / 2000 / 2500); a bare integer arg sets threads.
+    if args.iter().any(|a| a == "--sched") {
+        report_scheduler_sweep(&scheduler_sweep());
+        return;
+    }
     let mut nodes_override = None;
     let mut threads = None;
     let mut i = 1;

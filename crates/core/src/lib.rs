@@ -103,8 +103,8 @@ pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
 pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
 pub use session::{
-    Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, Outbox,
-    SessionFailurePlan, SessionOutcome, SessionReport,
+    Absorbed, AdaptiveLagConfig, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput,
+    Outbox, SessionFailurePlan, SessionOutcome, SessionReport,
 };
 pub use shuffle::{GroupView, Grouped, GroupingStrategy, ShuffleScratch};
 pub use traits::{Combiner, Mapper, Reducer};
@@ -120,8 +120,8 @@ pub mod prelude {
         EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState,
     };
     pub use crate::session::{
-        Absorbed, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput, Outbox,
-        SessionFailurePlan, SessionOutcome, SessionReport,
+        Absorbed, AdaptiveLagConfig, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput,
+        Outbox, SessionFailurePlan, SessionOutcome, SessionReport,
     };
     pub use crate::shuffle::GroupingStrategy;
     pub use crate::traits::{Combiner, Mapper, Reducer};

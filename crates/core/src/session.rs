@@ -456,8 +456,15 @@ pub struct SessionReport {
     /// the next frontier advance, so a tight budget degrades the
     /// schedule toward barrier pacing without changing any result.
     pub deferred_launches: usize,
-    /// The staleness bound the session ran under.
+    /// The staleness bound the session ran under — the fixed
+    /// [`AsyncFixedPointDriver::max_lag`], or the adaptive controller's
+    /// [`AdaptiveLagConfig::cap`] when one is installed.
     pub max_lag: usize,
+    /// High-water mark of the per-partition *effective* staleness
+    /// window the run actually used. With the adaptive controller off
+    /// this is exactly `max_lag`; with it on, it is the widest window
+    /// the EWMA reached — never above [`AdaptiveLagConfig::cap`].
+    pub peak_effective_lag: usize,
     /// Real time of the whole session (the driver-level wall).
     pub wall_time: Duration,
     /// The executed cross-iteration schedule (contributing tasks only,
@@ -474,6 +481,75 @@ pub struct SessionOutcome<S> {
     pub states: Vec<Arc<S>>,
     /// Scheduling and metering summary.
     pub report: SessionReport,
+}
+
+/// Straggler-adaptive bounded staleness: instead of one fixed
+/// `max_lag`, each partition's *effective* staleness window tracks an
+/// EWMA of its observed dependency-arrival slack (how many iterations
+/// behind its consumed batches run), clamped to `[floor, cap]`.
+///
+/// Partitions fed by prompt producers keep a narrow window (fresh
+/// reads, fast convergence); partitions starved by a straggler widen
+/// toward `cap` and keep absorbing instead of stalling. The knob only
+/// moves the admission test of `try_absorb`; mailbox retention,
+/// convergence windows, and runahead are all sized for `cap`, so every
+/// batch an effective window may admit is still retained.
+///
+/// `cap = 0` forces the effective window to 0 everywhere, so results
+/// stay **byte-identical to the barrier driver** — the same headline
+/// contract as fixed `max_lag = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveLagConfig {
+    /// Hard upper bound on any partition's effective window. This is
+    /// the value everything conservative is sized by (retention,
+    /// convergence window, runahead) and the bound
+    /// [`SessionReport::peak_effective_lag`] can never exceed.
+    pub cap: usize,
+    /// Lower bound on the effective window (≤ `cap`; default 0). A
+    /// nonzero floor keeps a minimum tolerance even when all deps are
+    /// currently fresh.
+    pub floor: usize,
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// slack observation. `1.0` reacts instantly; small values smooth
+    /// over transient hiccups.
+    pub alpha: f64,
+}
+
+impl AdaptiveLagConfig {
+    /// A controller bounded by `cap`, with floor 0 and a moderately
+    /// reactive EWMA (`alpha = 0.25`).
+    pub fn new(cap: usize) -> Self {
+        AdaptiveLagConfig { cap, floor: 0, alpha: 0.25 }
+    }
+
+    /// Sets the minimum effective window.
+    pub fn with_floor(mut self, floor: usize) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Rejects a literally-constructed config with out-of-range fields
+    /// (called at the start of [`AsyncFixedPointDriver::run`], like
+    /// every other injected plan).
+    pub fn validate(&self) {
+        assert!(
+            self.floor <= self.cap,
+            "adaptive staleness: lag cap {} below floor {}",
+            self.cap,
+            self.floor
+        );
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "adaptive staleness: alpha must be in (0, 1], got {}",
+            self.alpha
+        );
+    }
 }
 
 /// Runs an [`AsyncIterative`] computation to convergence with
@@ -511,6 +587,13 @@ pub struct AsyncFixedPointDriver {
     /// setting (`max_lag` semantics are untouched — the budget only
     /// *removes* speculation, never admits staler messages).
     pub runahead_byte_budget: Option<u64>,
+    /// Straggler-adaptive staleness (defaults to `None` = the fixed
+    /// `max_lag` above). When installed, it *supersedes* `max_lag`:
+    /// the session is sized for [`AdaptiveLagConfig::cap`] and each
+    /// partition's admission window adapts within
+    /// `[floor, cap]`. Validated once at the start of
+    /// [`AsyncFixedPointDriver::run`].
+    pub adaptive_lag: Option<AdaptiveLagConfig>,
 }
 
 /// How many iterations past the globally-complete frontier a partition
@@ -529,6 +612,7 @@ impl Default for AsyncFixedPointDriver {
             checkpoints: CheckpointPolicy::Off,
             node_failures: NodeFailurePlan::none(),
             runahead_byte_budget: None,
+            adaptive_lag: None,
         }
     }
 }
@@ -588,6 +672,15 @@ impl AsyncFixedPointDriver {
         self
     }
 
+    /// Installs the straggler-adaptive staleness controller (see
+    /// [`AdaptiveLagConfig`]), superseding the fixed
+    /// [`AsyncFixedPointDriver::max_lag`]. At `cap = 0` results stay
+    /// byte-identical to the barrier driver.
+    pub fn with_adaptive_lag(mut self, cfg: AdaptiveLagConfig) -> Self {
+        self.adaptive_lag = Some(cfg);
+        self
+    }
+
     /// Runs `algo` until convergence or the iteration cap, keeping one
     /// multiwave scope alive across all global iterations (see the
     /// [module docs](self)).
@@ -598,10 +691,17 @@ impl AsyncFixedPointDriver {
         self.failures.validate();
         self.checkpoints.validate();
         self.node_failures.validate();
+        if let Some(cfg) = &self.adaptive_lag {
+            cfg.validate();
+        }
         assert!(
             !self.node_failures.enabled() || self.checkpoints.enabled(),
             "node-failure injection requires a checkpoint policy (nothing to roll back to)"
         );
+        // The staleness bound everything conservative is sized by:
+        // the adaptive controller's cap when installed, else the fixed
+        // knob. Adaptation only ever *narrows* admission below this.
+        let lag_cap = self.adaptive_lag.map_or(self.max_lag, |cfg| cfg.cap);
         let k = algo.partitions();
         if k == 0 {
             return SessionOutcome {
@@ -621,7 +721,8 @@ impl AsyncFixedPointDriver {
                     checkpoint_bytes: 0,
                     peak_state_bytes: 0,
                     deferred_launches: 0,
-                    max_lag: self.max_lag,
+                    max_lag: lag_cap,
+                    peak_effective_lag: 0,
                     wall_time: started.elapsed(),
                     schedule: Vec::new(),
                 },
@@ -632,7 +733,8 @@ impl AsyncFixedPointDriver {
         let mut sess = Session::new(
             algo,
             self.max_iterations.max(1),
-            self.max_lag,
+            lag_cap,
+            self.adaptive_lag,
             self.checkpoints,
             self.node_failures,
             self.runahead_byte_budget,
@@ -698,7 +800,7 @@ impl AsyncFixedPointDriver {
                 Vec::new()
             },
         );
-        sess.finish(self.max_lag, started.elapsed())
+        sess.finish(lag_cap, started.elapsed())
     }
 }
 
@@ -796,7 +898,18 @@ struct Session<S, U, M> {
     parts: Vec<Part<S, U, M>>,
     k: usize,
     max_iterations: usize,
+    /// The staleness *cap*: the fixed `max_lag`, or
+    /// [`AdaptiveLagConfig::cap`] with the controller installed.
+    /// Retention, convergence windows, and runahead all use this;
+    /// only `try_absorb`'s admission test uses the effective window.
     max_lag: usize,
+    /// The adaptive-staleness controller, if installed.
+    adaptive: Option<AdaptiveLagConfig>,
+    /// Per-partition EWMA of observed dependency-arrival slack
+    /// (iterations behind) — the adaptive controller's state.
+    lag_ewma: Vec<f64>,
+    /// Widest effective window any admission test used.
+    peak_effective_lag: usize,
     /// Per-iteration: partitions that absorbed it.
     absorbed_count: Vec<usize>,
     /// Per-iteration: max absorb delta so far.
@@ -865,6 +978,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         algo: &A,
         max_iterations: usize,
         max_lag: usize,
+        adaptive: Option<AdaptiveLagConfig>,
         checkpoints: CheckpointPolicy,
         node_plan: NodeFailurePlan,
         byte_budget: Option<u64>,
@@ -924,6 +1038,9 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             k,
             max_iterations,
             max_lag,
+            adaptive,
+            lag_ewma: vec![adaptive.map_or(0.0, |cfg| cfg.floor as f64); k],
+            peak_effective_lag: 0,
             absorbed_count: Vec::new(),
             max_delta: Vec::new(),
             iter_ops: Vec::new(),
@@ -964,6 +1081,26 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
     /// A pooled empty outbox for the next launch.
     fn take_outbox(&mut self) -> Outbox<M> {
         self.outbox_pool.pop().unwrap_or_else(|| Outbox::new(self.k))
+    }
+
+    /// The partition's current staleness window: the adaptive
+    /// controller's EWMA rounded up and clamped to `[floor, cap]`, or
+    /// the fixed `max_lag` with the controller off. `cap = 0` pins
+    /// this to 0 everywhere — the barrier-identical contract.
+    fn effective_lag(&self, p: usize) -> usize {
+        match self.adaptive {
+            Some(cfg) => (self.lag_ewma[p].ceil() as usize).clamp(cfg.floor, cfg.cap),
+            None => self.max_lag,
+        }
+    }
+
+    /// Feeds one observed dependency-arrival slack (iterations behind)
+    /// into the partition's EWMA. No-op with the controller off.
+    fn observe_lag(&mut self, p: usize, slack: usize) {
+        if let Some(cfg) = self.adaptive {
+            let e = &mut self.lag_ewma[p];
+            *e += cfg.alpha * (slack as f64 - *e);
+        }
     }
 
     /// Updates the held-bytes high-water mark.
@@ -1185,18 +1322,37 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         debug_assert_eq!(i, self.parts[p].absorbed, "absorbs are strictly in iteration order");
 
         // Staleness bound: per dependency, use the freshest batch of
-        // iteration ≤ i, requiring it be ≥ i − max_lag.
-        let min_fresh = i.saturating_sub(self.max_lag);
+        // iteration ≤ i, requiring it be ≥ i − the partition's
+        // *effective* window (= max_lag with the adaptive controller
+        // off, never above its cap with it on).
+        let eff = self.effective_lag(p);
+        self.peak_effective_lag = self.peak_effective_lag.max(eff);
+        let min_fresh = i.saturating_sub(eff);
         let mut selected = Vec::with_capacity(self.parts[p].deps.len());
+        let mut slack = 0usize;
+        let mut too_stale = None;
         for mb in &self.parts[p].mailbox {
             let Some((&key, _)) = mb.range(..=i).next_back() else {
                 return; // not delivered yet
             };
             if key < min_fresh {
-                return; // too stale to consume
+                too_stale = Some(i - key);
+                break;
             }
+            slack = slack.max(i - key);
             selected.push(key);
         }
+        if let Some(needed) = too_stale {
+            // Blocked on staleness: feed the slack this absorb *would*
+            // have needed into the EWMA, widening the window toward it
+            // (up to the cap) so a persistent straggler stops stalling
+            // its consumers.
+            self.observe_lag(p, needed);
+            return;
+        }
+        // Admitted: the realized slack narrows the window back down
+        // when dependencies run fresh.
+        self.observe_lag(p, slack);
 
         let absorbed = {
             let part = &mut self.parts[p];
@@ -1539,6 +1695,11 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             peak_state_bytes: self.peak_state_bytes,
             deferred_launches: self.deferred_launches,
             max_lag,
+            peak_effective_lag: if self.adaptive.is_some() {
+                self.peak_effective_lag
+            } else {
+                max_lag
+            },
             wall_time,
             schedule: kept,
         };
@@ -1723,6 +1884,144 @@ mod tests {
                 "lagged fixpoint drifted: {x} vs {y}"
             );
         }
+    }
+
+    /// A ring with one deliberately slow partition (its gmap sleeps),
+    /// so consumers observe positive dependency-arrival slack.
+    struct StragglerRing {
+        inner: Ring,
+        slow: usize,
+        delay: Duration,
+    }
+
+    impl AsyncIterative for StragglerRing {
+        type State = f64;
+        type Update = f64;
+        type Msg = f64;
+
+        fn partitions(&self) -> usize {
+            self.inner.partitions()
+        }
+
+        fn dependencies(&self, p: usize) -> Dependence {
+            self.inner.dependencies(p)
+        }
+
+        fn init_state(&self, p: usize) -> f64 {
+            self.inner.init_state(p)
+        }
+
+        fn gmap(
+            &self,
+            p: usize,
+            iteration: usize,
+            state: &f64,
+            outbox: &mut Outbox<f64>,
+        ) -> GmapOutput<f64> {
+            if p == self.slow {
+                std::thread::sleep(self.delay);
+            }
+            self.inner.gmap(p, iteration, state, outbox)
+        }
+
+        fn absorb(
+            &self,
+            p: usize,
+            iteration: usize,
+            state: &f64,
+            update: f64,
+            inbox: &[(usize, &[f64])],
+        ) -> Absorbed<f64> {
+            self.inner.absorb(p, iteration, state, update, inbox)
+        }
+
+        fn converged(&self, max_delta: f64) -> bool {
+            self.inner.converged(max_delta)
+        }
+    }
+
+    #[test]
+    fn adaptive_lag_cap_zero_is_bitwise_identical_to_the_barrier() {
+        let algo = Ring::new(9, 1e-10, true);
+        let driver = AsyncFixedPointDriver::new(500)
+            .with_adaptive_lag(AdaptiveLagConfig::new(0).with_alpha(1.0));
+        let outcome = driver.run(&pool(), &algo);
+        let (oracle, iters, converged) = run_barrier(&algo, 500);
+        assert!(converged && outcome.report.converged);
+        assert_eq!(outcome.report.global_iterations, iters);
+        assert_eq!(outcome.report.max_lag, 0);
+        assert_eq!(outcome.report.peak_effective_lag, 0);
+        for (p, (got, want)) in outcome.states.iter().zip(&oracle).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "partition {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn adaptive_lag_respects_the_cap_and_reaches_the_fixpoint() {
+        let algo = Ring::new(8, 1e-12, true);
+        let exact = AsyncFixedPointDriver::new(2_000).run(&pool(), &algo);
+        let adaptive = AsyncFixedPointDriver::new(2_000)
+            .with_adaptive_lag(AdaptiveLagConfig::new(3).with_floor(1).with_alpha(0.5))
+            .run(&pool(), &algo);
+        assert!(exact.report.converged && adaptive.report.converged);
+        assert_eq!(adaptive.report.max_lag, 3, "report carries the cap");
+        assert!(
+            (1..=3).contains(&adaptive.report.peak_effective_lag),
+            "effective window must stay in [floor, cap], got {}",
+            adaptive.report.peak_effective_lag
+        );
+        for (x, y) in exact.states.iter().zip(&adaptive.states) {
+            assert!(
+                (*x.as_ref() - *y.as_ref()).abs() < 1e-9,
+                "adaptive fixpoint drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_lag_widens_under_a_straggler() {
+        let algo = StragglerRing {
+            inner: Ring::new(4, 1e-10, true),
+            slow: 0,
+            delay: Duration::from_millis(3),
+        };
+        let outcome = AsyncFixedPointDriver::new(400)
+            .with_adaptive_lag(AdaptiveLagConfig::new(4).with_alpha(1.0))
+            .run(&pool(), &algo);
+        assert!(outcome.report.converged);
+        assert!(
+            outcome.report.peak_effective_lag >= 1,
+            "a persistent straggler must widen some consumer's window"
+        );
+        assert!(outcome.report.peak_effective_lag <= 4, "never past the cap");
+        let (oracle, _, converged) = run_barrier(&algo.inner, 400);
+        assert!(converged);
+        for (x, y) in outcome.states.iter().zip(&oracle) {
+            assert!(
+                (*x.as_ref() - y).abs() < 1e-8,
+                "stale reads must still reach the contraction fixpoint: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lag cap 1 below floor 3")]
+    fn literally_constructed_lag_cap_below_floor_is_rejected_at_injection() {
+        let driver = AsyncFixedPointDriver {
+            adaptive_lag: Some(AdaptiveLagConfig { cap: 1, floor: 3, alpha: 0.5 }),
+            ..AsyncFixedPointDriver::new(10)
+        };
+        driver.run(&pool(), &Ring::new(3, 1e-6, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn literally_constructed_adaptive_alpha_out_of_range_is_rejected_at_injection() {
+        let driver = AsyncFixedPointDriver {
+            adaptive_lag: Some(AdaptiveLagConfig { cap: 2, floor: 0, alpha: 0.0 }),
+            ..AsyncFixedPointDriver::new(10)
+        };
+        driver.run(&pool(), &Ring::new(3, 1e-6, true));
     }
 
     #[test]

@@ -110,8 +110,75 @@ fn run(algo: &Ring, max_lag: usize, budget: Option<u64>) -> (Vec<f64>, SessionRe
     (outcome.states.iter().map(|s| **s).collect(), outcome.report)
 }
 
+fn run_adaptive(algo: &Ring, cfg: AdaptiveLagConfig) -> (Vec<f64>, SessionReport) {
+    let pool = ThreadPool::new(4);
+    let outcome = AsyncFixedPointDriver::new(500).with_adaptive_lag(cfg).run(&pool, algo);
+    (outcome.states.iter().map(|s| **s).collect(), outcome.report)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The straggler-adaptive controller is bounded by its cap at
+    /// every setting: the reported peak effective window stays in
+    /// `[floor, cap]`, no consumed input in the kept schedule is more
+    /// than `cap` iterations stale, the run converges to the
+    /// contraction's unique fixpoint — and `cap = 0` remains
+    /// bitwise-identical to the fixed lag-0 (barrier-identical) run.
+    #[test]
+    fn adaptive_lag_never_exceeds_its_cap(
+        k in 1usize..10,
+        cap in 0usize..4,
+        floor_sel in 0usize..3,
+        alpha_idx in 0usize..3,
+    ) {
+        let floor = [0, cap / 2, cap][floor_sel];
+        let alpha = [0.25, 0.5, 1.0][alpha_idx];
+        let algo = Ring::new(k, 1e-10);
+        let (free_states, free_report) = run(&algo, 0, None);
+        prop_assert!(free_report.converged);
+
+        let cfg = AdaptiveLagConfig::new(cap).with_floor(floor).with_alpha(alpha);
+        let (states, report) = run_adaptive(&algo, cfg);
+        prop_assert!(report.converged);
+        prop_assert_eq!(report.max_lag, cap, "report must carry the cap");
+        prop_assert!(
+            report.peak_effective_lag <= cap,
+            "peak effective lag {} exceeded cap {}", report.peak_effective_lag, cap
+        );
+        prop_assert!(
+            report.peak_effective_lag >= floor,
+            "peak effective lag {} below floor {}", report.peak_effective_lag, floor
+        );
+
+        // Staleness bound on the recorded schedule itself: a task at
+        // iteration i consumes producer outputs no older than
+        // i − 1 − cap, whatever window the EWMA actually used.
+        for (idx, task) in report.schedule.iter().enumerate() {
+            for &d in &task.deps {
+                prop_assert!(d < idx, "schedule not topological at task {}", idx);
+                let producer = &report.schedule[d];
+                prop_assert!(
+                    producer.iteration + 1 + cap >= task.iteration,
+                    "task {} (iter {}) consumed iter {} — staleness exceeds cap {}",
+                    idx, task.iteration, producer.iteration, cap
+                );
+            }
+        }
+
+        for (p, (got, want)) in states.iter().zip(&free_states).enumerate() {
+            prop_assert!((got - want).abs() < 1e-8,
+                "partition {}: {} vs {} (cap {})", p, got, want, cap);
+        }
+        if cap == 0 {
+            prop_assert_eq!(report.global_iterations, free_report.global_iterations,
+                "cap 0 must reproduce the barrier-identical iteration count");
+            for (p, (got, want)) in states.iter().zip(&free_states).enumerate() {
+                prop_assert_eq!(got.to_bits(), want.to_bits(),
+                    "partition {}: cap 0 must be bitwise-identical to lag 0", p);
+            }
+        }
+    }
 
     /// At `max_lag = 0` — the byte-identity regime — any byte budget
     /// gives the bitwise-identical fixpoint, the identical iteration

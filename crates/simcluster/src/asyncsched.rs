@@ -19,14 +19,20 @@
 //! incarnations), node deaths/rejoins and checkpoint boundaries are
 //! trace markers, and every cross-node message edge is priced by the
 //! core's pluggable [`NetworkModel`](crate::network::NetworkModel).
-//! Placement itself stays synchronous inside the epoch handler — tasks
-//! are visited in list order (a topological order) and each is placed
-//! on the slot whose *estimated* start
-//! ([`NetworkModel::estimate`](crate::network::NetworkModel::estimate))
-//! is earliest; the chosen slot's message edges are then *committed*
-//! through the model, which under a contention model may push the real
-//! start past the estimate (greedy admission — the committed flow
-//! shares capacity with everything already in flight). Under the
+//! Placement itself stays synchronous inside the epoch handler, but
+//! the *policy* is pluggable ([`crate::sched`]): the run's
+//! [`Scheduler`] orders the epoch's pending tasks
+//! and picks among the admissible slots, which are ranked by pure
+//! *estimated* start
+//! ([`NetworkModel::estimate`](crate::network::NetworkModel::estimate)).
+//! The default [`ListScheduler`](crate::ListScheduler) reproduces the
+//! pre-trait greedy bit-for-bit: list order (a topological order),
+//! earliest estimated start, ties toward the lowest slot. The chosen
+//! slot's message edges are then *committed* through the model, which
+//! under a contention model may push the real start past the estimate
+//! (greedy admission — the committed flow shares capacity with
+//! everything already in flight); the gap is metered per run in
+//! [`AsyncScheduleStats::commit`]. Under the
 //! [`Constant`](crate::network::Constant) model commit equals estimate,
 //! which is exactly the pre-refactor scheduler's arrival formula — the
 //! replay-fidelity goldens are pinned there.
@@ -92,7 +98,9 @@ use rand::RngExt;
 use crate::cluster::ClusterSpec;
 use crate::event_core::{ComponentId, Ev, EventCore, EventHandler};
 use crate::failure::{FailurePlan, NodeFailurePlan};
+use crate::sched::{candidates, SchedView, Scheduler, SlotState};
 use crate::sim::Simulation;
+use crate::stats::CommitAccounting;
 use crate::time::SimTime;
 
 /// Metered profile of one asynchronous `gmap` task (one partition at
@@ -185,6 +193,13 @@ pub struct AsyncScheduleStats {
     /// Per-task placement (node id of the successful attempt), in spec
     /// order.
     pub task_node: Vec<usize>,
+    /// Name of the [`crate::Scheduler`] that placed this run
+    /// ([`crate::SchedulerSpec::name`]).
+    pub scheduler: &'static str,
+    /// Estimate-then-commit accounting: contention overruns past the
+    /// placement estimates, and (always-zero unless a model is buggy)
+    /// early-commit violations.
+    pub commit: CommitAccounting,
 }
 
 impl Simulation {
@@ -262,6 +277,7 @@ impl Simulation {
             tasks,
             failure: self.failure.clone(),
             node_plan: self.node_failure.clone(),
+            scheduler: self.sched.instantiate(),
             consumers,
             dependents,
             slots,
@@ -278,6 +294,7 @@ impl Simulation {
             recovery_time: SimTime::ZERO,
             rollback_time: SimTime::ZERO,
             node_failures: 0,
+            commit: CommitAccounting::default(),
             work_end: setup_done,
         };
 
@@ -321,6 +338,8 @@ impl Simulation {
             rollback_time: run.rollback_time,
             task_finish: run.finish,
             task_node: run.node_of,
+            scheduler: self.sched.name(),
+            commit: run.commit,
         }
     }
 }
@@ -333,6 +352,9 @@ struct AsyncRun<'a> {
     tasks: &'a [AsyncTaskSpec],
     failure: FailurePlan,
     node_plan: NodeFailurePlan,
+    /// The placement policy (instantiated fresh from the simulation's
+    /// [`crate::SchedulerSpec`] for this run).
+    scheduler: Box<dyn Scheduler>,
     /// Fan-out per producer (message bytes split across consumers).
     consumers: Vec<u32>,
     /// Consumer adjacency (rollback closure); empty without a node plan.
@@ -358,6 +380,9 @@ struct AsyncRun<'a> {
     recovery_time: SimTime,
     rollback_time: SimTime,
     node_failures: usize,
+    /// Estimate-then-commit accounting (the promoted release-mode
+    /// invariant check).
+    commit: CommitAccounting,
     /// The schedule frontier: latest completion committed so far.
     work_end: SimTime,
 }
@@ -370,26 +395,25 @@ impl AsyncRun<'_> {
             && core.rng().random_range(0.0..1.0) < self.failure.attempt_failure_prob
     }
 
-    /// Dispatches task `i` (attempt loop included) onto the
-    /// earliest-start slot and records its finish/node/duration.
+    /// Dispatches task `i` (attempt loop included) onto the slot the
+    /// scheduler chooses and records its finish/node/duration.
     ///
-    /// Start = max(slot free, the task's gate, every dependency's
-    /// *estimated* message arrival at that slot's node); ties break
-    /// toward the lowest-indexed slot. The chosen slot's cross-node
-    /// edges are then committed through the network model, which may
-    /// push the real start past the estimate under contention (and
-    /// matches it exactly under [`crate::network::Constant`]). Slots on
-    /// the task's excluded node are skipped (the re-placement rule
-    /// after a node death). Under an active [`crate::FailurePlan`] each
-    /// attempt may die a uniform fraction of the way through, holding
-    /// its slot until the death; the retry waits out the detection
-    /// delay.
+    /// The admissible slots are enumerated with their pure estimates
+    /// ([`candidates`]: start = max(slot free, the task's gate, every
+    /// dependency's *estimated* message arrival at that slot's node),
+    /// slots on the task's excluded node skipped — the re-placement
+    /// rule after a node death), and the run's [`Scheduler`] picks one.
+    /// The default [`crate::ListScheduler`] keeps the pre-trait greedy:
+    /// earliest estimated start, ties toward the lowest-indexed slot.
+    /// The chosen slot's cross-node edges are then committed through
+    /// the network model, which may push the real start past the
+    /// estimate under contention (and matches it exactly under
+    /// [`crate::network::Constant`]); the gap is metered in
+    /// [`AsyncScheduleStats::commit`]. Under an active
+    /// [`crate::FailurePlan`] each attempt may die a uniform fraction
+    /// of the way through, holding its slot until the death; the retry
+    /// waits out the detection delay.
     fn place(&mut self, core: &mut EventCore, i: usize) {
-        // On a single-node cluster there is nowhere else to go: the
-        // rebooted node must take its own lost work back (the gate
-        // already delays it past the detection).
-        let exclude_node =
-            self.excluded[i].filter(|&n| self.slots.iter().any(|&(_, node)| node != n));
         let task = &self.tasks[i];
         let gate = self.gate[i];
         let mut attempt = 0u32;
@@ -397,26 +421,30 @@ impl AsyncRun<'_> {
         // death is detected.
         let mut retry_gate = gate;
         loop {
-            // Earliest-start slot by pure estimate. A dependency's
-            // arrival time depends on whether its producer ran on the
-            // same node, so readiness is evaluated per candidate slot.
-            let mut best: Option<(SimTime, usize)> = None;
-            for (s, &(free, node)) in self.slots.iter().enumerate() {
-                if exclude_node == Some(node) {
-                    continue;
-                }
-                let mut start = free.max(gate).max(retry_gate);
-                for &d in &task.deps {
-                    debug_assert!(d < i, "async schedule must be topologically ordered");
-                    let share = self.tasks[d].output_bytes / u64::from(self.consumers[d].max(1));
-                    let arrival = core.net().estimate(self.node_of[d], node, share, self.finish[d]);
-                    start = start.max(arrival);
-                }
-                if best.is_none_or(|(b, _)| start < b) {
-                    best = Some((start, s));
-                }
-            }
-            let (est_start, slot) = best.expect("at least one admissible slot");
+            // Rank the admissible slots by pure estimate and let the
+            // scheduler pick; a dependency's arrival time depends on
+            // whether its producer ran on the same node, so readiness
+            // is evaluated per candidate slot.
+            let (est_start, slot) = {
+                let view = SchedView {
+                    tasks: self.tasks,
+                    consumers: &self.consumers,
+                    spec: self.spec,
+                    net: core.net(),
+                };
+                let st = SlotState {
+                    slots: &self.slots,
+                    finish: &self.finish,
+                    node_of: &self.node_of,
+                    done: &self.done,
+                    gate: &self.gate,
+                    excluded: &self.excluded,
+                };
+                let cands = candidates(&view, &st, i, retry_gate);
+                debug_assert!(!cands.is_empty(), "at least one admissible slot");
+                let pick = self.scheduler.choose(&view, &st, i, &cands);
+                (cands[pick].est_start, cands[pick].slot)
+            };
             let node = self.slots[slot].1;
             // Commit the chosen slot's cross-node edges. Every attempt
             // refetches its inputs (Hadoop re-reads map outputs on
@@ -439,7 +467,16 @@ impl AsyncRun<'_> {
                     start = start.max(arrival);
                 }
             }
-            debug_assert!(start >= est_start, "commitment can only delay the estimate");
+            // The estimate-then-commit invariant, promoted from a
+            // debug_assert to release-mode accounting: a commit may
+            // only be delayed past the estimate that ranked its slot.
+            if start < est_start {
+                self.commit.violations += 1;
+                debug_assert!(start >= est_start, "commitment can only delay the estimate");
+            } else if start > est_start {
+                self.commit.overruns += 1;
+                self.commit.overrun_time += start - est_start;
+            }
 
             // Iteration 0 reads its split from the local DFS replica;
             // later iterations operate on resident state (the async
@@ -556,16 +593,64 @@ impl EventHandler for AsyncRun<'_> {
                     // work of earlier epochs (what is resident by now).
                     self.inject_deaths(core, epoch);
                 }
-                // (Re-)dispatch everything pending up to this epoch, in
-                // index order — deps always point to lower indices, so
-                // a rolled-back producer is re-placed before any
-                // consumer that needs its fresh finish time.
-                for i in 0..self.tasks.len() {
-                    if self.done[i] || self.tasks[i].iteration > epoch {
-                        continue;
+                // Trace-only: snapshot live link utilization at the
+                // boundary, so post-hoc trace analysis can see the
+                // contention each placement decision faced. Models
+                // without a utilization notion emit nothing.
+                let snapshot: Vec<(usize, u64, u64)> = {
+                    let util = core.net().utilization();
+                    let caps = core.net().capacities();
+                    util.iter()
+                        .zip(&caps)
+                        .enumerate()
+                        .filter(|&(_, (&u, _))| u > 0.0)
+                        .map(|(l, (&u, &c))| (l, u.round() as u64, c.round() as u64))
+                        .collect()
+                };
+                for (link, used_bps, cap_bps) in snapshot {
+                    core.mark(self.work_end, self.cid, Ev::LinkUtil { link, used_bps, cap_bps });
+                }
+                // (Re-)dispatch everything pending up to this epoch.
+                // The pending set is collected in index order (a
+                // topological order); the scheduler may reorder it but
+                // must keep deps before their consumers, so a
+                // rolled-back producer is re-placed before any consumer
+                // that needs its fresh finish time.
+                let pending: Vec<usize> = (0..self.tasks.len())
+                    .filter(|&i| !self.done[i] && self.tasks[i].iteration <= epoch)
+                    .collect();
+                if !pending.is_empty() {
+                    let order = {
+                        let view = SchedView {
+                            tasks: self.tasks,
+                            consumers: &self.consumers,
+                            spec: self.spec,
+                            net: core.net(),
+                        };
+                        let st = SlotState {
+                            slots: &self.slots,
+                            finish: &self.finish,
+                            node_of: &self.node_of,
+                            done: &self.done,
+                            gate: &self.gate,
+                            excluded: &self.excluded,
+                        };
+                        self.scheduler.begin_epoch(&view, &st, &pending);
+                        self.scheduler.order(&view, &pending)
+                    };
+                    debug_assert_eq!(
+                        {
+                            let mut sorted = order.clone();
+                            sorted.sort_unstable();
+                            sorted
+                        },
+                        pending,
+                        "scheduler order must be a permutation of the pending set"
+                    );
+                    for i in order {
+                        self.place(core, i);
+                        self.done[i] = true;
                     }
-                    self.place(core, i);
-                    self.done[i] = true;
                 }
             }
             Ev::TaskDone { task, generation, .. } => {
@@ -861,6 +946,163 @@ mod tests {
         use crate::failure::NodeFailurePlan;
         let plan = NodeFailurePlan { node_failure_prob: 1.5, ..NodeFailurePlan::none() };
         let _ = Simulation::new(ClusterSpec::ec2_2010(), 1).with_node_failures(plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one map slot")]
+    fn literally_constructed_zero_slot_cluster_is_rejected_at_injection() {
+        let _ = Simulation::new(ClusterSpec::test_local(0, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn literally_constructed_empty_portfolio_is_rejected_at_injection() {
+        use crate::sched::SchedulerSpec;
+        let _ = Simulation::new(ClusterSpec::ec2_2010(), 1)
+            .with_scheduler(SchedulerSpec::Portfolio { members: Vec::new() });
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn literally_constructed_zero_depth_lookahead_is_rejected_at_injection() {
+        use crate::sched::SchedulerSpec;
+        let _ = Simulation::new(ClusterSpec::ec2_2010(), 1)
+            .with_scheduler(SchedulerSpec::Lookahead { depth: 0 });
+    }
+
+    #[test]
+    fn stats_name_the_scheduler_that_placed_the_run() {
+        use crate::sched::SchedulerSpec;
+        let tasks = ring_schedule(4, 2, 1_000_000);
+        assert_eq!(sim(1).run_async_schedule(&tasks).scheduler, "list");
+        let heft = Simulation::new(ClusterSpec::ec2_2010(), 1)
+            .with_scheduler(SchedulerSpec::Heft)
+            .run_async_schedule(&tasks);
+        assert_eq!(heft.scheduler, "heft");
+    }
+
+    #[test]
+    fn commit_matches_estimate_on_the_constant_model() {
+        use crate::network::Constant;
+        use crate::stats::CommitAccounting;
+        let spec = ClusterSpec::ec2_2010();
+        let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+        let tasks = ring_schedule(16, 4, 10_000_000);
+        let stats = Simulation::new(spec, 3)
+            .with_network(Constant::new(n, bw, lat))
+            .run_async_schedule(&tasks);
+        assert_eq!(
+            stats.commit,
+            CommitAccounting::default(),
+            "uncontended commits must equal their estimates exactly"
+        );
+    }
+
+    #[test]
+    fn commit_overruns_are_metered_under_shared_bandwidth() {
+        // The promoted `start >= est_start` invariant, as a release-mode
+        // regression: under the fair-shared fluid model a chatty
+        // schedule's committed transfers land *later* than the pure
+        // estimates that ranked their slots (greedy admission), and
+        // never earlier.
+        use crate::network::SharedBandwidth;
+        let spec = ClusterSpec::ec2_2010();
+        let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+        let tasks = ring_schedule(16, 4, 10_000_000)
+            .into_iter()
+            .map(|t| {
+                let (rec, _) = (t.output_records, t.output_bytes);
+                t.with_output(rec, 24 << 20) // fatten the edges: real contention
+            })
+            .collect::<Vec<_>>();
+        let stats = Simulation::new(spec, 3)
+            .with_network(SharedBandwidth::new(n, bw, lat))
+            .run_async_schedule(&tasks);
+        assert!(stats.commit.overruns > 0, "contention must delay some commits");
+        assert!(stats.commit.overrun_time > SimTime::ZERO);
+        assert_eq!(stats.commit.violations, 0, "no commit may beat its estimate");
+    }
+
+    #[test]
+    fn heft_beats_greedy_on_heterogeneous_nodes() {
+        // The tentpole's payoff mechanism: the greedy default ranks by
+        // estimated *start* and so happily feeds early-free slots on
+        // slow nodes; HEFT ranks by estimated *finish* at each node's
+        // real speed. With half the cluster at quarter speed the
+        // critical path through slow nodes dominates the greedy
+        // makespan.
+        use crate::sched::SchedulerSpec;
+        let spec = ClusterSpec::ec2_2010().with_slow_nodes(4, 0.25);
+        let tasks = ring_schedule(8, 6, 40_000_000);
+        let greedy = Simulation::new(spec.clone(), 7).run_async_schedule(&tasks);
+        let heft =
+            Simulation::new(spec, 7).with_scheduler(SchedulerSpec::Heft).run_async_schedule(&tasks);
+        assert!(
+            heft.duration.as_secs_f64() < greedy.duration.as_secs_f64() * 0.9,
+            "HEFT {} must beat greedy {} by >= 10% on a half-slow cluster",
+            heft.duration,
+            greedy.duration
+        );
+    }
+
+    #[test]
+    fn every_scheduler_completes_the_dag_in_dependency_order() {
+        use crate::network::SharedBandwidth;
+        use crate::sched::SchedulerSpec;
+        let specs = [
+            SchedulerSpec::List,
+            SchedulerSpec::Heft,
+            SchedulerSpec::Lookahead { depth: 2 },
+            SchedulerSpec::default_portfolio(),
+        ];
+        let tasks = ring_schedule(8, 5, 20_000_000);
+        for sched in specs {
+            let name = sched.name();
+            let spec = ClusterSpec::ec2_2010();
+            let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+            let stats = Simulation::new(spec, 11)
+                .with_network(SharedBandwidth::new(n, bw, lat))
+                .with_failures(FailurePlan::transient(0.15))
+                .with_scheduler(sched)
+                .run_async_schedule(&tasks);
+            assert_eq!(stats.tasks, tasks.len(), "{name}: all work must complete");
+            assert_eq!(stats.commit.violations, 0, "{name}: no early commits");
+            for (i, t) in tasks.iter().enumerate() {
+                for &d in &t.deps {
+                    assert!(
+                        stats.task_finish[d] < stats.task_finish[i],
+                        "{name}: task {i} finished before its dependency {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_models_trace_link_utilization_at_epoch_boundaries() {
+        use crate::failure::NodeFailurePlan;
+        use crate::network::SharedBandwidth;
+        // Per-epoch boundaries (node plan installed) under a fluid
+        // model: whenever flows are live at a boundary, the trace
+        // carries LinkUtil snapshots. The default model traces none.
+        let tasks = ring_schedule(16, 4, 10_000_000);
+        let spec = ClusterSpec::ec2_2010();
+        let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+        // A vanishing death probability keeps the plan *enabled* (one
+        // boundary per epoch) without any deaths actually firing.
+        let mut s = Simulation::new(spec, 2)
+            .with_network(SharedBandwidth::new(n, bw, lat))
+            .with_node_failures(NodeFailurePlan::correlated(1e-12, 1, 5));
+        s.run_async_schedule(&tasks);
+        let snapshots =
+            s.last_trace().iter().filter(|t| matches!(t.ev, Ev::LinkUtil { .. })).count();
+        assert!(snapshots > 0, "live flows at an epoch boundary must be snapshotted");
+
+        let mut plain = sim(2);
+        plain.run_async_schedule(&tasks);
+        let none =
+            plain.last_trace().iter().filter(|t| matches!(t.ev, Ev::LinkUtil { .. })).count();
+        assert_eq!(none, 0, "the default model reports no utilization");
     }
 
     #[test]

@@ -142,6 +142,18 @@ pub enum Ev {
         /// The epoch whose boundary this is.
         epoch: usize,
     },
+    /// Trace-only marker: one link's live utilization snapshot at an
+    /// async epoch boundary (only links with traffic in flight are
+    /// recorded; models that report no utilization emit none). Link
+    /// indices follow [`crate::network::NetworkModel::utilization`].
+    LinkUtil {
+        /// Link index in the model's utilization vector.
+        link: usize,
+        /// Bytes/s currently in use on the link (rounded).
+        used_bps: u64,
+        /// The link's capacity in bytes/s (rounded).
+        cap_bps: u64,
+    },
 }
 
 /// One line of the event trace: an event as it was processed (or
@@ -185,6 +197,7 @@ impl TraceEvent {
             Ev::NodeRejoin { node } => [11, node as u64, 0, 0],
             Ev::TransferDone { src, dst, bytes } => [12, src as u64, dst as u64, bytes],
             Ev::Checkpoint { epoch } => [13, epoch as u64, 0, 0],
+            Ev::LinkUtil { link, used_bps, cap_bps } => [14, link as u64, used_bps, cap_bps],
         };
         let mut h = splitmix64(self.at.as_micros() ^ (self.component as u64) << 56);
         for w in tag {

@@ -48,6 +48,7 @@ pub mod events;
 pub mod failure;
 pub mod job;
 pub mod network;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -60,6 +61,10 @@ pub use event_core::{ComponentId, Ev, EventCore, EventHandler, TraceEvent};
 pub use failure::{splitmix64, verdict_unit, FailurePlan, NodeFailurePlan};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
 pub use network::{Constant, NetworkModel, NetworkState, SharedBandwidth, TopologyAware};
+pub use sched::{
+    Candidate, Heft, ListScheduler, Lookahead, Portfolio, SchedView, Scheduler, SchedulerSpec,
+    SlotState,
+};
 pub use sim::Simulation;
-pub use stats::{JobStats, PhaseBreakdown, RunTotals};
+pub use stats::{CommitAccounting, JobStats, PhaseBreakdown, RunTotals};
 pub use time::SimTime;

@@ -70,6 +70,24 @@ pub trait NetworkModel: fmt::Debug + Send {
             earliest + self.wire_time(bytes)
         }
     }
+
+    /// Live per-link utilization in bytes/s, for contention-aware
+    /// placement ([`crate::Lookahead`]) and the epoch-boundary trace
+    /// snapshots. Link layout convention: indices `0..nodes` are the
+    /// transmit/uplink side of each node, `nodes..2*nodes` the
+    /// receive/downlink side; any further entries are model-specific
+    /// (e.g. a shared core link). Models without a live contention
+    /// notion return an empty vector (the default) and schedulers
+    /// degrade gracefully.
+    fn utilization(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Per-link capacities in bytes/s, parallel to
+    /// [`NetworkModel::utilization`] (empty iff utilization is empty).
+    fn capacities(&self) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -480,6 +498,14 @@ impl NetworkModel for SharedBandwidth {
     fn advance_to(&mut self, at: SimTime) {
         self.fluid.advance_secs(at.as_secs_f64());
     }
+
+    fn utilization(&self) -> Vec<f64> {
+        self.fluid.utilization()
+    }
+
+    fn capacities(&self) -> Vec<f64> {
+        self.fluid.caps.clone()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +606,14 @@ impl NetworkModel for TopologyAware {
 
     fn advance_to(&mut self, at: SimTime) {
         self.fluid.advance_secs(at.as_secs_f64());
+    }
+
+    fn utilization(&self) -> Vec<f64> {
+        self.fluid.utilization()
+    }
+
+    fn capacities(&self) -> Vec<f64> {
+        self.fluid.caps.clone()
     }
 }
 

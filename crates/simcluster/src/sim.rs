@@ -59,6 +59,7 @@ use crate::event_core::{ComponentId, Ev, EventCore, EventHandler, TraceEvent};
 use crate::failure::{verdict_unit, FailurePlan, NodeFailurePlan};
 use crate::job::JobSpec;
 use crate::network::{NetworkModel, NetworkState};
+use crate::sched::SchedulerSpec;
 use crate::stats::{JobStats, PhaseBreakdown, RunTotals};
 use crate::time::SimTime;
 
@@ -76,6 +77,9 @@ pub struct Simulation {
     pub(crate) jobs_run: usize,
     pub(crate) barrier_cid: ComponentId,
     pub(crate) async_cid: ComponentId,
+    /// The async replay's placement policy (default: the pre-trait
+    /// greedy [`crate::ListScheduler`]).
+    pub(crate) sched: SchedulerSpec,
     /// Cross-job node-death budget spent by the barrier path.
     barrier_deaths: Vec<u32>,
 }
@@ -87,6 +91,10 @@ impl Simulation {
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
         let nodes = spec.num_nodes();
         assert!(nodes > 0, "cluster must have at least one node");
+        assert!(
+            spec.nodes.iter().any(|n| n.map_slots > 0),
+            "cluster must have at least one map slot"
+        );
         let net = NetworkState::new(nodes, spec.nic_bandwidth, spec.net_latency);
         let mut core = EventCore::new(seed, Box::new(net));
         let barrier_cid = core.register_component("barrier");
@@ -99,8 +107,25 @@ impl Simulation {
             jobs_run: 0,
             barrier_cid,
             async_cid,
+            sched: SchedulerSpec::List,
             barrier_deaths: vec![0; nodes],
         }
+    }
+
+    /// Selects the async replay's placement policy (builder-style,
+    /// before any run). The default [`SchedulerSpec::List`] is the
+    /// pre-trait greedy, pinned byte-identical by the replay-fidelity
+    /// goldens; see [`crate::sched`] for the alternatives.
+    ///
+    /// # Panics
+    ///
+    /// If the spec is malformed ([`SchedulerSpec::validate`]: zero
+    /// lookahead depth, empty or nested portfolio) — the same
+    /// injection-time check [`Simulation::with_failures`] performs.
+    pub fn with_scheduler(mut self, sched: SchedulerSpec) -> Self {
+        sched.validate();
+        self.sched = sched;
+        self
     }
 
     /// Swaps the network model both replay paths price traffic with

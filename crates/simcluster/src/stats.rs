@@ -21,6 +21,25 @@ pub struct PhaseBreakdown {
     pub cleanup: SimTime,
 }
 
+/// Release-mode accounting of the async placement's estimate-then-commit
+/// invariant: the committed start of a chosen slot may only be *delayed*
+/// past the pure estimate that ranked it (greedy admission under
+/// contention), never earlier. An early commit means the estimate was
+/// not a lower bound — a network-model bug — and is counted as a
+/// violation (and fatal in debug builds); late commits are the expected
+/// contention overruns, metered so the greedy-admission gap is visible
+/// per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommitAccounting {
+    /// Commits that landed later than their estimate (contention).
+    pub overruns: usize,
+    /// Total simulated time the overruns added past the estimates.
+    pub overrun_time: SimTime,
+    /// Commits that landed *earlier* than their estimate (invariant
+    /// breach; always 0 unless a network model under-estimates).
+    pub violations: usize,
+}
+
 /// Result of simulating one job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobStats {

@@ -12,13 +12,26 @@
 
 use asyncmr_simcluster::{
     AsyncTaskSpec, ClusterSpec, Constant, FailurePlan, JobSpec, MapTaskSpec, NodeFailurePlan,
-    ReduceTaskSpec, SharedBandwidth, Simulation, TopologyAware,
+    ReduceTaskSpec, SchedulerSpec, SharedBandwidth, Simulation, TopologyAware,
 };
 use proptest::prelude::*;
 
 /// The model matrix every property sweeps. Index 0 is the default
 /// store-and-forward state; the rest are the pluggable models.
 const MODELS: [&str; 4] = ["default", "constant", "shared", "topology"];
+
+/// The scheduler matrix the async properties additionally sweep.
+const SCHEDS: [&str; 4] = ["list", "heft", "lookahead", "portfolio"];
+
+fn sched_spec(name: &str) -> SchedulerSpec {
+    match name {
+        "list" => SchedulerSpec::List,
+        "heft" => SchedulerSpec::Heft,
+        "lookahead" => SchedulerSpec::Lookahead { depth: 2 },
+        "portfolio" => SchedulerSpec::default_portfolio(),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
 
 fn sim_on(model: &str, seed: u64) -> Simulation {
     let spec = ClusterSpec::ec2_2010();
@@ -117,6 +130,42 @@ proptest! {
                 a.trace_digest(), b.trace_digest(),
                 "{}: event trace must be byte-identical", model
             );
+        }
+    }
+
+    /// The full scheduler × network-model matrix: every scheduler is a
+    /// pure function of its inputs on every model — byte-identical
+    /// stats and trace digests across repeat runs — the default path
+    /// (no `with_scheduler`) is exactly the list scheduler, and no
+    /// commit ever beats its estimate.
+    #[test]
+    fn scheduler_matrix_is_deterministic_on_every_model(
+        tasks in arb_dag(),
+        seed in 0u64..10_000,
+    ) {
+        for model in MODELS {
+            for sched in SCHEDS {
+                let mut a = sim_on(model, seed).with_scheduler(sched_spec(sched));
+                let sa = a.run_async_schedule(&tasks);
+                let mut b = sim_on(model, seed).with_scheduler(sched_spec(sched));
+                let sb = b.run_async_schedule(&tasks);
+                prop_assert_eq!(&sa, &sb, "{}/{}: stats drifted", model, sched);
+                prop_assert_eq!(
+                    a.trace_digest(), b.trace_digest(),
+                    "{}/{}: event trace must be byte-identical", model, sched
+                );
+                prop_assert_eq!(sa.scheduler, sched, "{}: stats must name the policy", model);
+                prop_assert_eq!(
+                    sa.commit.violations, 0,
+                    "{}/{}: a commit may never beat its estimate", model, sched
+                );
+                if sched == "list" {
+                    let mut d = sim_on(model, seed);
+                    let sd = d.run_async_schedule(&tasks);
+                    prop_assert_eq!(&sa, &sd, "{}: default must equal the list scheduler", model);
+                    prop_assert_eq!(a.trace_digest(), d.trace_digest(), "{}: default trace", model);
+                }
+            }
         }
     }
 
