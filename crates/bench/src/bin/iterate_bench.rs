@@ -434,27 +434,11 @@ struct SchedRow {
 /// criterion before reporting: HEFT or the portfolio must beat the
 /// greedy list scheduler by ≥ 10% simulated makespan on the straggler
 /// regime.
-fn scheduler_sweep() -> Vec<SchedRow> {
-    use asyncmr_simcluster::{AsyncTaskSpec, SchedulerSpec};
+fn scheduler_sweep() -> (Vec<SchedRow>, SchedTrace) {
+    use asyncmr_simcluster::workloads::ring_exchange;
+    use asyncmr_simcluster::SchedulerSpec;
 
-    let ring = |k: usize, iters: usize, ops: u64| -> Vec<AsyncTaskSpec> {
-        let mut tasks = Vec::new();
-        for it in 0..iters {
-            for p in 0..k {
-                let mut spec = AsyncTaskSpec::new(p, it, 16 << 20, ops).with_output(1_000, 64_000);
-                if it > 0 {
-                    let base = (it - 1) * k;
-                    let mut deps = vec![base + (p + k - 1) % k, base + p, base + (p + 1) % k];
-                    deps.sort_unstable();
-                    deps.dedup();
-                    spec = spec.with_deps(deps);
-                }
-                tasks.push(spec);
-            }
-        }
-        tasks
-    };
-    let tasks = ring(8, 8, 40_000_000);
+    let tasks = ring_exchange(8, 8, 40_000_000);
     let scheds = [
         SchedulerSpec::List,
         SchedulerSpec::Heft,
@@ -496,11 +480,64 @@ fn scheduler_sweep() -> Vec<SchedRow> {
         "HEFT/portfolio ({best:.1}s) must beat greedy ({:.1}s) by >= 10% under stragglers",
         cell("list")
     );
-    rows
+
+    // Trace analysis of the headline pair: re-run list and heft on the
+    // straggler regime keeping both simulations (and their recorded
+    // traces) alive, then diff. The diff must *name* the gap: one
+    // critical-path component (and the slower run's task chain) has to
+    // account for at least half of the list-vs-heft makespan delta, or
+    // the analysis layer is not explaining the number BENCH_sched.json
+    // headlines.
+    let run = |sched: SchedulerSpec| {
+        let mut sim = Simulation::new(ClusterSpec::ec2_2010().with_slow_nodes(4, 0.25), 7)
+            .with_scheduler(sched);
+        let stats = sim.run_async_schedule(&tasks);
+        (sim, stats)
+    };
+    let (list_sim, list_stats) = run(SchedulerSpec::List);
+    let (heft_sim, heft_stats) = run(SchedulerSpec::Heft);
+    let nodes = list_sim.spec().num_nodes();
+    let rec_list = asyncmr_simcluster::RunRecord {
+        tasks: &tasks,
+        stats: &list_stats,
+        trace: list_sim.last_trace(),
+        nodes,
+    };
+    let rec_heft = asyncmr_simcluster::RunRecord {
+        tasks: &tasks,
+        stats: &heft_stats,
+        trace: heft_sim.last_trace(),
+        nodes,
+    };
+    let diff = asyncmr_simcluster::diff_runs(&rec_list, &rec_heft);
+    assert!(
+        diff.dominant_share >= 0.5 && !diff.slower_chain.is_empty(),
+        "the trace diff must name a component and chain covering >= 50% of the \
+         list-vs-heft gap (got {} at {:.0}%)",
+        diff.dominant,
+        diff.dominant_share * 100.0,
+    );
+    let trace = SchedTrace {
+        list: list_sim.analyze_async_run(&tasks, &list_stats),
+        heft: heft_sim.analyze_async_run(&tasks, &heft_stats),
+        diff,
+    };
+    (rows, trace)
 }
 
-/// Prints the scheduler sweep and writes `BENCH_sched.json`.
-fn report_scheduler_sweep(rows: &[SchedRow]) {
+/// The `--sched` sweep's trace-analysis section: where the simulated
+/// time went under the two headline schedulers, and the diff naming the
+/// component responsible for the gap between them.
+struct SchedTrace {
+    list: asyncmr_simcluster::TraceAnalysis,
+    heft: asyncmr_simcluster::TraceAnalysis,
+    diff: asyncmr_simcluster::TraceDiff,
+}
+
+/// Prints the scheduler sweep and writes `BENCH_sched.json` plus the
+/// CSV trace artifacts (`BENCH_sched_critical_path.csv`,
+/// `BENCH_sched_timelines.csv`).
+fn report_scheduler_sweep(rows: &[SchedRow], trace: &SchedTrace) {
     println!("scheduler sweep (8-node cluster, 4 nodes at 0.25x speed, ring exchange 8x8)");
     println!(
         "  {:<22} {:<10} {:>13} {:>10} {:>12}",
@@ -539,11 +576,48 @@ fn report_scheduler_sweep(rows: &[SchedRow]) {
             r.commit_overrun_secs,
         ));
     }
+    print!("{}", trace.diff.to_text());
+
+    let trace_json = format!(
+        "{{\n    \"list\": {},\n    \"heft\": {},\n    \"diff\": {}\n  }}",
+        trace.list.to_json(),
+        trace.heft.to_json(),
+        trace.diff.to_json(),
+    );
     let json = format!(
-        "{{\n  \"bench\": \"scheduler_makespan_sweep\",\n  \"config\": {{\n    \"cluster\": \"ec2_2010, 4 of 8 nodes at 0.25x speed\",\n    \"workload\": \"ring exchange, 8 partitions x 8 iterations, 40M ops/task, 16 MiB inputs\",\n    \"schedulers\": [\"list (greedy default)\", \"heft (upward-rank critical path)\", \"lookahead depth 1 (utilization-aware)\", \"portfolio (race per epoch, commit winner)\"],\n    \"gate\": \"HEFT or portfolio must beat list by >= 10% makespan on the straggler regime (asserted before reporting)\"\n  }},\n  \"sweep\": [\n{cells}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"scheduler_makespan_sweep\",\n  \"config\": {{\n    \"cluster\": \"ec2_2010, 4 of 8 nodes at 0.25x speed\",\n    \"workload\": \"ring exchange, 8 partitions x 8 iterations, 40M ops/task, 16 MiB inputs\",\n    \"schedulers\": [\"list (greedy default)\", \"heft (upward-rank critical path)\", \"lookahead depth 1 (utilization-aware)\", \"portfolio (race per epoch, commit winner)\"],\n    \"gate\": \"HEFT or portfolio must beat list by >= 10% makespan on the straggler regime; the trace diff must attribute >= 50% of the list-vs-heft gap to one critical-path component (both asserted before reporting)\"\n  }},\n  \"sweep\": [\n{cells}\n  ],\n  \"trace_analysis\": {trace_json}\n}}\n",
     );
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
-    println!("wrote BENCH_sched.json");
+
+    // CSV renderings for plotting: critical-path hops and link
+    // timelines of both headline runs, tagged by scheduler.
+    let tag_csv = |analysis: &asyncmr_simcluster::TraceAnalysis, csv: String| -> String {
+        csv.lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    format!("scheduler,{l}\n")
+                } else {
+                    format!("{},{l}\n", analysis.scheduler)
+                }
+            })
+            .collect()
+    };
+    let mut cp_csv = tag_csv(&trace.list, trace.list.critical_path_csv());
+    cp_csv.extend(
+        tag_csv(&trace.heft, trace.heft.critical_path_csv())
+            .lines()
+            .skip(1)
+            .map(|l| format!("{l}\n")),
+    );
+    std::fs::write("BENCH_sched_critical_path.csv", &cp_csv)
+        .expect("write BENCH_sched_critical_path.csv");
+    let mut tl_csv = tag_csv(&trace.list, trace.list.to_csv());
+    tl_csv.extend(
+        tag_csv(&trace.heft, trace.heft.to_csv()).lines().skip(1).map(|l| format!("{l}\n")),
+    );
+    std::fs::write("BENCH_sched_timelines.csv", &tl_csv).expect("write BENCH_sched_timelines.csv");
+    println!("wrote BENCH_sched.json, BENCH_sched_critical_path.csv, BENCH_sched_timelines.csv");
 }
 
 /// The network-model contention probe: the same recorded PageRank
@@ -658,7 +732,8 @@ fn main() {
     // every headline workload's vertex count (defaults:
     // 1500 / 2000 / 2500); a bare integer arg sets threads.
     if args.iter().any(|a| a == "--sched") {
-        report_scheduler_sweep(&scheduler_sweep());
+        let (rows, trace) = scheduler_sweep();
+        report_scheduler_sweep(&rows, &trace);
         return;
     }
     let mut nodes_override = None;

@@ -1,0 +1,206 @@
+//! `simtrace` — post-hoc analysis of recorded simulator event traces.
+//!
+//! The simulator's replays leave a pop-order event trace behind
+//! (`Simulation::last_trace`); `asyncmr_simcluster::trace` turns it
+//! into utilization timelines, a critical-path decomposition, and a
+//! run-vs-run diff. This bin is the CLI over that layer:
+//!
+//! ```text
+//! simtrace timeline      [--sched S] [--model M] [--csv]
+//! simtrace critical-path [--sched S] [--model M] [--csv]
+//! simtrace diff          [--a S] [--b S] [--model M] [--json]
+//! simtrace fixtures      [--dir PATH]
+//! ```
+//!
+//! The first three subcommands replay the BENCH_sched.json headline
+//! workload — the 8×8 ring exchange on the straggler cluster (half the
+//! nodes at quarter speed, seed 7) — under the chosen scheduler
+//! (`list` | `heft` | `lookahead` | `portfolio`) and network model
+//! (`default` | `constant` | `shared` | `topology`), then render the
+//! requested analysis. `diff` aligns two schedulers on the same
+//! workload (defaults: `--a list --b heft`) and names the
+//! critical-path component responsible for the makespan gap.
+//!
+//! `fixtures` is the CI entry point: it re-verifies every row of the
+//! golden-trace fixture file the replay-fidelity suite archives
+//! (`target/golden_traces/replay_fidelity.tsv` — app, path, seed,
+//! event count, trace digest) by re-running the recorded workload and
+//! comparing, asserts the diff of every async fixture run against
+//! itself is empty, and writes per-app `trace_analysis_<app>.json`
+//! artifacts next to the fixture file.
+
+use asyncmr_simcluster::workloads::{
+    async_schedule, barrier_jobs, ring_exchange, APPS, ASYNC_SEED,
+};
+use asyncmr_simcluster::{
+    diff_runs, ClusterSpec, Constant, RunRecord, SchedulerSpec, SharedBandwidth, Simulation,
+    TopologyAware,
+};
+
+const USAGE: &str = "usage: simtrace <timeline|critical-path|diff|fixtures> \
+                     [--sched S] [--a S] [--b S] [--model M] [--dir PATH] [--csv] [--json]";
+
+fn sched_spec(name: &str) -> SchedulerSpec {
+    match name {
+        "list" => SchedulerSpec::List,
+        "heft" => SchedulerSpec::Heft,
+        "lookahead" => SchedulerSpec::Lookahead { depth: 2 },
+        "portfolio" => SchedulerSpec::default_portfolio(),
+        other => panic!("unknown scheduler {other} (list|heft|lookahead|portfolio)"),
+    }
+}
+
+/// The BENCH_sched.json headline cluster: ec2_2010 with half the nodes
+/// at quarter speed, under the chosen network model, seed 7.
+fn straggler_sim(model: &str, sched: &str) -> Simulation {
+    let spec = ClusterSpec::ec2_2010().with_slow_nodes(4, 0.25);
+    let (n, bw, lat) = (spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+    let sim = Simulation::new(spec, 7).with_scheduler(sched_spec(sched));
+    match model {
+        "default" => sim,
+        "constant" => sim.with_network(Constant::new(n, bw, lat)),
+        "shared" => sim.with_network(SharedBandwidth::new(n, bw, lat)),
+        "topology" => sim.with_network(TopologyAware::uniform(n, bw, lat)),
+        other => panic!("unknown model {other} (default|constant|shared|topology)"),
+    }
+}
+
+/// Verifies one fixture row by re-running its recorded workload.
+fn verify_fixture_row(app: &str, path: &str, seed: u64, events: usize, digest: u64) {
+    let (len, dig) = match path {
+        "barrier" => {
+            let mut sim = Simulation::new(ClusterSpec::ec2_2010(), seed);
+            for job in barrier_jobs(app) {
+                sim.run_job(&job);
+            }
+            (sim.last_trace().len(), sim.trace_digest())
+        }
+        "async" => {
+            let spec = ClusterSpec::ec2_2010();
+            let model = Constant::new(spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+            let mut sim = Simulation::new(spec, seed).with_network(model);
+            sim.run_async_schedule(&async_schedule(app));
+            (sim.last_trace().len(), sim.trace_digest())
+        }
+        other => panic!("unknown fixture path {other}"),
+    };
+    assert_eq!(
+        (len, format!("0x{dig:016x}")),
+        (events, format!("0x{digest:016x}")),
+        "{app}/{path} fixture at seed {seed} does not replay to the archived trace"
+    );
+}
+
+/// The `fixtures` subcommand: verify the archived golden-trace fixture
+/// file (when present), assert self-diff emptiness on every app's
+/// async run, and write per-app trace-analysis artifacts.
+fn fixtures(dir: &str) {
+    let tsv = format!("{dir}/replay_fidelity.tsv");
+    match std::fs::read_to_string(&tsv) {
+        Ok(body) => {
+            let mut rows = 0usize;
+            for line in body.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+                let f: Vec<&str> = line.split('\t').collect();
+                assert_eq!(f.len(), 5, "malformed fixture row: {line}");
+                let seed: u64 = f[2].parse().expect("fixture seed");
+                let events: usize = f[3].parse().expect("fixture event count");
+                let digest =
+                    u64::from_str_radix(f[4].trim_start_matches("0x"), 16).expect("fixture digest");
+                verify_fixture_row(f[0], f[1], seed, events, digest);
+                rows += 1;
+            }
+            println!("verified {rows} fixture rows from {tsv}");
+        }
+        Err(_) => println!("no fixture file at {tsv}; skipping digest verification"),
+    }
+
+    std::fs::create_dir_all(dir).expect("create artifact dir");
+    for app in APPS {
+        let tasks = async_schedule(app);
+        let spec = ClusterSpec::ec2_2010();
+        let model = Constant::new(spec.num_nodes(), spec.nic_bandwidth, spec.net_latency);
+        let mut sim = Simulation::new(spec, ASYNC_SEED).with_network(model);
+        let stats = sim.run_async_schedule(&tasks);
+        let rec = RunRecord {
+            tasks: &tasks,
+            stats: &stats,
+            trace: sim.last_trace(),
+            nodes: sim.spec().num_nodes(),
+        };
+        let self_diff = diff_runs(&rec, &rec);
+        assert!(
+            self_diff.is_empty(),
+            "{app}: a run diffed against itself must report zero divergence: {self_diff:?}"
+        );
+        let analysis = sim.analyze_async_run(&tasks, &stats);
+        let json = format!(
+            "{{\n  \"app\": \"{app}\",\n  \"seed\": {ASYNC_SEED},\n  \"self_diff_empty\": true,\n  \"analysis\": {}\n}}\n",
+            analysis.to_json()
+        );
+        let path = format!("{dir}/trace_analysis_{app}.json");
+        std::fs::write(&path, json).expect("write trace analysis artifact");
+        println!(
+            "{app}: self-diff empty, critical path {} hops, wrote {path}",
+            analysis.critical_path.hops.len()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+
+    match cmd {
+        "timeline" | "critical-path" => {
+            let (sched, model) = (opt("--sched", "list"), opt("--model", "shared"));
+            let tasks = ring_exchange(8, 8, 40_000_000);
+            let mut sim = straggler_sim(&model, &sched);
+            let stats = sim.run_async_schedule(&tasks);
+            let analysis = sim.analyze_async_run(&tasks, &stats);
+            if flag("--csv") {
+                print!(
+                    "{}",
+                    if cmd == "timeline" {
+                        analysis.to_csv()
+                    } else {
+                        analysis.critical_path_csv()
+                    }
+                );
+            } else {
+                print!("{}", analysis.to_text());
+            }
+        }
+        "diff" => {
+            let (a, b, model) = (opt("--a", "list"), opt("--b", "heft"), opt("--model", "default"));
+            let tasks = ring_exchange(8, 8, 40_000_000);
+            let mut sim_a = straggler_sim(&model, &a);
+            let stats_a = sim_a.run_async_schedule(&tasks);
+            let mut sim_b = straggler_sim(&model, &b);
+            let stats_b = sim_b.run_async_schedule(&tasks);
+            let nodes = sim_a.spec().num_nodes();
+            let rec_a =
+                RunRecord { tasks: &tasks, stats: &stats_a, trace: sim_a.last_trace(), nodes };
+            let rec_b =
+                RunRecord { tasks: &tasks, stats: &stats_b, trace: sim_b.last_trace(), nodes };
+            let diff = diff_runs(&rec_a, &rec_b);
+            if flag("--json") {
+                println!("{}", diff.to_json());
+            } else {
+                print!("{}", diff.to_text());
+            }
+        }
+        "fixtures" => fixtures(&opt("--dir", "target/golden_traces")),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -186,13 +186,34 @@ pub struct AsyncScheduleStats {
     /// the node-death detection delays. Serialized cost, like
     /// [`AsyncScheduleStats::recovery_time`].
     pub rollback_time: SimTime,
+    /// Cluster clock when the session's setup envelope ended and the
+    /// first placement could dispatch (trace-analysis anchor: the head
+    /// wait of a source task is `task_start - setup_done`).
+    pub setup_done: SimTime,
+    /// Completion instant of the last task (the schedule frontier);
+    /// `finished_at = work_end + job_cleanup`. Equals `setup_done` for
+    /// an empty schedule.
+    pub work_end: SimTime,
     /// Per-task completion instants, in spec order — the schedule
     /// itself, exposed so determinism tests can pin "byte-identical
     /// schedules", not just identical aggregates.
     pub task_finish: Vec<SimTime>,
+    /// Per-task start instants of the successful attempt, in spec order
+    /// (`task_finish[i] - task_start[i]` is the attempt's occupancy:
+    /// launch + read + compute + sort).
+    pub task_start: Vec<SimTime>,
     /// Per-task placement (node id of the successful attempt), in spec
     /// order.
     pub task_node: Vec<usize>,
+    /// Per-task critical input edge of the successful attempt: the
+    /// dependency whose committed message arrival at the chosen node
+    /// was latest, with that arrival instant (`None` for source tasks).
+    /// Ties keep the lowest dependency index. This is what lets
+    /// [`crate::trace`] walk the recorded schedule's critical path and
+    /// split each hop into wire time (`arrival - task_finish[dep]`) and
+    /// queue wait (`task_start[i] - arrival`) without re-running the
+    /// network model.
+    pub task_crit_dep: Vec<Option<(usize, SimTime)>>,
     /// Name of the [`crate::Scheduler`] that placed this run
     /// ([`crate::SchedulerSpec::name`]).
     pub scheduler: &'static str,
@@ -236,6 +257,7 @@ impl Simulation {
     /// reference (`dep >= task index`).
     pub fn run_async_schedule(&mut self, tasks: &[AsyncTaskSpec]) -> AsyncScheduleStats {
         let submitted_at = self.core.now();
+        let underflows_before = crate::time::underflow_count();
         // One session = one job-tracker envelope, however many global
         // iterations it spans.
         let setup_done = submitted_at + self.spec.job_setup;
@@ -282,6 +304,8 @@ impl Simulation {
             dependents,
             slots,
             finish: vec![SimTime::ZERO; tasks.len()],
+            start: vec![SimTime::ZERO; tasks.len()],
+            crit_dep: vec![None; tasks.len()],
             node_of: vec![0usize; tasks.len()],
             dur: vec![SimTime::ZERO; tasks.len()],
             generation: vec![0u32; tasks.len()],
@@ -321,6 +345,16 @@ impl Simulation {
 
         debug_assert!(run.done.iter().all(|&d| d), "all tasks must complete");
 
+        // Closing utilization snapshot at the schedule frontier, so the
+        // timeline does not truncate before the final transfers drain.
+        // Trace-only marks appended after the last queue event: the
+        // hardcoded goldens pin *stats* (unchanged), and the trace
+        // fixtures are self-captured per run, so no fixture bump is
+        // needed — both runs of a determinism pair carry the snapshot.
+        run.snapshot_link_utilization(&mut self.core);
+
+        run.commit.time_underflows = crate::time::underflow_count() - underflows_before;
+
         let finished_at = run.work_end + self.spec.job_cleanup;
         self.core.set_clock(finished_at);
         self.core.net_mut().advance_to(finished_at);
@@ -336,8 +370,12 @@ impl Simulation {
             recovery_time: run.recovery_time,
             node_failures: run.node_failures,
             rollback_time: run.rollback_time,
+            setup_done,
+            work_end: run.work_end,
             task_finish: run.finish,
+            task_start: run.start,
             task_node: run.node_of,
+            task_crit_dep: run.crit_dep,
             scheduler: self.sched.name(),
             commit: run.commit,
         }
@@ -362,6 +400,11 @@ struct AsyncRun<'a> {
     /// (free time, node) per map slot.
     slots: Vec<(SimTime, usize)>,
     finish: Vec<SimTime>,
+    /// Start instant of the successful attempt, per task.
+    start: Vec<SimTime>,
+    /// Latest-arriving committed input edge of the successful attempt:
+    /// `(dep, arrival at the chosen node)`; `None` for source tasks.
+    crit_dep: Vec<Option<(usize, SimTime)>>,
     node_of: Vec<usize>,
     /// Duration of the successful attempt, per task (rollback billing).
     dur: Vec<SimTime>,
@@ -451,9 +494,13 @@ impl AsyncRun<'_> {
             // re-execution); under a contention model the committed
             // arrivals may exceed the estimates that ranked this slot.
             let mut start = self.slots[slot].0.max(gate).max(retry_gate);
+            // Track the latest-arriving input edge (ties keep the
+            // lowest dep index): the hop the trace analyzer follows
+            // when it walks the recorded critical path.
+            let mut crit: Option<(usize, SimTime)> = None;
             for &d in &task.deps {
-                if self.node_of[d] == node {
-                    start = start.max(self.finish[d]);
+                let arrival = if self.node_of[d] == node {
+                    self.finish[d]
                 } else {
                     let share = self.tasks[d].output_bytes / u64::from(self.consumers[d].max(1));
                     self.network_bytes += share;
@@ -464,8 +511,12 @@ impl AsyncRun<'_> {
                         self.cid,
                         Ev::TransferDone { src: self.node_of[d], dst: node, bytes: share },
                     );
-                    start = start.max(arrival);
+                    arrival
+                };
+                if crit.is_none_or(|(_, a)| arrival > a) {
+                    crit = Some((d, arrival));
                 }
+                start = start.max(arrival);
             }
             // The estimate-then-commit invariant, promoted from a
             // debug_assert to release-mode accounting: a commit may
@@ -508,6 +559,8 @@ impl AsyncRun<'_> {
             }
 
             self.finish[i] = end;
+            self.start[i] = start;
+            self.crit_dep[i] = crit;
             self.node_of[i] = node;
             self.dur[i] = end - start;
             self.slots[slot].0 = end;
@@ -518,6 +571,28 @@ impl AsyncRun<'_> {
                 Ev::TaskDone { task: i, node, generation: self.generation[i] },
             );
             return;
+        }
+    }
+
+    /// Trace-only: snapshots live link utilization at the current
+    /// schedule frontier (`work_end`), so post-hoc trace analysis can
+    /// see the contention in flight. Only links with traffic are
+    /// marked; models without a utilization notion emit nothing.
+    /// Called at every epoch boundary and once more at simulation end
+    /// (so timelines do not truncate before the final transfers drain).
+    fn snapshot_link_utilization(&self, core: &mut EventCore) {
+        let snapshot: Vec<(usize, u64, u64)> = {
+            let util = core.net().utilization();
+            let caps = core.net().capacities();
+            util.iter()
+                .zip(&caps)
+                .enumerate()
+                .filter(|&(_, (&u, _))| u > 0.0)
+                .map(|(l, (&u, &c))| (l, u.round() as u64, c.round() as u64))
+                .collect()
+        };
+        for (link, used_bps, cap_bps) in snapshot {
+            core.mark(self.work_end, self.cid, Ev::LinkUtil { link, used_bps, cap_bps });
         }
     }
 
@@ -595,21 +670,8 @@ impl EventHandler for AsyncRun<'_> {
                 }
                 // Trace-only: snapshot live link utilization at the
                 // boundary, so post-hoc trace analysis can see the
-                // contention each placement decision faced. Models
-                // without a utilization notion emit nothing.
-                let snapshot: Vec<(usize, u64, u64)> = {
-                    let util = core.net().utilization();
-                    let caps = core.net().capacities();
-                    util.iter()
-                        .zip(&caps)
-                        .enumerate()
-                        .filter(|&(_, (&u, _))| u > 0.0)
-                        .map(|(l, (&u, &c))| (l, u.round() as u64, c.round() as u64))
-                        .collect()
-                };
-                for (link, used_bps, cap_bps) in snapshot {
-                    core.mark(self.work_end, self.cid, Ev::LinkUtil { link, used_bps, cap_bps });
-                }
+                // contention each placement decision faced.
+                self.snapshot_link_utilization(core);
                 // (Re-)dispatch everything pending up to this epoch.
                 // The pending set is collected in index order (a
                 // topological order); the scheduler may reorder it but

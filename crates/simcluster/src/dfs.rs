@@ -89,8 +89,11 @@ impl DfsModel {
         let opened = now + self.namenode_latency;
         let disk = SimTime::from_secs_f64(bytes as f64 / disk_bandwidth);
         let mut done = opened + disk; // local replica
-        let remotes = (self.replication as usize).saturating_sub(1).min(replica_nodes.len());
-        for &replica in replica_nodes.iter().take(remotes) {
+                                      // The writer already holds the local replica; if the caller's
+                                      // placement list includes it, skip it rather than charging a
+                                      // phantom self-transfer toward the `replication - 1` remotes.
+        let remotes = (self.replication as usize).saturating_sub(1);
+        for &replica in replica_nodes.iter().filter(|&&r| r != writer).take(remotes) {
             let wire = net.transfer(writer, replica, bytes, opened);
             // The remote replica also spills to its disk; pipelined.
             done = done.max(wire.max(opened + disk));
@@ -145,6 +148,23 @@ mod tests {
         assert!(t > t_local_only, "replication must cost more than a local write");
         // Two pipeline legs serialize on the writer's tx pipe.
         assert!(t >= SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn writer_in_replica_list_is_not_double_counted() {
+        let dfs = DfsModel::hdfs_2010(); // replication 3
+                                         // Fast disk so the wire gates: a phantom writer->writer leg or a
+                                         // dropped genuine remote would shift completion time.
+        let mut with_writer = net4();
+        let t_with = dfs.write(&mut with_writer, 0, &[0, 1, 2], 1_000_000, 1e9, SimTime::ZERO);
+        let mut without_writer = net4();
+        let t_without = dfs.write(&mut without_writer, 0, &[1, 2], 1_000_000, 1e9, SimTime::ZERO);
+        assert_eq!(t_with, t_without, "local replica in the list must be skipped, not counted");
+        // Both nets must carry identical residual occupancy: a follow-up
+        // transfer over the writer's tx pipe finishes at the same time.
+        let probe_with = with_writer.transfer(0, 3, 1_000_000, SimTime::ZERO);
+        let probe_without = without_writer.transfer(0, 3, 1_000_000, SimTime::ZERO);
+        assert_eq!(probe_with, probe_without, "no phantom occupancy from the skipped self-leg");
     }
 
     #[test]

@@ -171,6 +171,14 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
+    /// Whether this line is a trace-only marker (recorded via
+    /// [`EventCore::mark`]: transfer completions, checkpoints, link
+    /// snapshots) rather than a popped queue event. Marker ids live
+    /// above the queue's id space.
+    pub fn is_mark(&self) -> bool {
+        self.id & (1 << 63) != 0
+    }
+
     /// Folds this trace line into an order-sensitive digest word.
     fn digest_word(&self) -> u64 {
         let tag = match self.ev {
@@ -342,6 +350,12 @@ impl EventCore {
     /// [`EventCore::clear_trace`], in processing order.
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Iterates the recorded trace in processing order — the read API
+    /// [`crate::trace`] builds its analyses on.
+    pub fn trace_iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.trace.iter()
     }
 
     /// Starts a fresh trace (each `run_*` call does this, so the trace

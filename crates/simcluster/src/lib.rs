@@ -52,6 +52,8 @@ pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
+pub mod workloads;
 
 pub use asyncsched::{AsyncScheduleStats, AsyncTaskSpec};
 pub use cluster::{ClusterSpec, NodeSpec};
@@ -67,4 +69,5 @@ pub use sched::{
 };
 pub use sim::Simulation;
 pub use stats::{CommitAccounting, JobStats, PhaseBreakdown, RunTotals};
-pub use time::SimTime;
+pub use time::{underflow_count, SimTime};
+pub use trace::{diff_runs, CriticalPath, RunRecord, TraceAnalysis, TraceDiff, TraceReader};

@@ -205,6 +205,25 @@ impl Simulation {
         self.core.trace_digest()
     }
 
+    /// Analyzes the *most recent* [`Simulation::run_async_schedule`]
+    /// call's recorded trace and schedule: timelines, critical path,
+    /// occupancy, traffic (see [`crate::trace`]). `tasks` and `stats`
+    /// must be the ones that run consumed and returned — the trace
+    /// describes only the last run.
+    pub fn analyze_async_run(
+        &self,
+        tasks: &[crate::AsyncTaskSpec],
+        stats: &crate::AsyncScheduleStats,
+    ) -> crate::trace::TraceAnalysis {
+        crate::trace::TraceReader::new(crate::trace::RunRecord {
+            tasks,
+            stats,
+            trace: self.last_trace(),
+            nodes: self.spec.num_nodes(),
+        })
+        .analyze()
+    }
+
     /// Runs one job to completion, advancing the cluster clock.
     pub fn run_job(&mut self, job: &JobSpec) -> JobStats {
         let submitted_at = self.core.now();

@@ -38,6 +38,13 @@ pub struct CommitAccounting {
     /// Commits that landed *earlier* than their estimate (invariant
     /// breach; always 0 unless a network model under-estimates).
     pub violations: usize,
+    /// `SimTime` subtractions that underflowed during the run (bare
+    /// `-` on instants that turned out non-monotone — clamped to zero
+    /// in release, fatal in debug). Like [`CommitAccounting::violations`],
+    /// always 0 unless the simulator itself is buggy; metered via
+    /// [`crate::time::underflow_count`] so release sweeps surface the
+    /// bug instead of silently absorbing it.
+    pub time_underflows: u64,
 }
 
 /// Result of simulating one job.

@@ -4,11 +4,32 @@
 //! and runs are bit-reproducible across platforms; floating point only
 //! appears at the boundary (converting modeled costs in seconds).
 
+use std::cell::Cell;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 use serde::{Deserialize, Serialize};
+
+thread_local! {
+    /// Underflow observations of the bare `-` operator on this thread
+    /// (a simulation runs on one thread, so per-run deltas are exact).
+    static UNDERFLOWS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total `SimTime - SimTime` underflows observed on the current thread
+/// since it started.
+///
+/// Instants are monotone, so a bare `-` that would go negative is a
+/// simulator bug: debug builds panic at the site, release builds clamp
+/// the span to zero and bump this counter instead of silently losing
+/// the evidence. Drivers snapshot it around a run and surface the delta
+/// next to the other promoted invariants (see
+/// [`crate::stats::CommitAccounting::time_underflows`]). Intentional
+/// clamps use [`SimTime::saturating_sub`], which never counts.
+pub fn underflow_count() -> u64 {
+    UNDERFLOWS.with(|c| c.get())
+}
 
 /// A point in (or span of) simulated time, in microseconds.
 ///
@@ -105,11 +126,18 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     /// Panics on underflow in debug builds (instants are monotone; a
-    /// negative span is a simulator bug).
+    /// negative span is a simulator bug). Release builds clamp to zero
+    /// but *count* the underflow ([`underflow_count`]) so the bug is a
+    /// checked error, not a silent one. Spans that may legitimately go
+    /// negative must use [`SimTime::saturating_sub`].
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
-        SimTime(self.0.saturating_sub(rhs.0))
+        if self.0 < rhs.0 {
+            UNDERFLOWS.with(|c| c.set(c.get() + 1));
+            debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
+            return SimTime::ZERO;
+        }
+        SimTime(self.0 - rhs.0)
     }
 }
 
@@ -152,6 +180,32 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(b.max(a), a);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SimTime underflow")]
+    fn bare_sub_underflow_panics_in_debug() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn bare_sub_underflow_clamps_and_counts_in_release() {
+        let before = underflow_count();
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), SimTime::ZERO);
+        assert_eq!(underflow_count(), before + 1, "bare - must count its underflow");
+        // The intentional clamp stays silent.
+        let base = underflow_count();
+        assert_eq!(SimTime::from_secs(1).saturating_sub(SimTime::from_secs(2)), SimTime::ZERO);
+        assert_eq!(underflow_count(), base, "saturating_sub is the sanctioned clamp");
+    }
+
+    #[test]
+    fn in_range_sub_never_counts() {
+        let before = underflow_count();
+        assert_eq!(SimTime::from_secs(3) - SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(underflow_count(), before);
     }
 
     #[test]

@@ -26,9 +26,9 @@
 //! file alone: `cargo test -p asyncmr-simcluster --test replay_fidelity
 //! -- --ignored --nocapture` re-prints the golden tables.
 
+use asyncmr_simcluster::workloads::{async_schedule, barrier_jobs, APPS, ASYNC_SEED, BARRIER_SEED};
 use asyncmr_simcluster::{
-    splitmix64, AsyncTaskSpec, ClusterSpec, Constant, FailurePlan, JobSpec, MapTaskSpec,
-    NodeFailurePlan, ReduceTaskSpec, Simulation,
+    splitmix64, ClusterSpec, Constant, FailurePlan, NodeFailurePlan, Simulation,
 };
 
 // -------------------------------------------------------------------------
@@ -82,186 +82,11 @@ const BARRIER_FAILURE_GOLDEN: (u64, u64, u32, u64, u64) =
 const ASYNC_FAILURE_GOLDEN: (u64, u64, usize, u64, u64) =
     (161735875, 685768704, 32, 0xca176c0d663c9d77, 0x8393a56263eaf1e2);
 
-/// The five paper apps, in golden-table order.
-const APPS: [&str; 5] = ["pagerank", "sssp", "cc", "kmeans", "jacobi"];
-
-const BARRIER_SEED: u64 = 42;
-const ASYNC_SEED: u64 = 1007;
-
-/// Deterministic per-(app, partition, iteration) jitter so tasks are
-/// not all identical (wave boundaries and shuffle shapes stay
-/// app-like) while the workload remains a pure function of the name.
-fn jitter(app_id: u64, p: u64, i: u64, range: u64) -> u64 {
-    if range == 0 {
-        return 0;
-    }
-    splitmix64(app_id.wrapping_mul(0x9e37_79b9) ^ (p << 20) ^ i) % range
-}
-
-/// Cross-iteration dependency shape of an app's async schedule.
-enum DepShape {
-    /// p waits on {p-1, p, p+1} of the previous iteration (PageRank-ish
-    /// locality-partitioned cut).
-    Ring,
-    /// p waits on {p, p+3} (SSSP frontier-ish sparse cut).
-    Sparse,
-    /// p waits on every partition of the previous iteration (global
-    /// coupling: CC label broadcast, K-Means centroids).
-    Full,
-    /// 2-D grid neighbours (Jacobi stencil).
-    Grid { cols: usize },
-}
-
-struct AppShape {
-    id: u64,
-    parts: usize,
-    iters: usize,
-    input_bytes: u64,
-    ops: u64,
-    ops_jitter: u64,
-    map_out: u64,
-    reduces: usize,
-    reduce_ops: u64,
-    reduce_out: u64,
-    deps: DepShape,
-}
-
-fn shape(app: &str) -> AppShape {
-    match app {
-        "pagerank" => AppShape {
-            id: 1,
-            parts: 16,
-            iters: 10,
-            input_bytes: 48 << 20,
-            ops: 30_000_000,
-            ops_jitter: 8_000_000,
-            map_out: 6 << 20,
-            reduces: 8,
-            reduce_ops: 2_000_000,
-            reduce_out: 12 << 20,
-            deps: DepShape::Ring,
-        },
-        "sssp" => AppShape {
-            id: 2,
-            parts: 12,
-            iters: 8,
-            input_bytes: 24 << 20,
-            ops: 18_000_000,
-            ops_jitter: 12_000_000,
-            map_out: 2 << 20,
-            reduces: 6,
-            reduce_ops: 1_200_000,
-            reduce_out: 4 << 20,
-            deps: DepShape::Sparse,
-        },
-        "cc" => AppShape {
-            id: 3,
-            parts: 8,
-            iters: 6,
-            input_bytes: 32 << 20,
-            ops: 22_000_000,
-            ops_jitter: 5_000_000,
-            map_out: 4 << 20,
-            reduces: 8,
-            reduce_ops: 1_500_000,
-            reduce_out: 8 << 20,
-            deps: DepShape::Full,
-        },
-        "kmeans" => AppShape {
-            id: 4,
-            parts: 16,
-            iters: 5,
-            input_bytes: 64 << 20,
-            ops: 45_000_000,
-            ops_jitter: 3_000_000,
-            map_out: 512 << 10,
-            reduces: 1,
-            reduce_ops: 800_000,
-            reduce_out: 64 << 10,
-            deps: DepShape::Full,
-        },
-        "jacobi" => AppShape {
-            id: 5,
-            parts: 9,
-            iters: 7,
-            input_bytes: 16 << 20,
-            ops: 12_000_000,
-            ops_jitter: 2_000_000,
-            map_out: 1 << 20,
-            reduces: 9,
-            reduce_ops: 900_000,
-            reduce_out: 2 << 20,
-            deps: DepShape::Grid { cols: 3 },
-        },
-        other => panic!("unknown app {other}"),
-    }
-}
-
-/// One barrier-synchronized `JobSpec` per global iteration, shaped like
-/// the app's metered profile.
-fn barrier_jobs(app: &str) -> Vec<JobSpec> {
-    let s = shape(app);
-    (0..s.iters)
-        .map(|i| {
-            let maps = (0..s.parts)
-                .map(|p| {
-                    let ops = s.ops + jitter(s.id, p as u64, i as u64, s.ops_jitter);
-                    MapTaskSpec::new(s.input_bytes, ops, s.map_out)
-                })
-                .collect();
-            let reduces =
-                (0..s.reduces).map(|_| ReduceTaskSpec::new(s.reduce_ops, s.reduce_out)).collect();
-            JobSpec::named(format!("{app}-iter-{i}")).with_maps(maps).with_reduces(reduces)
-        })
-        .collect()
-}
-
-/// The same work as one cross-iteration eager schedule: one
-/// `AsyncTaskSpec` per (partition, iteration) with the app's dependency
-/// shape, splits read only at iteration 0.
-fn async_schedule(app: &str) -> Vec<AsyncTaskSpec> {
-    let s = shape(app);
-    let k = s.parts;
-    let mut tasks = Vec::with_capacity(k * s.iters);
-    for i in 0..s.iters {
-        for p in 0..k {
-            let ops = s.ops + jitter(s.id, p as u64, i as u64, s.ops_jitter);
-            let mut t =
-                AsyncTaskSpec::new(p, i, s.input_bytes, ops).with_output(s.map_out / 64, s.map_out);
-            if i > 0 {
-                let base = (i - 1) * k;
-                let mut deps: Vec<usize> = match s.deps {
-                    DepShape::Ring => vec![(p + k - 1) % k, p, (p + 1) % k],
-                    DepShape::Sparse => vec![p, (p + 3) % k],
-                    DepShape::Full => (0..k).collect(),
-                    DepShape::Grid { cols } => {
-                        let (r, c) = (p / cols, p % cols);
-                        let rows = k / cols;
-                        let mut d = vec![p];
-                        if r > 0 {
-                            d.push(p - cols);
-                        }
-                        if r + 1 < rows {
-                            d.push(p + cols);
-                        }
-                        if c > 0 {
-                            d.push(p - 1);
-                        }
-                        if c + 1 < cols {
-                            d.push(p + 1);
-                        }
-                        d
-                    }
-                };
-                deps.sort_unstable();
-                deps.dedup();
-                t = t.with_deps(deps.into_iter().map(|d| base + d).collect());
-            }
-            tasks.push(t);
-        }
-    }
-    tasks
-}
+// The workload generators (jitter, app shapes, barrier_jobs,
+// async_schedule) moved to `asyncmr_simcluster::workloads` so the
+// `simtrace` bin and CI's fixture verification reuse the exact
+// generators these goldens pin. The seeds moved with them
+// (`BARRIER_SEED` / `ASYNC_SEED`).
 
 /// Order-sensitive digest of a word stream (golden-pinning helper).
 fn digest(words: impl IntoIterator<Item = u64>) -> u64 {
