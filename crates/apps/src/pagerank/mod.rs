@@ -29,7 +29,8 @@ use asyncmr_graph::NodeId;
 pub use eager::run_eager;
 pub use general::run_general;
 pub use session::{
-    run_async, run_async_with_failures, run_async_with_node_failures, PageRankAsyncOutcome,
+    run_async, run_async_with_driver, run_async_with_failures, run_async_with_node_failures,
+    PageRankAsyncOutcome,
 };
 
 /// Configuration shared by all PageRank variants.

@@ -305,7 +305,7 @@ pub fn run_async_with_failures(
     max_lag: usize,
     failures: SessionFailurePlan,
 ) -> PageRankAsyncOutcome {
-    run_async_driver(
+    run_async_with_driver(
         pool,
         graph,
         parts,
@@ -331,7 +331,7 @@ pub fn run_async_adaptive(
     cfg: &PageRankConfig,
     adaptive: AdaptiveLagConfig,
 ) -> PageRankAsyncOutcome {
-    run_async_driver(
+    run_async_with_driver(
         pool,
         graph,
         parts,
@@ -360,7 +360,7 @@ pub fn run_async_with_node_failures(
     checkpoints: CheckpointPolicy,
     node_failures: NodeFailurePlan,
 ) -> PageRankAsyncOutcome {
-    run_async_driver(
+    run_async_with_driver(
         pool,
         graph,
         parts,
@@ -372,7 +372,15 @@ pub fn run_async_with_node_failures(
     )
 }
 
-fn run_async_driver(
+/// [`run_async`] under an arbitrary pre-built
+/// [`AsyncFixedPointDriver`] — the escape hatch the convenience
+/// wrappers above are built on. Use it to combine knobs they don't
+/// cover, e.g. `AsyncFixedPointDriver::new(n).with_trace()` for a
+/// per-attempt span trace in [`SessionReport::trace`].
+///
+/// The driver's `max_iterations` is taken as given; callers usually
+/// seed it from [`PageRankConfig::max_iterations`].
+pub fn run_async_with_driver(
     pool: &ThreadPool,
     graph: &CsrGraph,
     parts: &Partitioning,

@@ -45,18 +45,32 @@
 //! Emits machine-readable `BENCH_iterate.json` (working directory) and
 //! prints a table. Wall-clock varies with the host; the speedup *ratio*
 //! is the tracked quantity.
+//!
+//! `iterate_bench --trace [--nodes N] [--dir PATH]` instead runs the
+//! in-process span recorder's acceptance gates (bitwise identity of a
+//! traced lag-0 run, ≤ 5% recording overhead, exact span/meter
+//! conservation) and writes the unified trace report of a live session
+//! — `report.html` + `BENCH_trace.json` (Chrome trace) — alongside a
+//! live-vs-simulated critical-path comparison of the same recorded
+//! schedule.
 
 use std::time::{Duration, Instant};
 
 use asyncmr_apps::pagerank::{self, PageRankConfig};
 use asyncmr_apps::sssp::{self, SsspConfig};
-use asyncmr_core::{CheckpointPolicy, Engine, NodeFailurePlan, SessionFailurePlan};
+use asyncmr_core::{
+    AsyncFixedPointDriver, CheckpointPolicy, Engine, GroupingStrategy, NodeFailurePlan,
+    SessionFailurePlan,
+};
 use asyncmr_graph::{generators, CsrGraph, WeightedGraph};
-use asyncmr_partition::{HashPartitioner, MultilevelKWay, Partitioner, Partitioning};
+use asyncmr_partition::{
+    apply_locality_order, HashPartitioner, MultilevelKWay, Partitioner, Partitioning,
+    RangePartitioner,
+};
 use asyncmr_runtime::ThreadPool;
 use asyncmr_simcluster::{
-    ClusterSpec, Constant, FailurePlan, NodeFailurePlan as SimNodeFailurePlan, SharedBandwidth,
-    Simulation,
+    ClusterSpec, Constant, FailurePlan, NodeFailurePlan as SimNodeFailurePlan, ReportModel,
+    RunRecord, SharedBandwidth, Simulation, TraceReader,
 };
 
 const REPS: usize = 5;
@@ -725,6 +739,139 @@ fn pagerank_case(
     )
 }
 
+/// The `--trace` mode: the in-process span recorder's acceptance gates
+/// plus the unified report artifacts on a **live** session.
+///
+/// Runs kernel_bench's PageRank workload (crawl-locality streamed
+/// graph, range partitions + locality reorder, radix grouping — the
+/// overhead-contract config) four ways:
+///
+/// 1. bitwise identity — a traced lag-0 run must reproduce the
+///    untraced run's ranks and iteration count exactly (recording
+///    never touches scheduling);
+/// 2. overhead — interleaved traced/untraced reps; the documented
+///    target is ≤ 5% median overhead (asserted here with headroom for
+///    shared-runner noise);
+/// 3. conservation — the trace's summed gmap span nanoseconds must
+///    equal the session's metered gmap time *exactly* (one
+///    measurement feeds both);
+/// 4. artifacts — `report.html` + `BENCH_trace.json` (Chrome
+///    trace/Perfetto) under `--dir`, and a live-vs-simulated
+///    critical-path comparison of the same recorded schedule.
+fn trace_report(pool: &ThreadPool, n: usize, dir: &str) {
+    let g = generators::preferential_attachment_streamed(n, 5, 0.95, 1024, 42);
+    let k = (n / 15_000).clamp(4, 64);
+    let parts = RangePartitioner.partition(&g, k);
+    let (g, parts, _perm) = apply_locality_order(&g, &parts);
+    let cfg = PageRankConfig { grouping: GroupingStrategy::Radix, ..PageRankConfig::default() };
+    let driver = AsyncFixedPointDriver::new(cfg.max_iterations);
+    println!(
+        "trace mode: pagerank, {n} vertices / {} edges, {k} partitions, {} threads",
+        g.num_edges(),
+        pool.num_threads()
+    );
+
+    // ---- Gate 1: traced lag-0 == untraced lag-0, bitwise ----
+    let untraced = pagerank::run_async_with_driver(pool, &g, &parts, &cfg, driver);
+    let traced = pagerank::run_async_with_driver(pool, &g, &parts, &cfg, driver.with_trace());
+    assert_eq!(
+        traced.report.global_iterations, untraced.report.global_iterations,
+        "tracing must not change the iteration count"
+    );
+    for (v, (a, b)) in traced.ranks.iter().zip(&untraced.ranks).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "rank {v} not bitwise identical under tracing ({a} vs {b})"
+        );
+    }
+
+    // ---- Gate 2: recording overhead (interleaved reps, median) ----
+    let mut untraced_times = Vec::with_capacity(REPS);
+    let mut traced_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let _ = pagerank::run_async_with_driver(pool, &g, &parts, &cfg, driver);
+        untraced_times.push(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = pagerank::run_async_with_driver(pool, &g, &parts, &cfg, driver.with_trace());
+        traced_times.push(t0.elapsed());
+    }
+    let (un, tr) = (median(untraced_times), median(traced_times));
+    let overhead = tr.as_secs_f64() / un.as_secs_f64();
+    println!(
+        "overhead: untraced {:.2} ms, traced {:.2} ms = {:.1}% (target <= 5%)",
+        un.as_secs_f64() * 1e3,
+        tr.as_secs_f64() * 1e3,
+        (overhead - 1.0) * 100.0
+    );
+    // The contract is 5%; the assert leaves headroom for noisy shared
+    // runners so CI failures mean a real regression, not scheduling
+    // jitter on a loaded host.
+    assert!(
+        overhead <= 1.10,
+        "traced run is {:.1}% slower than untraced — recording overhead regressed",
+        (overhead - 1.0) * 100.0
+    );
+
+    // ---- Gate 3: exact span/meter conservation ----
+    let trace = traced.report.trace.as_ref().expect("traced run records a trace");
+    assert_eq!(
+        trace.gmap_span_ns(),
+        trace.metered_gmap_ns,
+        "summed gmap span nanoseconds must equal the metered gmap time exactly"
+    );
+
+    // ---- Artifacts: unified renderer on the live session ----
+    let title = format!("live pagerank session ({n} vertices, {k} partitions)");
+    let model = ReportModel::from_session(trace, &traced.report.schedule, &title);
+    std::fs::create_dir_all(dir).expect("create report dir");
+    let html_path = format!("{dir}/report.html");
+    let json_path = format!("{dir}/BENCH_trace.json");
+    std::fs::write(&html_path, model.html()).expect("write report.html");
+    std::fs::write(&json_path, model.chrome_trace_json()).expect("write BENCH_trace.json");
+
+    // ---- Live vs simulated critical path of the same schedule ----
+    let mut sim = Simulation::new(ClusterSpec::ec2_2010(), 7);
+    let stats = sim.run_async_schedule(&traced.report.schedule);
+    let rec = RunRecord {
+        tasks: &traced.report.schedule,
+        stats: &stats,
+        trace: sim.last_trace(),
+        nodes: sim.spec().num_nodes(),
+    };
+    let sim_cp = TraceReader::new(rec).critical_path();
+    let live_cp = &model.critical_path;
+    let share = |part: asyncmr_simcluster::SimTime, cp: &asyncmr_simcluster::CriticalPath| {
+        100.0 * part.as_secs_f64() / cp.total().as_secs_f64().max(f64::MIN_POSITIVE)
+    };
+    println!("critical path, live session vs simulated replay of the same schedule:");
+    println!(
+        "  live:      {} hops, compute {:.0}% / queue {:.0}% / overhead {:.0}% of {:?}",
+        live_cp.hops.len(),
+        share(live_cp.compute, live_cp),
+        share(live_cp.queue, live_cp),
+        share(live_cp.overhead, live_cp),
+        live_cp.total()
+    );
+    println!(
+        "  simulated: {} hops, compute {:.0}% / wire {:.0}% / queue {:.0}% of {:?}",
+        sim_cp.hops.len(),
+        share(sim_cp.compute, &sim_cp),
+        share(sim_cp.wire, &sim_cp),
+        share(sim_cp.queue, &sim_cp),
+        sim_cp.total()
+    );
+    let pm = &traced.report.pool;
+    println!(
+        "pool over the traced run: {} jobs, {} steals (ratio {:.2}), {} parks",
+        pm.executed,
+        pm.steals,
+        pm.steal_ratio(),
+        pm.parks
+    );
+    println!("wrote {html_path} and {json_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // `--sched` runs only the scheduler makespan sweep (fast,
@@ -756,6 +903,18 @@ fn main() {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4)
     });
     let pool = ThreadPool::new(threads);
+    // `--trace` runs only the span-recorder gates + report artifacts
+    // (see `trace_report`); `--dir` overrides the artifact directory.
+    if args.iter().any(|a| a == "--trace") {
+        let dir = args
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "target/trace_report".to_string());
+        trace_report(&pool, nodes_override.unwrap_or(60_000), &dir);
+        return;
+    }
     let mut reports = Vec::new();
 
     // PageRank, barrier-bound: full-cut partitioning makes every global

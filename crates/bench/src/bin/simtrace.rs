@@ -9,6 +9,7 @@
 //! simtrace timeline      [--sched S] [--model M] [--csv]
 //! simtrace critical-path [--sched S] [--model M] [--csv]
 //! simtrace diff          [--a S] [--b S] [--model M] [--json]
+//! simtrace report        [--sched S] [--model M] [--dir PATH]
 //! simtrace fixtures      [--dir PATH]
 //! ```
 //!
@@ -20,6 +21,14 @@
 //! requested analysis. `diff` aligns two schedulers on the same
 //! workload (defaults: `--a list --b heft`) and names the
 //! critical-path component responsible for the makespan gap.
+//!
+//! `report` renders the same headline run through the unified
+//! renderer (`asyncmr_simcluster::trace::report`) into a self-contained
+//! HTML timeline report and a Chrome-trace/Perfetto JSON
+//! (`chrome://tracing` / <https://ui.perfetto.dev>), written under
+//! `--dir` — the same two artifacts `iterate_bench --trace` emits for a
+//! *live* session, so a simulated and a real run of one workload can be
+//! compared side by side.
 //!
 //! `fixtures` is the CI entry point: it re-verifies every row of the
 //! golden-trace fixture file the replay-fidelity suite archives
@@ -33,11 +42,11 @@ use asyncmr_simcluster::workloads::{
     async_schedule, barrier_jobs, ring_exchange, APPS, ASYNC_SEED,
 };
 use asyncmr_simcluster::{
-    diff_runs, ClusterSpec, Constant, RunRecord, SchedulerSpec, SharedBandwidth, Simulation,
-    TopologyAware,
+    diff_runs, ClusterSpec, Constant, ReportModel, RunRecord, SchedulerSpec, SharedBandwidth,
+    Simulation, TopologyAware,
 };
 
-const USAGE: &str = "usage: simtrace <timeline|critical-path|diff|fixtures> \
+const USAGE: &str = "usage: simtrace <timeline|critical-path|diff|report|fixtures> \
                      [--sched S] [--a S] [--b S] [--model M] [--dir PATH] [--csv] [--json]";
 
 fn sched_spec(name: &str) -> SchedulerSpec {
@@ -196,6 +205,31 @@ fn main() {
             } else {
                 print!("{}", diff.to_text());
             }
+        }
+        "report" => {
+            let (sched, model) = (opt("--sched", "list"), opt("--model", "shared"));
+            let dir = opt("--dir", "target/trace_report");
+            let tasks = ring_exchange(8, 8, 40_000_000);
+            let mut sim = straggler_sim(&model, &sched);
+            let stats = sim.run_async_schedule(&tasks);
+            let rec = RunRecord {
+                tasks: &tasks,
+                stats: &stats,
+                trace: sim.last_trace(),
+                nodes: sim.spec().num_nodes(),
+            };
+            let title = format!("ring 8x8 on straggler cluster ({sched}/{model}, simulated)");
+            let report = ReportModel::from_run(&rec, &title);
+            std::fs::create_dir_all(&dir).expect("create report dir");
+            let html = format!("{dir}/sim_report.html");
+            let json = format!("{dir}/sim_trace.json");
+            std::fs::write(&html, report.html()).expect("write HTML report");
+            std::fs::write(&json, report.chrome_trace_json()).expect("write Chrome trace");
+            println!(
+                "simulated makespan {:?}, critical path {} hops; wrote {html} and {json}",
+                stats.duration,
+                report.critical_path.hops.len()
+            );
         }
         "fixtures" => fixtures(&opt("--dir", "target/golden_traces")),
         _ => {

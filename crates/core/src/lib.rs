@@ -89,6 +89,7 @@ pub mod engine;
 pub mod hash;
 pub mod kv;
 pub mod local;
+pub mod obs;
 pub mod plan;
 pub mod session;
 pub mod shuffle;
@@ -101,6 +102,7 @@ pub use emitter::{Emitter, MapContext, ReduceContext, TaskMeter};
 pub use engine::{Engine, JobMeter, JobOptions, JobResult};
 pub use kv::{Key, Meterable, Value};
 pub use local::{EagerMapper, LocalAlgorithm, LocalMapContext, LocalReduceContext, LocalState};
+pub use obs::SpanRecorder;
 pub use plan::{CombineStage, MapStage, ReduceStage, ScratchArena, ShuffleStage, StageTimings};
 pub use session::{
     Absorbed, AdaptiveLagConfig, AsyncFixedPointDriver, AsyncIterative, Dependence, GmapOutput,

@@ -122,11 +122,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use asyncmr_runtime::{ThreadPool, Wave};
-use asyncmr_simcluster::AsyncTaskSpec;
+use asyncmr_runtime::{PoolMetrics, ThreadPool, Wave};
+use asyncmr_simcluster::{AsyncTaskSpec, MarkKind, SessionTrace, SpanKind};
 
 use crate::checkpoint::{CheckpointPolicy, CheckpointTracker, NodeFailurePlan};
 use crate::hash::verdict_unit;
+use crate::obs::{SessionObs, SpanRecorder};
 
 /// Transient-failure injection for in-process sessions, mirroring
 /// `asyncmr_simcluster::FailurePlan` for the simulated cluster: each
@@ -467,6 +468,17 @@ pub struct SessionReport {
     pub peak_effective_lag: usize,
     /// Real time of the whole session (the driver-level wall).
     pub wall_time: Duration,
+    /// Thread-pool activity over this run: a fieldwise delta of
+    /// [`asyncmr_runtime::ThreadPool::metrics`] across the session, so
+    /// steals, parks, and the steal ratio attribute to *this* run even
+    /// on a long-lived pool.
+    pub pool: PoolMetrics,
+    /// The per-attempt span trace, when the driver ran
+    /// [`AsyncFixedPointDriver::with_trace`]; `None` (and zero
+    /// recording cost) otherwise. Feed it to
+    /// `asyncmr_simcluster::ReportModel::from_session` together with
+    /// [`SessionReport::schedule`] for the Chrome-trace/HTML report.
+    pub trace: Option<SessionTrace>,
     /// The executed cross-iteration schedule (contributing tasks only,
     /// topologically ordered), ready for
     /// [`asyncmr_simcluster::Simulation::run_async_schedule`].
@@ -594,6 +606,13 @@ pub struct AsyncFixedPointDriver {
     /// `[floor, cap]`. Validated once at the start of
     /// [`AsyncFixedPointDriver::run`].
     pub adaptive_lag: Option<AdaptiveLagConfig>,
+    /// When `true`, the run records a per-attempt span trace (see
+    /// [`crate::obs`]) and attaches it as
+    /// [`SessionReport::trace`]. Off by default: an untraced run pays
+    /// zero recording cost (the recorder is never constructed), and a
+    /// traced `max_lag = 0` run stays bitwise identical to the barrier
+    /// driver — recording never touches scheduling decisions.
+    pub trace: bool,
 }
 
 /// How many iterations past the globally-complete frontier a partition
@@ -613,6 +632,7 @@ impl Default for AsyncFixedPointDriver {
             node_failures: NodeFailurePlan::none(),
             runahead_byte_budget: None,
             adaptive_lag: None,
+            trace: false,
         }
     }
 }
@@ -681,11 +701,24 @@ impl AsyncFixedPointDriver {
         self
     }
 
+    /// Enables per-attempt span recording for this run (see
+    /// [`crate::obs`]): every launch/gmap/deliver/absorb/blocked-wait/
+    /// rollback becomes a timestamped span in
+    /// [`SessionReport::trace`], ready for the unified
+    /// Chrome-trace/HTML renderer in
+    /// `asyncmr_simcluster::trace::report`. Results are unchanged —
+    /// only observation is added.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// Runs `algo` until convergence or the iteration cap, keeping one
     /// multiwave scope alive across all global iterations (see the
     /// [module docs](self)).
     pub fn run<A: AsyncIterative>(&self, pool: &ThreadPool, algo: &A) -> SessionOutcome<A::State> {
         let started = Instant::now();
+        let pool_before = pool.metrics();
         // Injection-time validation: a plan assembled literally with
         // out-of-range fields is rejected here, before any scheduling.
         self.failures.validate();
@@ -724,12 +757,20 @@ impl AsyncFixedPointDriver {
                     max_lag: lag_cap,
                     peak_effective_lag: 0,
                     wall_time: started.elapsed(),
+                    pool: pool.metrics().since(&pool_before),
+                    trace: None,
                     schedule: Vec::new(),
                 },
             };
         }
 
         let failures = self.failures;
+        // The recorder exists only on traced runs: untraced runs take
+        // no per-attempt branches beyond one `Option` test.
+        let recorder = self.trace.then(|| Arc::new(SpanRecorder::new(pool.num_threads())));
+        if let Some(rec) = &recorder {
+            pool.set_park_observer(Some(rec.clone()));
+        }
         let mut sess = Session::new(
             algo,
             self.max_iterations.max(1),
@@ -738,6 +779,7 @@ impl AsyncFixedPointDriver {
             self.checkpoints,
             self.node_failures,
             self.runahead_byte_budget,
+            recorder.clone().map(|rec| SessionObs::new(rec, k)),
         );
         let mut initial = Vec::new();
         for p in 0..k {
@@ -757,15 +799,32 @@ impl AsyncFixedPointDriver {
                 // pure gmap on the same state and reproduces it. The
                 // pooled outbox it filled travels back either way and
                 // is recycled by the scheduler.
+                let start_ns = recorder.as_ref().map_or(0, |rec| rec.now_ns());
                 let t0 = Instant::now();
                 let out = algo.gmap(launch.p, launch.iter, &launch.state, &mut launch.outbox);
                 let died = failures.attempt_fails(launch.p, launch.iter, launch.attempt);
+                // One measurement feeds both the span and the meters:
+                // the trace report's conservation law (Σ gmap span
+                // durations == metered gmap time, exactly) depends on
+                // this identity.
+                let elapsed = t0.elapsed();
+                if let Some(rec) = recorder.as_ref() {
+                    rec.record(
+                        SpanKind::Gmap,
+                        launch.p,
+                        launch.iter,
+                        launch.attempt,
+                        start_ns,
+                        elapsed,
+                    );
+                }
                 AttemptDone {
                     p: launch.p,
                     iter: launch.iter,
                     attempt: launch.attempt,
                     generation: launch.generation,
-                    elapsed: t0.elapsed(),
+                    start_ns,
+                    elapsed,
                     outbox: launch.outbox,
                     output: (!died).then_some(out),
                 }
@@ -788,6 +847,7 @@ impl AsyncFixedPointDriver {
                             done.iter,
                             out,
                             done.outbox,
+                            done.start_ns,
                             done.elapsed,
                             wave,
                         ),
@@ -800,7 +860,12 @@ impl AsyncFixedPointDriver {
                 Vec::new()
             },
         );
-        sess.finish(lag_cap, started.elapsed())
+        // Stop observing parks before draining, so the trace's park
+        // totals are settled when `finish` reads them.
+        if recorder.is_some() {
+            pool.set_park_observer(None);
+        }
+        sess.finish(lag_cap, started.elapsed(), pool.metrics().since(&pool_before))
     }
 }
 
@@ -826,6 +891,8 @@ struct AttemptDone<U, M> {
     iter: usize,
     attempt: u32,
     generation: u64,
+    /// Recorder-clock start of the attempt (0 on untraced runs).
+    start_ns: u64,
     elapsed: Duration,
     /// The filled outbox (recycled into the pool after delivery — or
     /// without delivery, if the attempt died or was orphaned).
@@ -971,9 +1038,13 @@ struct Session<S, U, M> {
     /// Recycled message-batch `Vec`s: pruned/revoked mailbox batches
     /// come back here and re-enter outbox slots at delivery time.
     batch_pool: Vec<Vec<M>>,
+    /// Span/mark/stall recording for this run (`None` = untraced:
+    /// every instrumentation site is a single `Option` test).
+    obs: Option<SessionObs>,
 }
 
 impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
+    #[allow(clippy::too_many_arguments)]
     fn new<A>(
         algo: &A,
         max_iterations: usize,
@@ -982,6 +1053,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         checkpoints: CheckpointPolicy,
         node_plan: NodeFailurePlan,
         byte_budget: Option<u64>,
+        obs: Option<SessionObs>,
     ) -> Self
     where
         A: AsyncIterative<State = S, Update = U, Msg = M>,
@@ -1068,6 +1140,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             deferred_launches: 0,
             outbox_pool: Vec::new(),
             batch_pool: Vec::new(),
+            obs,
         }
     }
 
@@ -1151,7 +1224,12 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         if part.launched > self.frontier {
             if let Some(budget) = self.byte_budget {
                 if self.held_state_bytes + self.held_msg_bytes >= budget {
+                    let iter = part.launched;
+                    let held = self.held_state_bytes + self.held_msg_bytes;
                     self.deferred_launches += 1;
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.mark(MarkKind::RunaheadDeferral, p, iter, held);
+                    }
                     return None;
                 }
             }
@@ -1160,8 +1238,12 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         let part = &mut self.parts[p];
         let iter = part.launched;
         let state = Arc::clone(&part.history[iter - part.hist_base]);
+        let generation = part.generation;
         part.launched += 1;
-        Some(Launch { p, iter, attempt: 0, generation: part.generation, state, outbox })
+        if let Some(obs) = self.obs.as_mut() {
+            obs.mark(MarkKind::Launch, p, iter, 0);
+        }
+        Some(Launch { p, iter, attempt: 0, generation, state, outbox })
     }
 
     /// The attempt-tracking layer's failure path: meter the wasted
@@ -1188,6 +1270,10 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             // result no longer needs its retry.
             return;
         }
+        if let Some(obs) = self.obs.as_mut() {
+            // A retry launch: `value` carries the attempt number.
+            obs.mark(MarkKind::Launch, p, iter, u64::from(attempt) + 1);
+        }
         let outbox = self.take_outbox();
         let part = &self.parts[p];
         debug_assert_eq!(part.absorbed, iter, "a failed gmap cannot have been absorbed");
@@ -1212,6 +1298,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         iter: usize,
         out: GmapOutput<U>,
         mut outbox: Outbox<M>,
+        start_ns: u64,
         elapsed: Duration,
         wave: &mut Wave<Launch<S, M>>,
     ) where
@@ -1249,6 +1336,12 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             output_bytes: out.msg_bytes,
             deps,
         });
+        if let Some(obs) = self.obs.as_mut() {
+            // Aligned index-for-index with `schedule`/`dead`, so the
+            // same remap `finish` applies to the schedule keeps the
+            // trace's task timings in lockstep.
+            obs.task_times.push((start_ns, start_ns + elapsed.as_nanos() as u64));
+        }
 
         // Deliver one batch to every declared consumer — empty if this
         // gmap emitted nothing for it — so consumers never wait on a
@@ -1256,6 +1349,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         // against recycled batch `Vec`s, so steady-state delivery moves
         // capacity between the outbox pool and the mailboxes without
         // allocating.
+        let deliver_t0 = self.obs.as_ref().map(|obs| obs.recorder.now_ns());
         let msg_size = std::mem::size_of::<M>() as u64;
         let out_deps = std::mem::take(&mut self.parts[p].out_deps);
         for &dest in &out_deps {
@@ -1290,6 +1384,18 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         }
         self.parts[p].out_deps = out_deps;
         self.recycle_outbox(outbox);
+        if let Some(t0) = deliver_t0 {
+            let obs = self.obs.as_ref().expect("deliver_t0 implies obs");
+            let now = obs.recorder.now_ns();
+            obs.recorder.record(
+                SpanKind::Deliver,
+                p,
+                iter,
+                0,
+                t0,
+                Duration::from_nanos(now.saturating_sub(t0)),
+            );
+        }
 
         debug_assert!(self.parts[p].parked.is_none(), "one gmap in flight per partition");
         self.parts[p].parked = Some((iter, out.update));
@@ -1327,13 +1433,25 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         // off, never above its cap with it on).
         let eff = self.effective_lag(p);
         self.peak_effective_lag = self.peak_effective_lag.max(eff);
+        if let Some(obs) = self.obs.as_mut() {
+            // The effective-lag trajectory: one mark per change (the
+            // first admission test always emits the starting window).
+            if obs.last_window[p] != eff as u64 {
+                obs.last_window[p] = eff as u64;
+                obs.mark(MarkKind::LagWindow, p, i, eff as u64);
+            }
+        }
         let min_fresh = i.saturating_sub(eff);
         let mut selected = Vec::with_capacity(self.parts[p].deps.len());
         let mut slack = 0usize;
         let mut too_stale = None;
         for mb in &self.parts[p].mailbox {
             let Some((&key, _)) = mb.range(..=i).next_back() else {
-                return; // not delivered yet
+                // Not delivered yet: the parked absorb is blocked.
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.open_stall(p, i);
+                }
+                return;
             };
             if key < min_fresh {
                 too_stale = Some(i - key);
@@ -1348,12 +1466,19 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             // (up to the cap) so a persistent straggler stops stalling
             // its consumers.
             self.observe_lag(p, needed);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.open_stall(p, i);
+            }
             return;
         }
         // Admitted: the realized slack narrows the window back down
         // when dependencies run fresh.
         self.observe_lag(p, slack);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.close_stall(p);
+        }
 
+        let absorb_t0 = self.obs.as_ref().map(|obs| obs.recorder.now_ns());
         let absorbed = {
             let part = &mut self.parts[p];
             let (_, update) = part.parked.take().expect("checked above");
@@ -1366,6 +1491,18 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             let state = &part.history[i - part.hist_base];
             algo.absorb(p, i, state, update, &inbox)
         };
+        if let Some(t0) = absorb_t0 {
+            let obs = self.obs.as_ref().expect("absorb_t0 implies obs");
+            let now = obs.recorder.now_ns();
+            obs.recorder.record(
+                SpanKind::Absorb,
+                p,
+                i,
+                0,
+                t0,
+                Duration::from_nanos(now.saturating_sub(t0)),
+            );
+        }
 
         // Dependency edges of the gmap this absorb enables: the own
         // task plus the producers whose batches were consumed.
@@ -1440,7 +1577,12 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                     .iter()
                     .map(|part| part.hist_bytes[self.frontier - part.hist_base])
                     .sum();
-                self.ckpt.on_frontier_advance(self.frontier, snapshot);
+                let declared = self.ckpt.on_frontier_advance(self.frontier, snapshot);
+                if declared {
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.mark(MarkKind::CheckpointCommit, 0, self.frontier, snapshot);
+                    }
+                }
             }
 
             // States below the retention floor can never become the
@@ -1467,6 +1609,9 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
             {
                 self.converged_at = Some(f);
                 self.stopped = true;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.mark(MarkKind::Converged, 0, f, 0);
+                }
                 return;
             }
             if self.frontier >= self.max_iterations {
@@ -1523,6 +1668,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
     /// `max_lag > 0` a stale maximum can only delay convergence, never
     /// fake it.
     fn rollback(&mut self, fired: &[usize], wave: &mut Wave<Launch<S, M>>) {
+        let rollback_t0 = self.obs.as_ref().map(|obs| obs.recorder.now_ns());
         let c = self.ckpt.last_checkpoint();
         debug_assert!(c <= self.frontier, "checkpoints are declared at frontier advances");
         // Delivered-bytes accounting restarts at the checkpoint the
@@ -1647,12 +1793,32 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
         for &x in &rewound {
             self.push_launch(x, wave);
         }
+        if let Some(t0) = rollback_t0 {
+            let obs = self.obs.as_ref().expect("rollback_t0 implies obs");
+            let now = obs.recorder.now_ns();
+            // One span per rollback event, on the scheduler lane:
+            // `partition` = lowest rewound partition, `iteration` = the
+            // checkpoint rewound to, `attempt` = rewound partition count.
+            obs.recorder.record(
+                SpanKind::Rollback,
+                rewound.first().copied().unwrap_or(0),
+                c,
+                rewound.len() as u32,
+                t0,
+                Duration::from_nanos(now.saturating_sub(t0)),
+            );
+        }
     }
 
     /// Builds the outcome: final states at the result iteration, meters
     /// over contributing iterations only, and the contributing slice of
     /// the schedule (speculative tasks filtered out, indices remapped).
-    fn finish(mut self, max_lag: usize, wall_time: Duration) -> SessionOutcome<S> {
+    fn finish(
+        mut self,
+        max_lag: usize,
+        wall_time: Duration,
+        pool: PoolMetrics,
+    ) -> SessionOutcome<S> {
         let (iterations, converged) = match self.converged_at {
             Some(f) => (f + 1, true),
             None => (self.frontier, false),
@@ -1665,6 +1831,7 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
 
         let mut remap = vec![usize::MAX; self.schedule.len()];
         let mut kept = Vec::with_capacity(iterations * self.k);
+        let mut kept_times = Vec::new();
         for (idx, mut spec) in std::mem::take(&mut self.schedule).into_iter().enumerate() {
             // Dead entries were rolled back past a checkpoint; their
             // surviving re-execution is recorded further down the list.
@@ -1674,9 +1841,29 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                     debug_assert_ne!(remap[*d], usize::MAX, "deps precede their consumers");
                     *d = remap[*d];
                 }
+                if let Some(obs) = self.obs.as_ref() {
+                    kept_times.push(obs.task_times[idx]);
+                }
                 kept.push(spec);
             }
         }
+
+        // Drain the recorder into the report's trace: the session fills
+        // in what only it knows — marks, stalls (still-open ones close
+        // at the drain instant), the kept schedule's timings, and the
+        // metered gmap nanoseconds the span sum must equal exactly.
+        let trace = self.obs.take().map(|mut obs| {
+            for p in 0..self.k {
+                obs.close_stall(p);
+            }
+            let mut t = obs.recorder.drain();
+            t.marks = obs.marks;
+            t.stalls = obs.stalls;
+            t.task_start_ns = kept_times.iter().map(|&(s, _)| s).collect();
+            t.task_finish_ns = kept_times.iter().map(|&(_, f)| f).collect();
+            t.metered_gmap_ns = (self.total_gmap_time + self.failed_time).as_nanos() as u64;
+            t
+        });
 
         let contributing_time: Duration = self.iter_gmap_time[..iterations].iter().sum();
         let report = SessionReport {
@@ -1701,6 +1888,8 @@ impl<S: Send + Sync, U: Send, M: Send> Session<S, U, M> {
                 max_lag
             },
             wall_time,
+            pool,
+            trace,
             schedule: kept,
         };
         SessionOutcome { states, report }

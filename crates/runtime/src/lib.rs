@@ -49,5 +49,5 @@ mod scope;
 
 pub use metrics::PoolMetrics;
 pub use pipeline::{FollowUp, Wave};
-pub use pool::{ThreadPool, ThreadPoolBuilder};
+pub use pool::{current_worker, ParkObserver, ThreadPool, ThreadPoolBuilder};
 pub use scope::Scope;

@@ -4,7 +4,7 @@
 //! observational (tests, benches, the simulator's sanity checks) and
 //! never used for synchronization.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Internal atomic counters shared by all workers of a pool.
 #[derive(Debug, Default)]
@@ -17,6 +17,10 @@ pub(crate) struct Counters {
     pub steals: AtomicUsize,
     /// Successful grabs from the shared injector queue.
     pub injector_pops: AtomicUsize,
+    /// Completed park intervals (a worker found no work and slept).
+    pub parks: AtomicUsize,
+    /// Total nanoseconds workers spent parked.
+    pub park_nanos: AtomicU64,
 }
 
 impl Counters {
@@ -28,6 +32,8 @@ impl Counters {
             panicked: self.panicked.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            park_nanos: self.park_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -49,6 +55,10 @@ pub struct PoolMetrics {
     pub steals: usize,
     /// Successful pops from the shared injector.
     pub injector_pops: usize,
+    /// Completed park intervals (a worker found no work and slept).
+    pub parks: usize,
+    /// Total nanoseconds workers spent parked.
+    pub park_nanos: u64,
 }
 
 impl PoolMetrics {
@@ -62,6 +72,21 @@ impl PoolMetrics {
             self.steals as f64 / self.executed as f64
         }
     }
+
+    /// Counter deltas since an earlier snapshot of the same pool — what
+    /// one bounded stretch of work (a session run, a bench rep) cost.
+    /// Saturates at zero per field, so a stale `before` never wraps.
+    pub fn since(&self, before: &PoolMetrics) -> PoolMetrics {
+        PoolMetrics {
+            threads: self.threads,
+            executed: self.executed.saturating_sub(before.executed),
+            panicked: self.panicked.saturating_sub(before.panicked),
+            steals: self.steals.saturating_sub(before.steals),
+            injector_pops: self.injector_pops.saturating_sub(before.injector_pops),
+            parks: self.parks.saturating_sub(before.parks),
+            park_nanos: self.park_nanos.saturating_sub(before.park_nanos),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -73,18 +98,52 @@ mod tests {
         let c = Counters::default();
         c.executed.store(10, Ordering::Relaxed);
         c.steals.store(4, Ordering::Relaxed);
+        c.parks.store(2, Ordering::Relaxed);
+        c.park_nanos.store(1_500, Ordering::Relaxed);
         let m = c.snapshot(3);
         assert_eq!(m.threads, 3);
         assert_eq!(m.executed, 10);
         assert_eq!(m.steals, 4);
         assert_eq!(m.panicked, 0);
+        assert_eq!(m.parks, 2);
+        assert_eq!(m.park_nanos, 1_500);
     }
 
     #[test]
     fn steal_ratio_handles_zero() {
-        let m = PoolMetrics { threads: 1, executed: 0, panicked: 0, steals: 0, injector_pops: 0 };
+        let m = PoolMetrics {
+            threads: 1,
+            executed: 0,
+            panicked: 0,
+            steals: 0,
+            injector_pops: 0,
+            parks: 0,
+            park_nanos: 0,
+        };
         assert_eq!(m.steal_ratio(), 0.0);
         let m2 = PoolMetrics { executed: 8, steals: 2, ..m };
         assert!((m2.steal_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_is_a_saturating_fieldwise_delta() {
+        let zero = PoolMetrics {
+            threads: 2,
+            executed: 0,
+            panicked: 0,
+            steals: 0,
+            injector_pops: 0,
+            parks: 0,
+            park_nanos: 0,
+        };
+        let before = PoolMetrics { executed: 5, steals: 1, park_nanos: 100, ..zero };
+        let after = PoolMetrics { executed: 9, steals: 4, parks: 2, park_nanos: 350, ..zero };
+        let d = after.since(&before);
+        assert_eq!(d.executed, 4);
+        assert_eq!(d.steals, 3);
+        assert_eq!(d.parks, 2);
+        assert_eq!(d.park_nanos, 250);
+        // Stale "before" saturates instead of wrapping.
+        assert_eq!(before.since(&after).executed, 0);
     }
 }

@@ -15,11 +15,12 @@
 //! submission rings the condvar, and before parking a worker re-checks
 //! the injector under the lock, so wakeups cannot be lost.
 
+use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
@@ -28,6 +29,32 @@ use crate::metrics::{Counters, PoolMetrics};
 
 /// A heap-allocated unit of work.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The pool worker index of the current thread, set once at worker
+    /// startup. `None` on every non-worker thread (submitters, helpers).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The pool worker index of the calling thread, or `None` when called
+/// from outside a worker (e.g. a driver thread helping out while it
+/// waits on a [`crate::Scope`]). Stable for the thread's lifetime;
+/// span recorders use it to pick an uncontended per-worker buffer.
+pub fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// Observer notified each time a pool worker finishes one park interval
+/// (it found no runnable work and slept on the condvar). Called on the
+/// worker thread right after it wakes, outside all pool locks.
+///
+/// Installed per pool via [`ThreadPool::set_park_observer`]; recorders
+/// use it to attribute idle gaps in per-worker timelines to *blocked*
+/// (no work available) rather than unexplained idle time.
+pub trait ParkObserver: Send + Sync {
+    /// One completed park on `worker`, spanning `start..end`.
+    fn parked(&self, worker: usize, start: Instant, end: Instant);
+}
 
 /// Configures and builds a [`ThreadPool`].
 ///
@@ -99,6 +126,7 @@ impl ThreadPoolBuilder {
             in_flight: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
             counters: Counters::default(),
+            park_observer: Mutex::new(None),
         });
 
         let handles = workers
@@ -133,6 +161,9 @@ pub(crate) struct Shared {
     /// Workers currently parked on `wakeup` (see [`Shared::park`]).
     sleepers: AtomicUsize,
     pub(crate) counters: Counters,
+    /// Optional per-park callback (see [`ParkObserver`]). Behind its own
+    /// lock, read only on the park slow path — never on task dispatch.
+    park_observer: Mutex<Option<Arc<dyn ParkObserver>>>,
 }
 
 impl Shared {
@@ -201,7 +232,8 @@ impl Shared {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
-    fn park(&self) {
+    fn park(&self, worker: usize) {
+        let start = Instant::now();
         let mut guard = self.sleep_lock.lock();
         // Declare intent *before* the final injector check: a submitter
         // that misses this increment (sees `sleepers == 0`) pushed its
@@ -218,6 +250,14 @@ impl Shared {
         // stealing, which cannot be checked under the lock.
         self.wakeup.wait_for(&mut guard, Duration::from_millis(1));
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        let end = Instant::now();
+        self.counters.parks.fetch_add(1, Ordering::Relaxed);
+        self.counters.park_nanos.fetch_add((end - start).as_nanos() as u64, Ordering::Relaxed);
+        let observer = self.park_observer.lock().clone();
+        if let Some(obs) = observer {
+            obs.parked(worker, start, end);
+        }
     }
 
     pub(crate) fn notify_all(&self) {
@@ -227,6 +267,7 @@ impl Shared {
 }
 
 fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
     loop {
         // Fast path: own deque (LIFO keeps caches warm for fork-join).
         if let Some(job) = local.pop() {
@@ -257,7 +298,7 @@ fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
             std::thread::yield_now();
             continue;
         }
-        shared.park();
+        shared.park(index);
     }
 }
 
@@ -316,6 +357,17 @@ impl ThreadPool {
     /// Returns a snapshot of the execution counters.
     pub fn metrics(&self) -> PoolMetrics {
         self.shared.counters.snapshot(self.threads)
+    }
+
+    /// Installs (or, with `None`, removes) the pool's [`ParkObserver`].
+    ///
+    /// The observer is invoked on worker threads for every park interval
+    /// that *completes* while it is installed; a park already in
+    /// progress at install time reports its full interval. Drivers that
+    /// trace one bounded run install before submitting work and remove
+    /// after their scope completes.
+    pub fn set_park_observer(&self, observer: Option<Arc<dyn ParkObserver>>) {
+        *self.shared.park_observer.lock() = observer;
     }
 
     /// Blocks until every job submitted so far has finished.
@@ -421,6 +473,50 @@ mod tests {
         pool.wait_idle();
         assert!(pool.metrics().executed >= 50);
         assert_eq!(pool.metrics().threads, 3);
+    }
+
+    #[test]
+    fn worker_index_is_set_on_workers_and_absent_elsewhere() {
+        assert_eq!(current_worker(), None, "test thread is not a pool worker");
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = crossbeam_channel::bounded(16);
+        for _ in 0..16 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send(current_worker()).unwrap();
+            });
+        }
+        // Receive without wait_idle: helping from this thread would
+        // legitimately run jobs where current_worker() is None.
+        for _ in 0..16 {
+            let idx = rx.recv().unwrap().expect("pool job ran on a worker thread");
+            assert!(idx < 2, "worker index {idx} out of range");
+        }
+    }
+
+    #[test]
+    fn parks_are_counted_and_observed() {
+        struct Tally(AtomicUsize);
+        impl ParkObserver for Tally {
+            fn parked(&self, worker: usize, start: Instant, end: Instant) {
+                assert!(end >= start);
+                assert!(worker < 2);
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = ThreadPool::new(2);
+        let tally = Arc::new(Tally(AtomicUsize::new(0)));
+        pool.set_park_observer(Some(tally.clone()));
+        // Idle workers park on a 1 ms timed wait; give them a chance to.
+        std::thread::sleep(Duration::from_millis(20));
+        pool.set_park_observer(None);
+        let m = pool.metrics();
+        assert!(m.parks > 0, "idle workers never parked");
+        assert!(m.park_nanos > 0, "parks recorded no time");
+        assert!(tally.0.load(Ordering::SeqCst) > 0, "observer never invoked");
+        // Observed parks are a subset of counted parks (the counter also
+        // covers parks before install/after removal).
+        assert!(tally.0.load(Ordering::SeqCst) <= pool.metrics().parks);
     }
 
     #[test]

@@ -98,7 +98,7 @@ use rand::RngExt;
 use crate::cluster::ClusterSpec;
 use crate::event_core::{ComponentId, Ev, EventCore, EventHandler};
 use crate::failure::{FailurePlan, NodeFailurePlan};
-use crate::sched::{candidates, SchedView, Scheduler, SlotState};
+use crate::sched::{candidates, CritComposition, SchedView, Scheduler, SlotState};
 use crate::sim::Simulation;
 use crate::stats::CommitAccounting;
 use crate::time::SimTime;
@@ -650,12 +650,52 @@ impl AsyncRun<'_> {
             }
         }
     }
+
+    /// The compute/wire/queue composition of the critical path through
+    /// the schedule committed so far: from the latest-finishing
+    /// committed task backwards along each recorded critical input
+    /// edge ([`AsyncScheduleStats::task_crit_dep`] semantics). Empty
+    /// before anything committed. Rollbacks transitively invalidate
+    /// dependents, so a committed task's recorded edge always points at
+    /// a committed dependency with its current finish time.
+    fn committed_composition(&self) -> CritComposition {
+        let mut comp = CritComposition::default();
+        let Some(sink) = (0..self.tasks.len())
+            .filter(|&i| self.done[i])
+            .max_by_key(|&i| (self.finish[i], std::cmp::Reverse(i)))
+        else {
+            return comp;
+        };
+        let mut cur = sink;
+        loop {
+            comp.compute += self.dur[cur];
+            match self.crit_dep[cur] {
+                Some((dep, arrival)) if self.done[dep] => {
+                    // start >= arrival >= finish[dep] by construction,
+                    // so neither subtraction can underflow.
+                    let start = self.finish[cur] - self.dur[cur];
+                    comp.queue += start - arrival;
+                    comp.wire += arrival - self.finish[dep];
+                    cur = dep;
+                }
+                _ => break,
+            }
+        }
+        comp
+    }
 }
 
 impl EventHandler for AsyncRun<'_> {
     fn on_event(&mut self, core: &mut EventCore, _at: SimTime, ev: Ev) {
         match ev {
             Ev::EpochStart { epoch } => {
+                // Feed the committed critical-path composition forward
+                // before this boundary's verdicts or placements — the
+                // signal is what previous epochs actually bound on
+                // (empty at the first boundary, so single-boundary runs
+                // see no behavior change from feedback-aware policies).
+                let feedback = self.committed_composition();
+                self.scheduler.epoch_feedback(feedback);
                 if self.node_plan.enabled() {
                     if epoch % self.node_plan.checkpoint_interval == 0 {
                         // Trace-only: the session checkpointed its
@@ -1105,6 +1145,28 @@ mod tests {
             heft.duration,
             greedy.duration
         );
+    }
+
+    #[test]
+    fn portfolio_feedback_is_deterministic_across_epochs() {
+        use crate::failure::NodeFailurePlan;
+        use crate::sched::SchedulerSpec;
+        // A node plan forces one boundary per epoch, so from the second
+        // boundary on the portfolio races with a live feed-forward
+        // hint. The hint is a pure function of committed state:
+        // repeating the run must reproduce every placement and finish.
+        let tasks = ring_schedule(8, 6, 20_000_000);
+        let run = || {
+            Simulation::new(ClusterSpec::ec2_2010(), 9)
+                .with_node_failures(NodeFailurePlan::correlated(0.2, 1, 3))
+                .with_scheduler(SchedulerSpec::default_portfolio())
+                .run_async_schedule(&tasks)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.tasks, tasks.len(), "all work completes under feedback");
+        assert_eq!(a.task_node, b.task_node, "placements are reproducible");
+        assert_eq!(a.task_finish, b.task_finish, "finishes are reproducible");
+        assert_eq!(a.duration, b.duration);
     }
 
     #[test]

@@ -64,10 +64,13 @@ pub use failure::{splitmix64, verdict_unit, FailurePlan, NodeFailurePlan};
 pub use job::{JobSpec, MapTaskSpec, ReduceTaskSpec};
 pub use network::{Constant, NetworkModel, NetworkState, SharedBandwidth, TopologyAware};
 pub use sched::{
-    Candidate, Heft, ListScheduler, Lookahead, Portfolio, SchedView, Scheduler, SchedulerSpec,
-    SlotState,
+    Candidate, CritComponent, CritComposition, Heft, ListScheduler, Lookahead, Portfolio,
+    SchedView, Scheduler, SchedulerSpec, SlotState,
 };
 pub use sim::Simulation;
 pub use stats::{CommitAccounting, JobStats, PhaseBreakdown, RunTotals};
 pub use time::{underflow_count, SimTime};
-pub use trace::{diff_runs, CriticalPath, RunRecord, TraceAnalysis, TraceDiff, TraceReader};
+pub use trace::{
+    diff_runs, CriticalPath, LaneBreakdown, Mark, MarkKind, ReportModel, RunRecord, SessionTrace,
+    Span, SpanKind, Stall, TraceAnalysis, TraceDiff, TraceReader, TraceWindow, WindowedTrace,
+};

@@ -229,6 +229,58 @@ pub fn candidates(
     out
 }
 
+/// One component of a critical-path composition — where the committed
+/// schedule's binding chain spent its time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CritComponent {
+    /// Attempt occupancy (launch + read + compute + sort) dominates.
+    Compute,
+    /// Cross-node transfer time of critical input edges dominates.
+    Wire,
+    /// Slot-contention / dispatch-gate waits dominate.
+    Queue,
+}
+
+/// The compute/wire/queue split of the critical path through a
+/// partially committed schedule — the feed-forward signal the replay
+/// hands every scheduler at each epoch boundary
+/// ([`Scheduler::epoch_feedback`]).
+///
+/// A pure function of the committed state (recorded finishes and
+/// critical input edges), so consuming it keeps the replay's
+/// determinism contract intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CritComposition {
+    /// Summed attempt occupancy along the committed chain.
+    pub compute: SimTime,
+    /// Summed critical-edge wire time along the committed chain.
+    pub wire: SimTime,
+    /// Summed queue wait along the committed chain.
+    pub queue: SimTime,
+}
+
+impl CritComposition {
+    /// True before anything committed (no signal to act on).
+    pub fn is_empty(&self) -> bool {
+        self.compute == SimTime::ZERO && self.wire == SimTime::ZERO && self.queue == SimTime::ZERO
+    }
+
+    /// The largest component, or `None` when empty. Ties break
+    /// compute > wire > queue (deterministic).
+    pub fn dominant(&self) -> Option<CritComponent> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = (CritComponent::Compute, self.compute);
+        for cand in [(CritComponent::Wire, self.wire), (CritComponent::Queue, self.queue)] {
+            if cand.1 > best.1 {
+                best = cand;
+            }
+        }
+        Some(best.0)
+    }
+}
+
 /// A task-ordering and slot-choice policy for the async replay.
 ///
 /// Implementations must be pure functions of their inputs: no
@@ -239,6 +291,17 @@ pub fn candidates(
 pub trait Scheduler: fmt::Debug + Send {
     /// Short stable name (stats label).
     fn name(&self) -> &'static str;
+
+    /// Called at each epoch boundary — before the boundary's failure
+    /// verdicts and before [`Scheduler::begin_epoch`] — with the
+    /// critical-path composition of the schedule committed so far
+    /// (empty at the first boundary). A deterministic function of
+    /// committed state, so acting on it cannot break the replay
+    /// contract. Default no-op; [`Portfolio`] uses it to bias its race
+    /// toward the member built for the binding component.
+    fn epoch_feedback(&mut self, prev: CritComposition) {
+        let _ = prev;
+    }
 
     /// Called once per epoch boundary with the pending set, before any
     /// ordering/placement. [`Portfolio`] races its members here; other
@@ -568,13 +631,28 @@ impl Scheduler for Lookahead {
 pub struct Portfolio {
     members: Vec<Box<dyn Scheduler>>,
     winner: usize,
+    /// Dominant component of the committed critical path, fed forward
+    /// from the previous epochs via [`Scheduler::epoch_feedback`].
+    hint: Option<CritComponent>,
 }
 
 impl Portfolio {
     /// A portfolio over `members` (non-empty), in tie-break order.
     pub fn new(members: Vec<Box<dyn Scheduler>>) -> Self {
         assert!(!members.is_empty(), "portfolio must have at least one member scheduler");
-        Portfolio { members, winner: 0 }
+        Portfolio { members, winner: 0, hint: None }
+    }
+
+    /// The member a feed-forward hint favors: wire-dominant paths lean
+    /// HEFT (communication-aware ranks), queue-dominant paths lean
+    /// lookahead (contention-aware estimates). Compute-dominant paths
+    /// favor nobody — placement cannot shorten compute.
+    fn favored(&self, member: usize) -> bool {
+        match self.hint {
+            Some(CritComponent::Wire) => self.members[member].name() == "heft",
+            Some(CritComponent::Queue) => self.members[member].name() == "lookahead",
+            _ => false,
+        }
     }
 
     /// Dry-runs one member over `pending` on cloned state, returning
@@ -621,14 +699,26 @@ impl Scheduler for Portfolio {
         "portfolio"
     }
 
+    fn epoch_feedback(&mut self, prev: CritComposition) {
+        self.hint = prev.dominant();
+    }
+
     fn begin_epoch(&mut self, view: &SchedView<'_>, state: &SlotState<'_>, pending: &[usize]) {
         let mut best = SimTime::from_micros(u64::MAX);
         self.winner = 0;
-        for (m, member) in self.members.iter_mut().enumerate() {
-            let makespan = Self::dry_run(member, view, state, pending);
+        for m in 0..self.members.len() {
+            let makespan = Self::dry_run(&mut self.members[m], view, state, pending);
+            // The feed-forward hint discounts the favored member's
+            // estimate by 1/64 (~1.6%): enough to break near-ties
+            // toward the member built for the binding component, never
+            // enough to override a real estimate gap. Deterministic —
+            // the hint is a pure function of committed state.
+            let us = makespan.as_micros();
+            let scored =
+                if self.favored(m) { SimTime::from_micros(us - us / 64) } else { makespan };
             // Strict `<`: the earlier member keeps ties.
-            if makespan < best {
-                best = makespan;
+            if scored < best {
+                best = scored;
                 self.winner = m;
             }
         }
@@ -676,6 +766,36 @@ mod tests {
     #[should_panic(expected = "cannot be portfolios")]
     fn nested_portfolio_is_rejected() {
         SchedulerSpec::Portfolio { members: vec![SchedulerSpec::default_portfolio()] }.validate();
+    }
+
+    #[test]
+    fn composition_dominant_is_deterministic_and_empty_aware() {
+        let t = SimTime::from_micros;
+        assert_eq!(CritComposition::default().dominant(), None);
+        let c = CritComposition { compute: t(5), wire: t(9), queue: t(2) };
+        assert_eq!(c.dominant(), Some(CritComponent::Wire));
+        let q = CritComposition { compute: t(1), wire: t(1), queue: t(8) };
+        assert_eq!(q.dominant(), Some(CritComponent::Queue));
+        // Ties break compute > wire > queue.
+        let tie = CritComposition { compute: t(4), wire: t(4), queue: t(4) };
+        assert_eq!(tie.dominant(), Some(CritComponent::Compute));
+    }
+
+    #[test]
+    fn feedback_hint_favors_the_member_built_for_the_binding_component() {
+        let members =
+            [SchedulerSpec::List, SchedulerSpec::Heft, SchedulerSpec::Lookahead { depth: 1 }];
+        let mut p = Portfolio::new(members.iter().map(|m| m.instantiate()).collect());
+        assert!((0..3).all(|m| !p.favored(m)), "no hint, no favorite");
+        let t = SimTime::from_micros;
+        p.epoch_feedback(CritComposition { wire: t(10), ..CritComposition::default() });
+        assert!(p.favored(1) && !p.favored(0) && !p.favored(2), "wire-dominant leans HEFT");
+        p.epoch_feedback(CritComposition { queue: t(10), ..CritComposition::default() });
+        assert!(p.favored(2) && !p.favored(1), "queue-dominant leans lookahead");
+        p.epoch_feedback(CritComposition { compute: t(10), ..CritComposition::default() });
+        assert!((0..3).all(|m| !p.favored(m)), "placement cannot shorten compute");
+        p.epoch_feedback(CritComposition::default());
+        assert!((0..3).all(|m| !p.favored(m)), "empty composition clears the hint");
     }
 
     #[test]
